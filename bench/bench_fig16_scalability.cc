@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 16: multicore scalability (client thread sweep) on YCSB A, C
+ * and E for Prism, KVell (QD 64 and QD 1) and MatrixKV.
+ *
+ * NOTE: this sandbox exposes a single CPU core, so the curves show the
+ * I/O-overlap component of scaling only; CPU-bound sections flatten
+ * once the core saturates (see EXPERIMENTS.md).
+ */
+#include "bench_util.h"
+
+using namespace prism;
+using namespace prism::bench;
+
+int
+main()
+{
+    BenchScale base;
+    base.ops = envOr("PRISM_BENCH_OPS", 40000) / 2;
+    printScale(base);
+    std::printf("== Figure 16: throughput vs client threads ==\n");
+
+    const int thread_counts[] = {1, 2, 4, 8};
+    for (const char *name :
+         {"Prism", "KVell", "KVell-QD1", "MatrixKV"}) {
+        FixtureOptions fx = fixtureFor(base);
+        std::unique_ptr<KvStore> store;
+        if (std::string(name) == "KVell-QD1") {
+            kvell::KvellOptions ko;
+            ko.queue_depth = 1;
+            store = std::make_unique<ycsb::KvellStore>(fx, ko);
+        } else {
+            store = makeStore(name, fx);
+        }
+        loadDataset(*store, base);
+
+        for (const Mix mix : {Mix::kA, Mix::kC, Mix::kE}) {
+            std::printf("%-8s %-10s:", ycsb::mixName(mix), name);
+            for (const int threads : thread_counts) {
+                BenchScale s = base;
+                s.threads = threads;
+                const uint64_t ops =
+                    mix == Mix::kE ? s.ops / 10 : s.ops;
+                const RunResult r = runMix(*store, mix, s, 0.99, ops);
+                std::printf("  t%d=%8.1fK", threads,
+                            r.throughput() / 1e3);
+                std::fflush(stdout);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

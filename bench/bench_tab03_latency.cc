@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Table 3: operation latency (average / median / 99th percentile) for
+ * YCSB A, C and E across Prism, KVell, MatrixKV and RocksDB-NVM.
+ */
+#include "bench_util.h"
+
+using namespace prism;
+using namespace prism::bench;
+
+int
+main()
+{
+    BenchScale s;
+    printScale(s);
+    std::printf("== Table 3: latency (us) for YCSB A / C / E ==\n");
+
+    for (const char *name :
+         {"Prism", "KVell", "MatrixKV", "RocksDB-NVM"}) {
+        auto store = makeStore(name, fixtureFor(s));
+        loadDataset(*store, s);
+        for (const Mix mix : {Mix::kA, Mix::kC, Mix::kE}) {
+            const uint64_t ops = mix == Mix::kE ? s.ops / 10 : s.ops;
+            const RunResult r = runMix(*store, mix, s, 0.99, ops);
+            printLatencyRow(name, ycsb::mixName(mix), r.overall);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench prints the rows/series of one paper table or figure. The
+ * scale is reduced from the paper's testbed (100 M keys, 40 cores,
+ * 8 SSDs) to what a simulation on one machine can run in seconds;
+ * shapes, not absolute numbers, are the reproduction target (see
+ * EXPERIMENTS.md). Environment overrides:
+ *
+ *   PRISM_BENCH_RECORDS  dataset size in keys   (default 100000)
+ *   PRISM_BENCH_OPS      operations per run     (default 40000)
+ *   PRISM_BENCH_THREADS  client threads         (default 8)
+ *   PRISM_BENCH_SSDS     number of SSDs         (default 4)
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "ycsb/driver.h"
+#include "ycsb/stores.h"
+
+namespace prism::bench {
+
+using ycsb::FixtureOptions;
+using ycsb::KvStore;
+using ycsb::Mix;
+using ycsb::RunResult;
+using ycsb::WorkloadSpec;
+
+inline uint64_t
+envOr(const char *name, uint64_t def)
+{
+    const char *v = std::getenv(name);
+    return v == nullptr ? def : std::strtoull(v, nullptr, 10);
+}
+
+/** Common bench scale. */
+struct BenchScale {
+    uint64_t records = envOr("PRISM_BENCH_RECORDS", 100000);
+    uint64_t ops = envOr("PRISM_BENCH_OPS", 40000);
+    int threads = static_cast<int>(envOr("PRISM_BENCH_THREADS", 8));
+    int ssds = static_cast<int>(envOr("PRISM_BENCH_SSDS", 4));
+    uint32_t value_bytes = 1024;
+};
+
+inline FixtureOptions
+fixtureFor(const BenchScale &s)
+{
+    FixtureOptions fx;
+    fx.num_ssds = s.ssds;
+    fx.dataset_bytes = s.records * s.value_bytes;
+    fx.ssd_bytes =
+        std::max<uint64_t>(fx.dataset_bytes * 3 / s.ssds, 256 << 20);
+    fx.model_timing = true;
+    fx.expected_threads = s.threads;
+    return fx;
+}
+
+/** Build one of the evaluated stores by name. */
+inline std::unique_ptr<KvStore>
+makeStore(const std::string &which, const FixtureOptions &fx)
+{
+    if (which == "Prism")
+        return std::make_unique<ycsb::PrismStore>(fx,
+                                                  core::PrismOptions{});
+    if (which == "KVell")
+        return std::make_unique<ycsb::KvellStore>(fx,
+                                                  kvell::KvellOptions{});
+    if (which == "MatrixKV")
+        return std::make_unique<ycsb::LsmStore>(
+            fx, ycsb::LsmFlavor::kMatrixKv, lsm::LsmOptions{});
+    if (which == "RocksDB-NVM")
+        return std::make_unique<ycsb::LsmStore>(
+            fx, ycsb::LsmFlavor::kRocksDbNvm, lsm::LsmOptions{});
+    if (which == "RocksDB")
+        return std::make_unique<ycsb::LsmStore>(
+            fx, ycsb::LsmFlavor::kRocksDbSsd, lsm::LsmOptions{});
+    if (which == "SLM-DB")
+        return std::make_unique<ycsb::SlmDbStore>(fx,
+                                                  lsm::SlmDbOptions{});
+    std::fprintf(stderr, "unknown store %s\n", which.c_str());
+    std::abort();
+}
+
+/** Load the dataset, then run one mix; returns the run result. */
+inline RunResult
+loadAndRun(KvStore &store, Mix mix, const BenchScale &s, double theta = 0.99)
+{
+    WorkloadSpec load = WorkloadSpec::forMix(Mix::kLoad, s.records, 0);
+    load.value_bytes = s.value_bytes;
+    ycsb::loadPhase(store, load, s.threads);
+    store.flushAll();
+    WorkloadSpec run = WorkloadSpec::forMix(mix, s.records, s.ops, theta);
+    run.value_bytes = s.value_bytes;
+    return ycsb::runPhase(store, run, s.threads);
+}
+
+/** Run one mix against an already-loaded store. */
+inline RunResult
+runMix(KvStore &store, Mix mix, const BenchScale &s, double theta = 0.99,
+       uint64_t ops_override = 0)
+{
+    WorkloadSpec run = WorkloadSpec::forMix(
+        mix, s.records, ops_override ? ops_override : s.ops, theta);
+    run.value_bytes = s.value_bytes;
+    return ycsb::runPhase(store, run, s.threads);
+}
+
+/** Load the full dataset into @p store. */
+inline void
+loadDataset(KvStore &store, const BenchScale &s, int threads_override = 0)
+{
+    WorkloadSpec load = WorkloadSpec::forMix(Mix::kLoad, s.records, 0);
+    load.value_bytes = s.value_bytes;
+    ycsb::loadPhase(store, load,
+                    threads_override ? threads_override : s.threads);
+    store.flushAll();
+}
+
+inline void
+printScale(const BenchScale &s)
+{
+    std::printf("# scale: records=%llu ops=%llu threads=%d ssds=%d "
+                "value=%uB\n",
+                static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(s.ops), s.threads, s.ssds,
+                s.value_bytes);
+}
+
+inline void
+printThroughputRow(const std::string &store, const std::string &workload,
+                   const RunResult &r)
+{
+    std::printf("%-12s %-8s %10.1f Kops/s  (%llu ops in %.2fs)\n",
+                store.c_str(), workload.c_str(), r.throughput() / 1e3,
+                static_cast<unsigned long long>(r.ops),
+                static_cast<double>(r.duration_ns) / 1e9);
+    std::fflush(stdout);
+}
+
+inline void
+printLatencyRow(const std::string &store, const std::string &workload,
+                const Histogram &h)
+{
+    std::printf("%-12s %-8s avg=%8.1fus  p50=%8.1fus  p99=%8.1fus\n",
+                store.c_str(), workload.c_str(), h.mean() / 1e3,
+                static_cast<double>(h.percentile(0.5)) / 1e3,
+                static_cast<double>(h.percentile(0.99)) / 1e3);
+    std::fflush(stdout);
+}
+
+}  // namespace prism::bench

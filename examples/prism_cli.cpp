@@ -1,0 +1,246 @@
+/**
+ * @file
+ * prism_cli — an interactive/scriptable shell over a Prism store on
+ * simulated heterogeneous devices. Useful for poking at the system and
+ * for demos:
+ *
+ *   $ ./build/examples/prism_cli
+ *   prism> put 42 hello
+ *   OK
+ *   prism> get 42
+ *   hello
+ *   prism> fill 10000 256
+ *   inserted 10000 keys of 256B
+ *   prism> stats
+ *   ...
+ *   prism> tracegen a 5000 /tmp/a.trace   # synthesize a YCSB-A trace
+ *   prism> replay /tmp/a.trace            # replay it against the store
+ *   prism> quit
+ *
+ * Commands: put, get, del, scan, fill, flush, gc, stats, tracegen,
+ * replay, help, quit.
+ */
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/prism_db.h"
+#include "sim/device_profile.h"
+#include "ycsb/stores.h"
+#include "ycsb/trace.h"
+
+using namespace prism;
+
+namespace {
+
+void
+printStats(ycsb::PrismStore &store)
+{
+    auto &db = store.db();
+    const auto &st = db.stats();
+    const auto &svc = db.svcStats();
+    std::printf("keys            %zu\n", db.size());
+    std::printf("puts/gets/dels  %llu / %llu / %llu   scans %llu\n",
+                static_cast<unsigned long long>(st.puts.load()),
+                static_cast<unsigned long long>(st.gets.load()),
+                static_cast<unsigned long long>(st.dels.load()),
+                static_cast<unsigned long long>(st.scans.load()));
+    std::printf("read sources    svc=%llu pwb=%llu ssd=%llu\n",
+                static_cast<unsigned long long>(st.svc_hits.load()),
+                static_cast<unsigned long long>(st.pwb_hits.load()),
+                static_cast<unsigned long long>(st.vs_reads.load()));
+    std::printf("svc             %.1f / %.1f MB used, %llu evictions, "
+                "%llu scan reorgs\n",
+                static_cast<double>(db.svc().usedBytes()) / 1e6,
+                static_cast<double>(db.svc().capacityBytes()) / 1e6,
+                static_cast<unsigned long long>(svc.evictions.load()),
+                static_cast<unsigned long long>(svc.scan_reorgs.load()));
+    std::printf("reclaim         %llu passes, %llu values moved, %llu "
+                "stale skipped\n",
+                static_cast<unsigned long long>(
+                    st.reclaim_passes.load()),
+                static_cast<unsigned long long>(
+                    st.reclaimed_values.load()),
+                static_cast<unsigned long long>(
+                    st.reclaim_skipped_stale.load()));
+    uint64_t gc = 0;
+    size_t free_chunks = 0, total_chunks = 0;
+    for (size_t i = 0; i < db.valueStorageCount(); i++) {
+        gc += db.valueStorage(i).gcPasses();
+        free_chunks += db.valueStorage(i).freeChunks();
+        total_chunks += db.valueStorage(i).totalChunks();
+    }
+    std::printf("value storage   %zu/%zu chunks free, %llu GC passes\n",
+                free_chunks, total_chunks,
+                static_cast<unsigned long long>(gc));
+    std::printf("nvm index       %.1f MB (key index + HSIT)\n",
+                static_cast<double>(db.nvmIndexBytes()) / 1e6);
+    std::printf("ssd written     %.1f MB for %.1f MB of user writes\n",
+                static_cast<double>(db.ssdBytesWritten()) / 1e6,
+                static_cast<double>(st.user_bytes_written.load()) / 1e6);
+}
+
+ycsb::Mix
+mixByName(const std::string &name)
+{
+    if (name == "load") return ycsb::Mix::kLoad;
+    if (name == "a") return ycsb::Mix::kA;
+    if (name == "b") return ycsb::Mix::kB;
+    if (name == "c") return ycsb::Mix::kC;
+    if (name == "d") return ycsb::Mix::kD;
+    if (name == "e") return ycsb::Mix::kE;
+    if (name == "nutanix") return ycsb::Mix::kNutanix;
+    return ycsb::Mix::kC;
+}
+
+void
+help()
+{
+    std::printf(
+        "commands:\n"
+        "  put <key> <value>          insert or update\n"
+        "  get <key>                  point lookup\n"
+        "  del <key>                  delete\n"
+        "  scan <key> <count>         range scan\n"
+        "  fill <n> [bytes]           bulk-insert n keys\n"
+        "  flush                      drain PWBs to Value Storage\n"
+        "  gc                         force garbage collection\n"
+        "  stats                      show store statistics\n"
+        "  tracegen <mix> <n> <file>  synthesize a YCSB trace "
+        "(mix: load|a|b|c|d|e|nutanix)\n"
+        "  replay <file>              replay a trace file\n"
+        "  quit\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+    ycsb::FixtureOptions fx;
+    fx.num_ssds = 2;
+    fx.ssd_bytes = 1ull << 30;
+    fx.dataset_bytes = 128ull << 20;
+    fx.model_timing = true;
+    ycsb::PrismStore store(fx, core::PrismOptions{});
+    std::printf("prism_cli: store open on 1 NVM region + %d simulated "
+                "SSDs. Type 'help'.\n",
+                fx.num_ssds);
+
+    std::string line;
+    while (true) {
+        std::printf("prism> ");
+        std::fflush(stdout);
+        if (!std::getline(std::cin, line))
+            break;
+        std::istringstream in(line);
+        std::string cmd;
+        in >> cmd;
+        if (cmd.empty())
+            continue;
+
+        if (cmd == "quit" || cmd == "exit")
+            break;
+        if (cmd == "help") {
+            help();
+        } else if (cmd == "put") {
+            uint64_t key;
+            std::string value;
+            if (!(in >> key) || !(in >> value)) {
+                std::printf("usage: put <key> <value>\n");
+                continue;
+            }
+            std::printf("%s\n", store.put(key, value).toString().c_str());
+        } else if (cmd == "get") {
+            uint64_t key;
+            if (!(in >> key)) {
+                std::printf("usage: get <key>\n");
+                continue;
+            }
+            std::string value;
+            const Status st = store.get(key, &value);
+            std::printf("%s\n", st.isOk() ? value.c_str()
+                                          : st.toString().c_str());
+        } else if (cmd == "del") {
+            uint64_t key;
+            if (!(in >> key)) {
+                std::printf("usage: del <key>\n");
+                continue;
+            }
+            std::printf("%s\n", store.del(key).toString().c_str());
+        } else if (cmd == "scan") {
+            uint64_t key;
+            size_t count;
+            if (!(in >> key >> count)) {
+                std::printf("usage: scan <key> <count>\n");
+                continue;
+            }
+            std::vector<std::pair<uint64_t, std::string>> out;
+            const Status st = store.scan(key, count, &out);
+            if (!st.isOk()) {
+                std::printf("%s\n", st.toString().c_str());
+                continue;
+            }
+            for (const auto &[k, v] : out) {
+                std::printf("%llu = %.40s%s\n",
+                            static_cast<unsigned long long>(k), v.c_str(),
+                            v.size() > 40 ? "..." : "");
+            }
+        } else if (cmd == "fill") {
+            uint64_t n;
+            uint32_t bytes = 256;
+            if (!(in >> n)) {
+                std::printf("usage: fill <n> [bytes]\n");
+                continue;
+            }
+            in >> bytes;
+            std::string value;
+            for (uint64_t i = 0; i < n; i++) {
+                const uint64_t key = ycsb::OpGenerator::keyOf(i);
+                ycsb::OpGenerator::fillValue(key, bytes, &value);
+                store.put(key, value);
+            }
+            std::printf("inserted %llu keys of %uB\n",
+                        static_cast<unsigned long long>(n), bytes);
+        } else if (cmd == "flush") {
+            store.flushAll();
+            std::printf("OK\n");
+        } else if (cmd == "gc") {
+            store.db().forceGc();
+            std::printf("OK\n");
+        } else if (cmd == "stats") {
+            printStats(store);
+        } else if (cmd == "tracegen") {
+            std::string mix, file;
+            uint64_t n;
+            if (!(in >> mix >> n >> file)) {
+                std::printf("usage: tracegen <mix> <n> <file>\n");
+                continue;
+            }
+            ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::forMix(
+                mixByName(mix), std::max<uint64_t>(store.db().size(), 1),
+                n);
+            spec.value_bytes = 256;
+            const uint64_t written = ycsb::generateTrace(spec, 1, file);
+            std::printf("wrote %llu records to %s\n",
+                        static_cast<unsigned long long>(written),
+                        file.c_str());
+        } else if (cmd == "replay") {
+            std::string file;
+            if (!(in >> file)) {
+                std::printf("usage: replay <file>\n");
+                continue;
+            }
+            const ycsb::RunResult r = ycsb::replayTrace(store, file, 4);
+            std::printf("replayed %llu ops at %.1f Kops/s (%s)\n",
+                        static_cast<unsigned long long>(r.ops),
+                        r.throughput() / 1e3,
+                        r.overall.summaryUs().c_str());
+        } else {
+            std::printf("unknown command '%s' (try 'help')\n",
+                        cmd.c_str());
+        }
+    }
+    return 0;
+}

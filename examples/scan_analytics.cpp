@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Example: time-series analytics over key ranges — exercises the
+ * Scan-aware Value Cache and its eviction-time reorganisation (§4.4).
+ *
+ * Events are keyed by (series << 32 | timestamp), so one series is one
+ * contiguous key range. An analyst repeatedly scans a few hot series;
+ * after values spill to Value Storage, repeated scans first populate
+ * the SVC, then eviction rewrites each scanned range into a contiguous
+ * chunk, collapsing future scans into single sequential reads.
+ */
+#include <cstdio>
+
+#include "common/rand.h"
+#include "core/prism_db.h"
+#include "sim/device_profile.h"
+
+using namespace prism;
+
+namespace {
+
+uint64_t
+eventKey(uint32_t series, uint32_t ts)
+{
+    return (static_cast<uint64_t>(series) << 32) | ts;
+}
+
+}  // namespace
+
+int
+main()
+{
+    auto nvm = std::make_shared<sim::NvmDevice>(512ull << 20);
+    auto region = std::make_shared<pmem::PmemRegion>(nvm, true);
+    std::vector<std::shared_ptr<sim::SsdDevice>> ssds = {
+        std::make_shared<sim::SsdDevice>(2ull << 30),
+        std::make_shared<sim::SsdDevice>(2ull << 30),
+    };
+    core::PrismOptions opts;
+    opts.svc_capacity_bytes = 2ull << 20;  // small cache: evictions happen
+    auto db = core::PrismDb::open(opts, region, ssds);
+
+    // Ingest: 64 series x 2000 events each, interleaved by time (as a
+    // collector would), so on-SSD layout has no per-series locality.
+    constexpr uint32_t kSeries = 64;
+    constexpr uint32_t kEvents = 2000;
+    std::string payload(512, 'e');
+    for (uint32_t ts = 0; ts < kEvents; ts++) {
+        for (uint32_t s = 0; s < kSeries; s++)
+            db->put(eventKey(s, ts), payload);
+    }
+    db->flushAll();  // push everything to Value Storage
+
+    // Analytics: repeatedly scan windows of a few hot series.
+    Xorshift rng(17);
+    std::vector<std::pair<uint64_t, std::string>> window;
+    uint64_t values_read = 0;
+    const uint64_t ssd_reads_before =
+        db->stats().vs_reads.load(std::memory_order_relaxed);
+    for (int query = 0; query < 400; query++) {
+        const uint32_t series = static_cast<uint32_t>(
+            rng.nextUniform(4));  // 4 hot series out of 64
+        const uint32_t start_ts = static_cast<uint32_t>(
+            rng.nextUniform(kEvents - 100));
+        db->scan(eventKey(series, start_ts), 100, &window);
+        values_read += window.size();
+    }
+
+    const auto &svc = db->svcStats();
+    std::printf("scanned %llu values over 400 range queries\n",
+                static_cast<unsigned long long>(values_read));
+    std::printf("SVC: %llu hits, %llu admissions, %llu evictions\n",
+                static_cast<unsigned long long>(svc.hits.load()),
+                static_cast<unsigned long long>(svc.admissions.load()),
+                static_cast<unsigned long long>(svc.evictions.load()));
+    std::printf("scan-aware reorganisations: %llu (rewrote %llu values "
+                "contiguously)\n",
+                static_cast<unsigned long long>(svc.scan_reorgs.load()),
+                static_cast<unsigned long long>(
+                    svc.reorged_values.load()));
+    std::printf("SSD value reads: %llu\n",
+                static_cast<unsigned long long>(
+                    db->stats().vs_reads.load() - ssd_reads_before));
+    return 0;
+}

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Runs every bench binary sequentially, echoing a banner per binary.
+cd /root/repo
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo ""
+  echo "##### $(basename $b) #####"
+  timeout 1800 "$b" 2>&1
+  echo "##### exit=$? #####"
+done

@@ -1,0 +1,90 @@
+#include "common/clock.h"
+
+#include <atomic>
+#include <ctime>
+#include <thread>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace prism {
+
+uint64_t
+nowNs()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+}
+
+namespace {
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__)
+    _mm_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace
+
+void
+spinFor(uint64_t ns)
+{
+    if (ns == 0)
+        return;
+    const uint64_t deadline = nowNs() + ns;
+    while (nowNs() < deadline)
+        cpuRelax();
+}
+
+void
+delayFor(uint64_t ns)
+{
+    if (ns == 0)
+        return;
+    // Sleeping is only worthwhile when the delay comfortably exceeds the
+    // scheduler wakeup granularity; below that, spin for accuracy.
+    constexpr uint64_t kSleepThresholdNs = 50 * 1000;
+    if (ns >= kSleepThresholdNs) {
+        const uint64_t deadline = nowNs() + ns;
+        // Sleep for all but the final slice, then spin to the deadline.
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(ns - kSleepThresholdNs / 2));
+        uint64_t now = nowNs();
+        if (now < deadline)
+            spinFor(deadline - now);
+    } else {
+        spinFor(ns);
+    }
+}
+
+namespace {
+std::atomic<double> g_time_scale{1.0};
+}  // namespace
+
+double
+TimeScale::get()
+{
+    return g_time_scale.load(std::memory_order_relaxed);
+}
+
+void
+TimeScale::set(double scale)
+{
+    g_time_scale.store(scale, std::memory_order_relaxed);
+}
+
+uint64_t
+TimeScale::scaled(uint64_t ns)
+{
+    return static_cast<uint64_t>(
+        static_cast<double>(ns) * g_time_scale.load(std::memory_order_relaxed));
+}
+
+}  // namespace prism

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Monotonic clock helpers and calibrated busy-wait primitives.
+ *
+ * The storage simulator models device latency in real time. Sub-microsecond
+ * delays (NVM accesses) cannot be modelled with nanosleep — the syscall
+ * overhead dwarfs them — so we busy-spin using a pause-loop calibrated at
+ * startup. Longer delays (SSD accesses) combine sleeping and spinning.
+ *
+ * A process-wide TimeScale lets benchmarks compress simulated device time
+ * (all device latencies multiply by the same factor, preserving ratios).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace prism {
+
+/** @return monotonic wall-clock time in nanoseconds. */
+uint64_t nowNs();
+
+/** @return monotonic wall-clock time in microseconds. */
+inline uint64_t nowUs() { return nowNs() / 1000; }
+
+/**
+ * Busy-wait (pause loop) for the given number of nanoseconds. Suitable for
+ * delays under ~20 us; accurate to roughly the TSC read overhead.
+ */
+void spinFor(uint64_t ns);
+
+/**
+ * Block the calling thread for @p ns nanoseconds, choosing between a spin
+ * (short delays) and a sleep+spin combination (long delays).
+ */
+void delayFor(uint64_t ns);
+
+/**
+ * Process-wide multiplier applied to simulated device latencies.
+ * 1.0 reproduces the Figure-1 device profile in real time; smaller values
+ * compress time for faster benchmark runs without changing device ratios.
+ */
+class TimeScale {
+  public:
+    static double get();
+    static void set(double scale);
+
+    /** Apply the scale to a nominal device latency. */
+    static uint64_t scaled(uint64_t ns);
+};
+
+}  // namespace prism

@@ -1,0 +1,66 @@
+#include "common/crc32.h"
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace prism {
+
+namespace detail {
+
+namespace {
+
+/** CRC32C polynomial (reflected). */
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Table {
+    uint32_t entries[256];
+
+    constexpr Table() : entries()
+    {
+        for (uint32_t i = 0; i < 256; i++) {
+            uint32_t crc = i;
+            for (int bit = 0; bit < 8; bit++)
+                crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+            entries[i] = crc;
+        }
+    }
+};
+constexpr Table kTable;
+
+}  // namespace
+
+uint32_t
+crc32cSw(uint32_t crc, const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    while (len-- > 0)
+        crc = (crc >> 8) ^ kTable.entries[(crc ^ *p++) & 0xFF];
+    return ~crc;
+}
+
+}  // namespace detail
+
+uint32_t
+crc32c(uint32_t crc, const void *data, size_t len)
+{
+#if defined(__SSE4_2__)
+    const auto *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    while (len >= 8) {
+        uint64_t chunk;
+        __builtin_memcpy(&chunk, p, 8);
+        crc = static_cast<uint32_t>(_mm_crc32_u64(crc, chunk));
+        p += 8;
+        len -= 8;
+    }
+    while (len-- > 0)
+        crc = _mm_crc32_u8(crc, *p++);
+    return ~crc;
+#else
+    return detail::crc32cSw(crc, data, len);
+#endif
+}
+
+}  // namespace prism

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Epoch-based memory reclamation (EBR).
+ *
+ * Prism uses EBR in two places the paper calls out (§5.4): safely freeing
+ * SVC entries after eviction while readers may still hold references, and
+ * reclaiming deleted HSIT entries. An object retired in epoch E is freed
+ * only after the global epoch has advanced by two — the first advance
+ * guarantees no *new* reader can find the object, the second that every
+ * reader from the retiring epoch has finished.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace prism {
+
+/**
+ * A process-wide epoch domain. Threads wrap store operations in
+ * EpochGuard; background reclaimers call retire() and advance().
+ */
+class EpochManager {
+  public:
+    static constexpr int kMaxThreads = 256;
+    /** Sentinel local epoch meaning "not inside a critical section". */
+    static constexpr uint64_t kQuiescent = UINT64_MAX;
+
+    EpochManager();
+    ~EpochManager();
+
+    EpochManager(const EpochManager &) = delete;
+    EpochManager &operator=(const EpochManager &) = delete;
+
+    /** Enter a read-side critical section; returns the slot used. */
+    int enter();
+
+    /** Leave the critical section for @p slot. */
+    void exit(int slot);
+
+    /**
+     * Schedule @p deleter to run once two epochs have passed.
+     * Thread-safe; may be called inside or outside a critical section.
+     */
+    void retire(std::function<void()> deleter);
+
+    /**
+     * Try to advance the global epoch and run deleters that have become
+     * safe. Called by background threads; cheap when readers are active.
+     *
+     * @return number of deleters executed.
+     */
+    size_t tryAdvance();
+
+    /** Block until everything retired so far has been reclaimed. */
+    void drain();
+
+    uint64_t globalEpoch() const {
+        return global_epoch_.load(std::memory_order_acquire);
+    }
+
+    /** Number of retired-but-not-yet-freed objects (for tests). */
+    size_t pendingCount() const;
+
+    /** Internal: give a slot back when its owning thread exits. */
+    void releaseSlotAtThreadExit(int slot);
+
+  private:
+    /** Max EpochManager instances alive at once (slots are recycled). */
+    static constexpr int kMaxManagers = 64;
+
+    struct alignas(64) Slot {
+        std::atomic<uint64_t> local_epoch{kQuiescent};
+        std::atomic<bool> in_use{false};
+    };
+
+    struct Retired {
+        std::function<void()> deleter;
+        uint64_t epoch;
+    };
+
+    int acquireSlot();
+
+    std::atomic<uint64_t> global_epoch_{2};
+    std::vector<Slot> slots_;
+    int manager_id_;
+    uint64_t generation_ = 0;
+
+    mutable std::mutex retired_mu_;
+    std::vector<Retired> retired_;
+};
+
+/** RAII guard for an epoch critical section. */
+class EpochGuard {
+  public:
+    explicit EpochGuard(EpochManager &mgr) : mgr_(mgr), slot_(mgr.enter()) {}
+    ~EpochGuard() { mgr_.exit(slot_); }
+
+    EpochGuard(const EpochGuard &) = delete;
+    EpochGuard &operator=(const EpochGuard &) = delete;
+
+  private:
+    EpochManager &mgr_;
+    int slot_;
+};
+
+}  // namespace prism

@@ -1,0 +1,115 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace prism {
+
+Histogram::Histogram()
+    : buckets_(static_cast<size_t>(kOctaves) * kSubBuckets, 0),
+      count_(0), sum_(0), min_(UINT64_MAX), max_(0)
+{
+}
+
+int
+Histogram::bucketFor(uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<int>(value);
+    const int msb = 63 - std::countl_zero(value);
+    const int octave = msb - kSubBucketBits + 1;
+    const int sub = static_cast<int>(
+        (value >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+    return octave * kSubBuckets + sub;
+}
+
+uint64_t
+Histogram::bucketUpperBound(int index)
+{
+    const int octave = index / kSubBuckets;
+    const int sub = index % kSubBuckets;
+    if (octave == 0)
+        return static_cast<uint64_t>(sub);
+    const int msb = octave + kSubBucketBits - 1;
+    const uint64_t base = (1ull << msb) | (static_cast<uint64_t>(sub)
+                                           << (msb - kSubBucketBits));
+    // Upper edge of the linear sub-bucket.
+    return base + (1ull << (msb - kSubBucketBits)) - 1;
+}
+
+void
+Histogram::record(uint64_t value)
+{
+    const int idx = bucketFor(value);
+    PRISM_DCHECK(idx < static_cast<int>(buckets_.size()));
+    buckets_[static_cast<size_t>(idx)]++;
+    count_++;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (size_t i = 0; i < buckets_.size(); i++)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+uint64_t
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<uint64_t>(
+        q * static_cast<double>(count_ - 1)) + 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); i++) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return std::min(bucketUpperBound(static_cast<int>(i)), max_);
+    }
+    return max_;
+}
+
+std::string
+Histogram::summaryUs() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "avg=%.1fus p50=%.1fus p99=%.1fus max=%.1fus n=%llu",
+                  mean() / 1e3,
+                  static_cast<double>(percentile(0.5)) / 1e3,
+                  static_cast<double>(percentile(0.99)) / 1e3,
+                  static_cast<double>(max()) / 1e3,
+                  static_cast<unsigned long long>(count_));
+    return buf;
+}
+
+}  // namespace prism

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal logging and invariant-checking helpers.
+ *
+ * Follows the gem5 split between "this is a bug in Prism" (PRISM_CHECK /
+ * panic-style, aborts) and "the user asked for something impossible"
+ * (prism::fatal, exits with an error).
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prism {
+
+/** Print an error caused by invalid user input / configuration and exit. */
+[[noreturn]] inline void
+fatal(const char *fmt, auto... args)
+{
+    std::fprintf(stderr, "fatal: ");
+    if constexpr (sizeof...(args) == 0) {
+        std::fprintf(stderr, "%s", fmt);
+    } else {
+        std::fprintf(stderr, fmt, args...);
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+namespace detail {
+
+[[noreturn]] inline void
+checkFailed(const char *expr, const char *file, int line)
+{
+    std::fprintf(stderr, "PRISM_CHECK failed: %s at %s:%d\n",
+                 expr, file, line);
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace prism
+
+/**
+ * Invariant check that stays enabled in release builds. Use for conditions
+ * that indicate a Prism bug; violating them would corrupt user data.
+ */
+#define PRISM_CHECK(expr)                                                  \
+    do {                                                                   \
+        if (!(expr)) {                                                     \
+            ::prism::detail::checkFailed(#expr, __FILE__, __LINE__);       \
+        }                                                                  \
+    } while (0)
+
+/** Debug-only check for hot paths. */
+#ifdef NDEBUG
+#define PRISM_DCHECK(expr) do { } while (0)
+#else
+#define PRISM_DCHECK(expr) PRISM_CHECK(expr)
+#endif

@@ -1,0 +1,118 @@
+#include "common/rand.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace prism {
+
+uint64_t
+hash64(uint64_t x)
+{
+    // splitmix64 finalizer.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+Xorshift::Xorshift(uint64_t seed)
+{
+    // Seed both lanes through splitmix so that seed=0 is fine too.
+    s0_ = hash64(seed);
+    s1_ = hash64(s0_);
+    if (s0_ == 0 && s1_ == 0)
+        s1_ = 1;
+}
+
+uint64_t
+Xorshift::next()
+{
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+}
+
+uint64_t
+Xorshift::nextUniform(uint64_t bound)
+{
+    PRISM_DCHECK(bound != 0);
+    // Lemire's multiply-shift range reduction (bias negligible for our use).
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+}
+
+double
+Xorshift::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+ZipfianGenerator::zeta(uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n; i++)
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed)
+{
+    PRISM_CHECK(n > 0);
+    zeta2theta_ = zeta(2, theta);
+    zetan_ = zeta(n, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t
+ZipfianGenerator::next()
+{
+    const double u = rng_.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+ScrambledZipfian::ScrambledZipfian(uint64_t n, double theta, uint64_t seed)
+    : zipf_(n, theta, seed), n_(n)
+{
+}
+
+uint64_t
+ScrambledZipfian::next()
+{
+    return hash64(zipf_.next()) % n_;
+}
+
+LatestGenerator::LatestGenerator(uint64_t initial_count, double theta,
+                                 uint64_t seed)
+    : count_(initial_count), zipf_(initial_count, theta, seed)
+{
+    PRISM_CHECK(initial_count > 0);
+}
+
+uint64_t
+LatestGenerator::next()
+{
+    // Zipfian over recency: rank 0 maps to the newest item. The underlying
+    // generator was sized for the initial count; clamp ranks to the current
+    // window, which keeps the hot set on the most recent insertions.
+    uint64_t rank = zipf_.next();
+    if (rank >= count_)
+        rank = count_ - 1;
+    return count_ - 1 - rank;
+}
+
+}  // namespace prism

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Pseudo-random generators used by workload generation and the stores.
+ *
+ * Includes the YCSB request distributions: uniform, Zipfian (Gray et al.'s
+ * rejection-free incremental method, as used by the YCSB reference
+ * implementation), scrambled Zipfian (hashes the rank so that hot keys are
+ * spread over the key space), and "latest" (Workload D).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace prism {
+
+/** xorshift128+ generator: fast, decent quality, per-thread friendly. */
+class Xorshift {
+  public:
+    explicit Xorshift(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return next raw 64-bit value. */
+    uint64_t next();
+
+    /** @return uniform value in [0, bound). @p bound must be non-zero. */
+    uint64_t nextUniform(uint64_t bound);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+  private:
+    uint64_t s0_, s1_;
+};
+
+/** Stateless 64-bit finalizer (splitmix64) used for key scrambling. */
+uint64_t hash64(uint64_t x);
+
+/**
+ * Zipfian distribution over ranks [0, n). Rank 0 is the most popular item.
+ *
+ * Uses the closed-form incremental method from the YCSB generator, which
+ * supports growing @p n without recomputing the full harmonic sum.
+ */
+class ZipfianGenerator {
+  public:
+    /**
+     * @param n     number of items.
+     * @param theta Zipfian constant (YCSB default 0.99).
+     * @param seed  RNG seed.
+     */
+    ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 1);
+
+    /** @return a rank in [0, n) with Zipfian popularity. */
+    uint64_t next();
+
+    uint64_t itemCount() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    static double zeta(uint64_t n, double theta);
+
+    uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    double zeta2theta_;
+    Xorshift rng_;
+};
+
+/**
+ * Scrambled Zipfian: Zipfian ranks hashed over the item space so that the
+ * popular items are scattered, matching YCSB's ScrambledZipfianGenerator.
+ */
+class ScrambledZipfian {
+  public:
+    ScrambledZipfian(uint64_t n, double theta, uint64_t seed = 1);
+
+    /** @return an item index in [0, n). */
+    uint64_t next();
+
+  private:
+    ZipfianGenerator zipf_;
+    uint64_t n_;
+};
+
+/**
+ * "Latest" distribution (YCSB Workload D): most requests target recently
+ * inserted items. Implemented as Zipfian over recency.
+ */
+class LatestGenerator {
+  public:
+    LatestGenerator(uint64_t initial_count, double theta, uint64_t seed = 1);
+
+    /** Note that a new item was inserted (grows the window). */
+    void advance() { ++count_; }
+
+    /** @return item index in [0, count), biased towards count-1. */
+    uint64_t next();
+
+  private:
+    uint64_t count_;
+    ZipfianGenerator zipf_;
+};
+
+}  // namespace prism

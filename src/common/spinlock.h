@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small spin locks for short critical sections in simulated devices and
+ * store internals. Satisfies the Lockable named requirement so it works
+ * with std::lock_guard / std::unique_lock.
+ */
+#pragma once
+
+#include <atomic>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace prism {
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__)
+    _mm_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/** Test-and-test-and-set spin lock. */
+class SpinLock {
+  public:
+    void
+    lock()
+    {
+        while (true) {
+            if (!locked_.exchange(true, std::memory_order_acquire))
+                return;
+            while (locked_.load(std::memory_order_relaxed))
+                cpuRelax();
+        }
+    }
+
+    bool try_lock() { // NOLINT: std Lockable spelling
+        return !locked_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() { locked_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> locked_{false};
+};
+
+/** FIFO ticket lock — fair under contention, used for chunk allocation. */
+class TicketLock {
+  public:
+    void
+    lock()
+    {
+        const uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+        while (serving_.load(std::memory_order_acquire) != my)
+            cpuRelax();
+    }
+
+    void
+    unlock()
+    {
+        serving_.fetch_add(1, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<uint32_t> next_{0};
+    std::atomic<uint32_t> serving_{0};
+};
+
+}  // namespace prism

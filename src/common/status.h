@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Lightweight status / error-code type used across the Prism code base.
+ *
+ * We deliberately avoid exceptions on hot paths (reads and writes in a
+ * key-value store are latency critical); operations report success or a
+ * small closed set of failure categories through Status.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace prism {
+
+/** Closed set of error categories a store operation can produce. */
+enum class StatusCode {
+    kOk = 0,
+    kNotFound,       ///< Key does not exist (or was deleted).
+    kAlreadyExists,  ///< Insert of a key that is already present.
+    kOutOfSpace,     ///< Device/buffer capacity exhausted.
+    kIoError,        ///< Simulated device reported a failure.
+    kCorruption,     ///< Consistency check failed (bad coupling, CRC, ...).
+    kInvalidArgument,
+    kAborted,        ///< Operation lost a race and should be retried.
+    kNotSupported,
+};
+
+/** Result of an operation: a code plus an optional human-readable detail. */
+class Status {
+  public:
+    Status() : code_(StatusCode::kOk) {}
+    explicit Status(StatusCode code, std::string msg = {})
+        : code_(code), msg_(std::move(msg)) {}
+
+    static Status ok() { return Status(); }
+    static Status notFound(std::string m = {}) {
+        return Status(StatusCode::kNotFound, std::move(m));
+    }
+    static Status alreadyExists(std::string m = {}) {
+        return Status(StatusCode::kAlreadyExists, std::move(m));
+    }
+    static Status outOfSpace(std::string m = {}) {
+        return Status(StatusCode::kOutOfSpace, std::move(m));
+    }
+    static Status ioError(std::string m = {}) {
+        return Status(StatusCode::kIoError, std::move(m));
+    }
+    static Status corruption(std::string m = {}) {
+        return Status(StatusCode::kCorruption, std::move(m));
+    }
+    static Status invalidArgument(std::string m = {}) {
+        return Status(StatusCode::kInvalidArgument, std::move(m));
+    }
+    static Status aborted(std::string m = {}) {
+        return Status(StatusCode::kAborted, std::move(m));
+    }
+    static Status notSupported(std::string m = {}) {
+        return Status(StatusCode::kNotSupported, std::move(m));
+    }
+
+    bool isOk() const { return code_ == StatusCode::kOk; }
+    bool isNotFound() const { return code_ == StatusCode::kNotFound; }
+    StatusCode code() const { return code_; }
+    std::string_view message() const { return msg_; }
+
+    /** Render as "CODE: message" for logs and test failure output. */
+    std::string toString() const {
+        std::string s = codeName(code_);
+        if (!msg_.empty()) {
+            s += ": ";
+            s += msg_;
+        }
+        return s;
+    }
+
+    static const char *codeName(StatusCode c) {
+        switch (c) {
+          case StatusCode::kOk: return "OK";
+          case StatusCode::kNotFound: return "NOT_FOUND";
+          case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+          case StatusCode::kOutOfSpace: return "OUT_OF_SPACE";
+          case StatusCode::kIoError: return "IO_ERROR";
+          case StatusCode::kCorruption: return "CORRUPTION";
+          case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+          case StatusCode::kAborted: return "ABORTED";
+          case StatusCode::kNotSupported: return "NOT_SUPPORTED";
+        }
+        return "UNKNOWN";
+    }
+
+  private:
+    StatusCode code_;
+    std::string msg_;
+};
+
+}  // namespace prism

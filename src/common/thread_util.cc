@@ -1,0 +1,75 @@
+#include "common/thread_util.h"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include <pthread.h>
+#include <sched.h>
+
+#include "common/logging.h"
+
+namespace prism {
+
+namespace {
+
+std::atomic<int> g_next_thread_id{0};
+std::mutex g_free_ids_mu;
+std::vector<int> g_free_ids;
+
+// Returning the id at thread exit lets long-running processes (the
+// bench binaries create driver threads per phase) stay within the
+// dense-id budget; per-id state such as a thread's PWB is simply
+// adopted by the next thread that receives the id, which the design
+// already supports (recovery reuses PWB slots the same way).
+struct IdHolder {
+    int id = -1;
+
+    ~IdHolder()
+    {
+        if (id >= 0) {
+            std::lock_guard<std::mutex> lock(g_free_ids_mu);
+            g_free_ids.push_back(id);
+        }
+    }
+};
+thread_local IdHolder tls_thread_id;
+
+}  // namespace
+
+int
+ThreadId::self()
+{
+    if (tls_thread_id.id < 0) {
+        {
+            std::lock_guard<std::mutex> lock(g_free_ids_mu);
+            if (!g_free_ids.empty()) {
+                tls_thread_id.id = g_free_ids.back();
+                g_free_ids.pop_back();
+                return tls_thread_id.id;
+            }
+        }
+        tls_thread_id.id =
+            g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+        PRISM_CHECK(tls_thread_id.id < kMaxThreads);
+    }
+    return tls_thread_id.id;
+}
+
+int
+ThreadId::count()
+{
+    return g_next_thread_id.load(std::memory_order_relaxed);
+}
+
+void
+pinThreadToCpu(int cpu)
+{
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    // Best effort only: sandboxes and small machines may reject affinity.
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
+}  // namespace prism

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Thread identity and affinity helpers.
+ *
+ * Prism keys several structures by thread (per-thread PWB, per-thread
+ * latency histograms); ThreadId hands out small dense ids for indexing
+ * those arrays without hashing.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace prism {
+
+/** Dense per-thread ids, assigned on first use, never reused. */
+class ThreadId {
+  public:
+    static constexpr int kMaxThreads = 256;
+
+    /** @return this thread's dense id in [0, kMaxThreads). */
+    static int self();
+
+    /** @return number of ids handed out so far. */
+    static int count();
+};
+
+/** Pin the calling thread to @p cpu; no-op if pinning fails (CI/sandbox). */
+void pinThreadToCpu(int cpu);
+
+}  // namespace prism

@@ -1,0 +1,52 @@
+#include "common/token_bucket.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace prism {
+
+TokenBucket::TokenBucket(double bytes_per_sec, uint64_t burst_bytes)
+    : bytes_per_ns_(bytes_per_sec / 1e9),
+      available_(static_cast<double>(burst_bytes)),
+      burst_(static_cast<double>(burst_bytes)),
+      last_refill_ns_(nowNs())
+{
+    PRISM_CHECK(bytes_per_sec > 0);
+    PRISM_CHECK(burst_bytes > 0);
+}
+
+uint64_t
+TokenBucket::acquire(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t now = nowNs();
+    available_ = std::min(
+        burst_,
+        available_ + static_cast<double>(now - last_refill_ns_) *
+                         bytes_per_ns_);
+    last_refill_ns_ = now;
+    available_ -= static_cast<double>(bytes);
+    if (available_ >= 0)
+        return 0;
+    // The deficit is repaid by future refill; the caller waits it out.
+    return static_cast<uint64_t>(-available_ / bytes_per_ns_);
+}
+
+void
+TokenBucket::setRate(double bytes_per_sec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PRISM_CHECK(bytes_per_sec > 0);
+    bytes_per_ns_ = bytes_per_sec / 1e9;
+}
+
+double
+TokenBucket::rate() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_per_ns_ * 1e9;
+}
+
+}  // namespace prism

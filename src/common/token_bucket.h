@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Token-bucket rate limiter used to model device bandwidth.
+ *
+ * An SSD with B bytes/s of bandwidth is modelled by charging each transfer
+ * size/B seconds of "device time". The bucket accumulates capacity at the
+ * configured rate; a transfer blocks (in the caller's thread) until its
+ * tokens are available, which naturally produces queueing delay when the
+ * offered load exceeds the device bandwidth — the effect behind the
+ * batching-vs-latency tradeoff in §4.2 of the paper.
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace prism {
+
+/** Thread-safe token bucket; tokens are bytes, refill rate is bytes/s. */
+class TokenBucket {
+  public:
+    /**
+     * @param bytes_per_sec refill rate (device bandwidth).
+     * @param burst_bytes   bucket capacity (max burst).
+     */
+    TokenBucket(double bytes_per_sec, uint64_t burst_bytes);
+
+    /**
+     * Reserve @p bytes of capacity.
+     *
+     * @return the number of nanoseconds the caller must delay so that the
+     *         transfer finishes no earlier than the modelled device would
+     *         allow (0 when bandwidth is not saturated). The caller — not
+     *         the bucket — performs the delay so completion threads can
+     *         overlap it with other work.
+     */
+    uint64_t acquire(uint64_t bytes);
+
+    /** Change the refill rate (used by time-scale changes). */
+    void setRate(double bytes_per_sec);
+
+    double rate() const;
+
+  private:
+    mutable std::mutex mu_;
+    double bytes_per_ns_;
+    double available_;       ///< tokens currently in the bucket
+    double burst_;           ///< bucket capacity
+    uint64_t last_refill_ns_;
+};
+
+}  // namespace prism

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Minimal futex-style completion flag built on C++20 atomic wait.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace prism {
+
+/** One-shot (or small-state-machine) completion signal. */
+struct Waiter {
+    std::atomic<uint32_t> state{0};
+
+    void
+    signal(uint32_t v = 1)
+    {
+        state.store(v, std::memory_order_release);
+        state.notify_all();
+    }
+
+    /** Block until the state becomes non-zero; returns it. */
+    uint32_t
+    wait()
+    {
+        uint32_t v;
+        while ((v = state.load(std::memory_order_acquire)) == 0)
+            state.wait(0, std::memory_order_acquire);
+        return v;
+    }
+};
+
+}  // namespace prism

@@ -1,0 +1,16 @@
+#include "core/addr.h"
+
+#include "common/crc32.h"
+
+namespace prism::core {
+
+uint32_t
+recordCrc(const ValueRecordHeader &hdr, const void *payload)
+{
+    uint32_t crc = crc32c(&hdr.backward, sizeof(hdr.backward));
+    crc = crc32c(crc, &hdr.key, sizeof(hdr.key));
+    crc = crc32c(crc, &hdr.value_size, sizeof(hdr.value_size));
+    return crc32c(crc, payload, hdr.value_size);
+}
+
+}  // namespace prism::core

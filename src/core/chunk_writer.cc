@@ -1,0 +1,151 @@
+#include "core/chunk_writer.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace prism::core {
+
+ChunkWriter::ChunkWriter(std::vector<ValueStorage *> targets, uint64_t seed)
+    : targets_(std::move(targets)), rng_(seed),
+      chunk_bytes_(targets_.empty() ? 0 : targets_[0]->chunkBytes())
+{
+    PRISM_CHECK(!targets_.empty());
+}
+
+ChunkWriter::~ChunkWriter()
+{
+    // A writer abandoned before finish() must still drain its I/O so the
+    // tickets' waiters are not dangling.
+    if (!finished_)
+        (void)finish();
+}
+
+bool
+ChunkWriter::openChunk()
+{
+    // Prefer an idle Value Storage (no in-flight requests), falling back
+    // to a random one — §5.2's load-spreading policy across SSDs.
+    ValueStorage *pick = nullptr;
+    const size_t start = rng_.nextUniform(targets_.size());
+    for (size_t i = 0; i < targets_.size(); i++) {
+        ValueStorage *vs = targets_[(start + i) % targets_.size()];
+        if (vs->device().isIdle()) {
+            pick = vs;
+            break;
+        }
+    }
+    if (pick == nullptr)
+        pick = targets_[start];
+
+    int64_t chunk = pick->allocChunk();
+    if (chunk < 0) {
+        // The preferred target is full; try the others.
+        for (ValueStorage *vs : targets_) {
+            chunk = vs->allocChunk();
+            if (chunk >= 0) {
+                pick = vs;
+                break;
+            }
+        }
+    }
+    if (chunk < 0)
+        return false;
+
+    cur_vs_ = pick;
+    cur_chunk_ = chunk;
+    cur_used_ = 0;
+    if (!cur_buf_)
+        cur_buf_.reset(new uint8_t[chunk_bytes_]);
+    return true;
+}
+
+ValueAddr
+ChunkWriter::add(uint64_t hsit_idx, uint64_t key, const void *data,
+                 uint32_t size)
+{
+    PRISM_CHECK(!finished_);
+    const uint64_t bytes = recordBytes(size);
+    PRISM_CHECK(bytes <= chunk_bytes_);
+    if (cur_vs_ != nullptr && cur_used_ + bytes > chunk_bytes_) {
+        const Status st = submitCurrent();
+        PRISM_CHECK(st.isOk());
+    }
+    if (cur_vs_ == nullptr && !openChunk())
+        return ValueAddr();
+
+    auto *hdr = reinterpret_cast<ValueRecordHeader *>(
+        cur_buf_.get() + cur_used_);
+    hdr->backward = hsit_idx;
+    hdr->key = key;
+    hdr->value_size = size;
+    hdr->flags = 0;
+    hdr->reserved = 0;
+    std::memcpy(hdr + 1, data, size);
+    hdr->crc = recordCrc(*hdr, hdr + 1);
+    // Zero the alignment tail so a partial-chunk parse stops cleanly.
+    const uint64_t tail = bytes - sizeof(ValueRecordHeader) - size;
+    if (tail > 0)
+        std::memset(reinterpret_cast<uint8_t *>(hdr + 1) + size, 0, tail);
+
+    const uint64_t dev_off =
+        static_cast<uint64_t>(cur_chunk_) * chunk_bytes_ + cur_used_;
+    cur_used_ += static_cast<uint32_t>(bytes);
+    return ValueAddr::vs(cur_vs_->ssdId(), dev_off, bytes);
+}
+
+Status
+ChunkWriter::submitCurrent()
+{
+    if (cur_vs_ == nullptr)
+        return Status::ok();
+    InFlight f;
+    f.vs = cur_vs_;
+    f.chunk = cur_chunk_;
+    f.used = cur_used_;
+    f.buf = std::move(cur_buf_);
+    f.ticket = std::make_unique<WriteTicket>();
+    const Status st =
+        f.vs->submitChunkWrite(f.chunk, f.buf.get(), f.used, f.ticket.get());
+    if (!st.isOk())
+        return st;
+    f.vs->sealChunk(f.chunk, f.used);
+    submitted_.push_back(std::move(f));
+    cur_vs_ = nullptr;
+    cur_chunk_ = -1;
+    cur_used_ = 0;
+    return Status::ok();
+}
+
+Status
+ChunkWriter::finish()
+{
+    if (finished_)
+        return Status::ok();
+    finished_ = true;
+    if (cur_vs_ != nullptr && cur_used_ > 0) {
+        // finished_ guard above lets submitCurrent run normally.
+        finished_ = false;
+        const Status st = submitCurrent();
+        finished_ = true;
+        if (!st.isOk())
+            return st;
+    } else if (cur_vs_ != nullptr) {
+        // Open but empty chunk: just recycle it.
+        cur_vs_->sealChunk(cur_chunk_, 0);
+        cur_vs_->freeChunkDeferred(cur_chunk_);
+        cur_vs_ = nullptr;
+    }
+    for (auto &f : submitted_)
+        f.ticket->wait();
+    return Status::ok();
+}
+
+void
+ChunkWriter::settleAll()
+{
+    for (auto &f : submitted_)
+        f.vs->settleChunk(f.chunk);
+}
+
+}  // namespace prism::core

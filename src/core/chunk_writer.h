@@ -1,0 +1,94 @@
+/**
+ * @file
+ * ChunkWriter: packs value records into chunk-sized buffers and writes
+ * them asynchronously to Value Storage (§5.2, Fig. 4).
+ *
+ * Used by the PWB reclaimer (targets: all Value Storages, choosing an
+ * idle one per chunk to spread load over the SSD array), by GC (target:
+ * the same Value Storage), and by the SVC's scan-aware reorganisation
+ * (§4.4, which re-packs a scanned key range contiguously).
+ *
+ * Addresses are assigned at add() time; durability arrives at finish(),
+ * after which the caller re-points the HSIT entries.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rand.h"
+#include "common/status.h"
+#include "core/addr.h"
+#include "core/value_storage.h"
+
+namespace prism::core {
+
+/** Packs records into chunks across one or more Value Storages. */
+class ChunkWriter {
+  public:
+    /**
+     * @param targets candidate Value Storages (non-owning, non-empty).
+     * @param seed    RNG seed for idle-target selection.
+     */
+    explicit ChunkWriter(std::vector<ValueStorage *> targets,
+                         uint64_t seed = 42);
+    ~ChunkWriter();
+
+    ChunkWriter(const ChunkWriter &) = delete;
+    ChunkWriter &operator=(const ChunkWriter &) = delete;
+
+    /**
+     * Append one value record.
+     * @return its future Value Storage address, or a null addr when no
+     *         chunk could be allocated (caller should run GC and retry).
+     */
+    ValueAddr add(uint64_t hsit_idx, uint64_t key, const void *data,
+                  uint32_t size);
+
+    /**
+     * Submit the final partial chunk and wait for every outstanding
+     * chunk write to complete. After finish(), all addresses returned by
+     * add() are durable on SSD.
+     */
+    Status finish();
+
+    /**
+     * Mark every written chunk GC-eligible. Call after finish() and
+     * after the new records' validity bits have been set; GC skips
+     * unsettled chunks so it cannot recycle one mid-publish.
+     */
+    void settleAll();
+
+    /** Number of chunks written (diagnostics). */
+    size_t chunksWritten() const { return submitted_.size(); }
+
+  private:
+    struct InFlight {
+        ValueStorage *vs;
+        int64_t chunk;
+        uint32_t used;
+        std::unique_ptr<uint8_t[]> buf;
+        std::unique_ptr<WriteTicket> ticket;
+    };
+
+    /** Pick a Value Storage (idle preferred) and allocate a chunk. */
+    bool openChunk();
+
+    /** Submit the currently open chunk. */
+    Status submitCurrent();
+
+    std::vector<ValueStorage *> targets_;
+    Xorshift rng_;
+    uint64_t chunk_bytes_;
+
+    ValueStorage *cur_vs_ = nullptr;
+    int64_t cur_chunk_ = -1;
+    uint32_t cur_used_ = 0;
+    std::unique_ptr<uint8_t[]> cur_buf_;
+
+    std::vector<InFlight> submitted_;
+    bool finished_ = false;
+};
+
+}  // namespace prism::core

@@ -1,0 +1,175 @@
+#include "core/hsit.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace prism::core {
+
+using pmem::kNullOff;
+using pmem::POff;
+
+Hsit::Hsit(pmem::PmemRegion &region, POff root_off, HsitEntry *table,
+           uint64_t capacity)
+    : region_(&region), root_off_(root_off), table_(table),
+      capacity_(capacity)
+{
+}
+
+std::unique_ptr<Hsit>
+Hsit::create(pmem::PmemRegion &region, pmem::PmemAllocator &alloc,
+             uint64_t capacity)
+{
+    const POff root_off = alloc.alloc(sizeof(HsitRoot));
+    PRISM_CHECK(root_off != kNullOff);
+    const POff table_off = alloc.allocRaw(capacity * sizeof(HsitEntry));
+    PRISM_CHECK(table_off != kNullOff && "NVM too small for HSIT");
+
+    auto *table = region.as<HsitEntry>(table_off);
+    std::memset(static_cast<void *>(table), 0, capacity * sizeof(HsitEntry));
+
+    auto *root = region.as<HsitRoot>(root_off);
+    root->capacity = capacity;
+    root->table = table_off;
+    root->magic = kMagic;
+    region.persist(root, sizeof(*root));
+
+    return std::unique_ptr<Hsit>(new Hsit(region, root_off, table,
+                                          capacity));
+}
+
+std::unique_ptr<Hsit>
+Hsit::attach(pmem::PmemRegion &region, POff root_off)
+{
+    auto *root = region.as<HsitRoot>(root_off);
+    PRISM_CHECK(root != nullptr && root->magic == kMagic);
+    auto *table = region.as<HsitEntry>(root->table);
+    return std::unique_ptr<Hsit>(new Hsit(region, root_off, table,
+                                          root->capacity));
+}
+
+uint64_t
+Hsit::liveCount() const
+{
+    const uint64_t bumped = std::min(
+        bump_.load(std::memory_order_relaxed), capacity_);
+    return bumped - freed_count_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+Hsit::allocEntry()
+{
+    {
+        std::lock_guard<SpinLock> lock(free_mu_);
+        if (!free_list_.empty()) {
+            const uint64_t idx = free_list_.back();
+            free_list_.pop_back();
+            freed_count_.fetch_sub(1, std::memory_order_relaxed);
+            table_[idx].primary.store(0, std::memory_order_release);
+            return idx;
+        }
+    }
+    const uint64_t idx = bump_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= capacity_) {
+        bump_.fetch_sub(1, std::memory_order_relaxed);
+        return kInvalidIndex;
+    }
+    table_[idx].primary.store(0, std::memory_order_release);
+    return idx;
+}
+
+void
+Hsit::freeEntryImmediate(uint64_t idx)
+{
+    table_[idx].svc.store(0, std::memory_order_release);
+    std::lock_guard<SpinLock> lock(free_mu_);
+    free_list_.push_back(idx);
+    freed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Hsit::freeEntryDeferred(uint64_t idx, EpochManager &epochs)
+{
+    // Two-epoch grace period (§5.4): the first epoch bars new accessors,
+    // the second drains in-flight ones.
+    epochs.retire([this, idx] { freeEntryImmediate(idx); });
+}
+
+ValueAddr
+Hsit::loadPrimary(uint64_t idx)
+{
+    region_->chargeRead(sizeof(HsitEntry));
+    auto &e = table_[idx];
+    uint64_t v = e.primary.load(std::memory_order_acquire);
+    if (v & ValueAddr::kDirtyBit) {
+        // Flush-on-read: persist the writer's pointer on its behalf, then
+        // clear the dirty bit (either party may win the clearing CAS).
+        region_->persist(&e.primary, sizeof(e.primary));
+        e.primary.compare_exchange_strong(v, v & ~ValueAddr::kDirtyBit,
+                                          std::memory_order_acq_rel);
+        v &= ~ValueAddr::kDirtyBit;
+    }
+    return ValueAddr(v);
+}
+
+bool
+Hsit::casPrimaryDurable(uint64_t idx, ValueAddr expected, ValueAddr desired)
+{
+    auto &e = table_[idx];
+    uint64_t exp = expected.withoutDirty().raw();
+    const uint64_t dirty_val = desired.withDirty().raw();
+    if (!e.primary.compare_exchange_strong(exp, dirty_val,
+                                           std::memory_order_acq_rel)) {
+        return false;
+    }
+    // Persist while dirty, then clear. A concurrent flush-on-read may have
+    // already cleared the bit — losing that CAS is fine.
+    region_->persist(&e.primary, sizeof(e.primary));
+    uint64_t d = dirty_val;
+    e.primary.compare_exchange_strong(d, desired.withoutDirty().raw(),
+                                      std::memory_order_acq_rel);
+    return true;
+}
+
+void
+Hsit::storePrimaryDurable(uint64_t idx, ValueAddr addr)
+{
+    auto &e = table_[idx];
+    e.primary.store(addr.withoutDirty().raw(), std::memory_order_release);
+    region_->persist(&e.primary, sizeof(e.primary));
+}
+
+void
+Hsit::resetVolatile()
+{
+    for (uint64_t i = 0; i < capacity_; i++) {
+        table_[i].svc.store(0, std::memory_order_relaxed);
+        const uint64_t v = table_[i].primary.load(std::memory_order_relaxed);
+        if (v & ValueAddr::kDirtyBit) {
+            // A dirty bit that survived the crash was persisted but never
+            // cleared; the pointer itself is durable, so just clean it.
+            table_[i].primary.store(v & ~ValueAddr::kDirtyBit,
+                                    std::memory_order_relaxed);
+        }
+    }
+    region_->persist(table_, capacity_ * sizeof(HsitEntry));
+}
+
+void
+Hsit::rebuildFreeList(const std::vector<bool> &reachable)
+{
+    PRISM_CHECK(reachable.size() == capacity_);
+    std::lock_guard<SpinLock> lock(free_mu_);
+    free_list_.clear();
+    for (uint64_t i = 0; i < capacity_; i++) {
+        if (!reachable[i]) {
+            table_[i].primary.store(0, std::memory_order_relaxed);
+            free_list_.push_back(i);
+        }
+    }
+    bump_.store(capacity_, std::memory_order_relaxed);
+    freed_count_.store(free_list_.size(), std::memory_order_relaxed);
+}
+
+}  // namespace prism::core

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Heterogeneous Storage Index Table (HSIT, §4.5).
+ *
+ * The HSIT is an NVM-resident indirection array between the Persistent
+ * Key Index and value locations. Each 16-byte entry packs:
+ *
+ *  - `primary`: the PWB-or-ValueStorage forward pointer (ValueAddr),
+ *    including the dirty bit of the flush-on-read protocol;
+ *  - `svc`: a DRAM pointer to the cached copy in the Scan-aware Value
+ *    Cache (semantically volatile; nullified at recovery).
+ *
+ * The entry is the store's linearization point: a write is visible only
+ * once `primary` is updated, and durable-linearizable thanks to the
+ * dirty-bit flush-on-read CAS protocol (§5.4). Values embed a backward
+ * pointer (their entry index); a value is live iff its backward pointer
+ * and the entry's forward pointer refer to each other ("well-coupled").
+ *
+ * Entry reclamation: deleted entries go to a volatile free list after two
+ * epochs (§5.4); after a crash the free list is rebuilt by marking the
+ * entries reachable from the key index (§5.5).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/spinlock.h"
+#include "core/addr.h"
+#include "pmem/pmem_allocator.h"
+#include "pmem/pmem_region.h"
+
+namespace prism::core {
+
+/** One 16-byte HSIT slot on NVM. */
+struct HsitEntry {
+    std::atomic<uint64_t> primary;  ///< ValueAddr raw bits (+ dirty bit)
+    std::atomic<uint64_t> svc;      ///< SvcEntry* as integer; 0 = none
+};
+static_assert(sizeof(HsitEntry) == 16, "paper packs an entry in 16 bytes");
+
+/** The indirection table. Thread-safe. */
+class Hsit {
+  public:
+    static constexpr uint64_t kInvalidIndex = UINT64_MAX;
+
+    /** Create a fresh table of @p capacity entries on NVM. */
+    static std::unique_ptr<Hsit> create(pmem::PmemRegion &region,
+                                        pmem::PmemAllocator &alloc,
+                                        uint64_t capacity);
+
+    /** Re-attach after restart; call resetVolatile + rebuildFreeList next. */
+    static std::unique_ptr<Hsit> attach(pmem::PmemRegion &region,
+                                        pmem::POff root_off);
+
+    /** Persistent identity (store in the master root). */
+    pmem::POff rootOff() const { return root_off_; }
+
+    uint64_t capacity() const { return capacity_; }
+
+    /** Live (allocated, not freed) entry count estimate. */
+    uint64_t liveCount() const;
+
+    /** NVM bytes consumed (for the §7.6 space experiment). */
+    uint64_t nvmBytes() const { return capacity_ * sizeof(HsitEntry); }
+
+    /**
+     * Allocate an entry (free list first, then bump).
+     * The entry's primary is reset to null; the caller publishes it via
+     * storePrimaryDurable before inserting into the key index.
+     * @return entry index, or kInvalidIndex when the table is full.
+     */
+    uint64_t allocEntry();
+
+    /**
+     * Return a never-published entry immediately (insert race loser).
+     */
+    void freeEntryImmediate(uint64_t idx);
+
+    /**
+     * Retire a published entry; it joins the free list after two epochs
+     * so concurrent readers holding the index handle stay safe.
+     */
+    void freeEntryDeferred(uint64_t idx, EpochManager &epochs);
+
+    HsitEntry &entry(uint64_t idx) { return table_[idx]; }
+    const HsitEntry &entry(uint64_t idx) const { return table_[idx]; }
+
+    /** @name Forward-pointer protocol (§5.4) */
+    ///@{
+    /**
+     * Load `primary`, performing flush-on-read: if the dirty bit is set,
+     * persist the pointer on the writer's behalf and clear the bit.
+     * Charges one NVM read.
+     */
+    ValueAddr loadPrimary(uint64_t idx);
+
+    /**
+     * Durable-linearizable CAS of `primary` from @p expected (clean) to
+     * @p desired: CAS in the dirty state, persist, then clear the bit.
+     * @return false when the entry changed concurrently (caller re-reads).
+     */
+    bool casPrimaryDurable(uint64_t idx, ValueAddr expected,
+                           ValueAddr desired);
+
+    /** Unconditional durable publish (for entries not yet visible). */
+    void storePrimaryDurable(uint64_t idx, ValueAddr addr);
+    ///@}
+
+    /** @name SVC pointer (volatile semantics) */
+    ///@{
+    void *svcLoad(uint64_t idx) const {
+        return reinterpret_cast<void *>(
+            table_[idx].svc.load(std::memory_order_acquire));
+    }
+    bool
+    svcCas(uint64_t idx, void *expected, void *desired)
+    {
+        auto exp = reinterpret_cast<uint64_t>(expected);
+        return table_[idx].svc.compare_exchange_strong(
+            exp, reinterpret_cast<uint64_t>(desired),
+            std::memory_order_acq_rel);
+    }
+    void svcStore(uint64_t idx, void *p) {
+        table_[idx].svc.store(reinterpret_cast<uint64_t>(p),
+                              std::memory_order_release);
+    }
+    ///@}
+
+    /** @name Recovery (§5.5) */
+    ///@{
+    /** Nullify SVC pointers and persisted dirty bits after a crash. */
+    void resetVolatile();
+
+    /**
+     * Rebuild the free list: every entry whose index is not set in
+     * @p reachable (bit per entry, from the key-index walk) is free.
+     */
+    void rebuildFreeList(const std::vector<bool> &reachable);
+    ///@}
+
+  private:
+    struct HsitRoot {
+        uint64_t magic;
+        uint64_t capacity;
+        pmem::POff table;
+    };
+    static constexpr uint64_t kMagic = 0x48534954ull;  // "HSIT"
+
+    Hsit(pmem::PmemRegion &region, pmem::POff root_off, HsitEntry *table,
+         uint64_t capacity);
+
+    pmem::PmemRegion *region_;
+    pmem::POff root_off_;
+    HsitEntry *table_;
+    uint64_t capacity_;
+
+    std::atomic<uint64_t> bump_{0};
+    SpinLock free_mu_;
+    std::vector<uint64_t> free_list_;
+    std::atomic<uint64_t> freed_count_{0};
+};
+
+}  // namespace prism::core

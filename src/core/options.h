@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Configuration for a PrismDb instance.
+ *
+ * Defaults reflect the paper's setup scaled to a single-machine
+ * simulation: 512 KB Value Storage chunks, queue depth 64, a 50% PWB
+ * reclamation watermark, and a 2Q SVC. Feature flags expose the ablations
+ * of §7.6 (thread combining vs timeout batching, SVC on/off, scan-aware
+ * reorganisation on/off).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace prism::core {
+
+/** How Value Storage reads are batched (§5.3, Figure 11). */
+enum class ReadBatchMode {
+    /** Opportunistic thread combining via the TCQ (Prism's scheme). */
+    kThreadCombining,
+    /** Timeout-based batching: wait up to a fixed period for more
+     *  requests before submitting (the paper's "TA" comparison point). */
+    kTimeoutAsync,
+    /** No batching: each read is submitted alone (queue depth 1). */
+    kNone,
+};
+
+/** Tunables for one PrismDb instance. */
+struct PrismOptions {
+    /** @name Persistent Write Buffer (§4.3) */
+    ///@{
+    /** Per-thread PWB capacity in bytes. */
+    uint64_t pwb_size_bytes = 16ull * 1024 * 1024;
+    /** Utilization fraction that triggers background reclamation. */
+    double pwb_reclaim_watermark = 0.5;
+    ///@}
+
+    /** @name Value Storage (§4.2, §5.1) */
+    ///@{
+    /** Chunk size; the paper uses 512 KB for SSD-friendly writes. */
+    uint64_t chunk_bytes = 512 * 1024;
+    /** Utilization fraction that triggers garbage collection. */
+    double vs_gc_watermark = 0.80;
+    /** Number of victim chunks merged per GC pass. */
+    int gc_victims_per_pass = 4;
+    ///@}
+
+    /** @name Scan-aware Value Cache (§4.4) */
+    ///@{
+    bool enable_svc = true;
+    /** Total DRAM budget for cached values. */
+    uint64_t svc_capacity_bytes = 256ull * 1024 * 1024;
+    /** Reorganise scan ranges on eviction (ablation §7.6). */
+    bool enable_scan_reorg = true;
+    ///@}
+
+    /** @name Read batching (§5.3) */
+    ///@{
+    ReadBatchMode read_batch_mode = ReadBatchMode::kThreadCombining;
+    /** Coalescing limit (io_uring queue depth); the paper uses 64. */
+    int read_queue_depth = 64;
+    /** TA mode: wait this long for more requests before submitting. */
+    uint64_t timeout_batch_us = 100;
+    ///@}
+
+    /** @name HSIT sizing (§4.5) */
+    ///@{
+    /** Maximum number of live keys (HSIT entries are preallocated). */
+    uint64_t hsit_capacity = 4ull * 1024 * 1024;
+    ///@}
+
+    /** Largest supported value (one record must fit a chunk and the
+     *  packed address size field). */
+    uint32_t max_value_bytes = 60 * 1024;
+
+    /** Background reclaimer poll interval. */
+    uint64_t reclaimer_poll_us = 100;
+};
+
+}  // namespace prism::core

@@ -1,0 +1,746 @@
+#include "core/prism_db.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "core/chunk_writer.h"
+
+namespace prism::core {
+
+using pmem::kNullOff;
+using pmem::POff;
+
+PrismDb::PrismDb(const PrismOptions &opts,
+                 std::shared_ptr<pmem::PmemRegion> region,
+                 std::vector<std::shared_ptr<sim::SsdDevice>> ssds,
+                 bool format)
+    : opts_(opts), region_(std::move(region))
+{
+    PRISM_CHECK(!ssds.empty());
+    PRISM_CHECK(ssds.size() <= ValueAddr::kSsdMask + 1);
+    alloc_ = std::make_unique<pmem::PmemAllocator>(*region_);
+
+    for (size_t i = 0; i < ssds.size(); i++) {
+        value_storages_.push_back(std::make_unique<ValueStorage>(
+            static_cast<uint32_t>(i), ssds[i], opts_, epochs_));
+        vs_ptrs_.push_back(value_storages_.back().get());
+    }
+
+    if (format) {
+        master_off_ = alloc_->alloc(sizeof(MasterRoot));
+        PRISM_CHECK(master_off_ != kNullOff);
+        master_ = region_->as<MasterRoot>(master_off_);
+        std::memset(static_cast<void *>(master_), 0, sizeof(MasterRoot));
+
+        index_ = index::PacTree::create(*region_, *alloc_);
+        hsit_ = Hsit::create(*region_, *alloc_, opts_.hsit_capacity);
+
+        master_->tree_root = index_->rootOff();
+        master_->hsit_root = hsit_->rootOff();
+        master_->magic = kMagic;
+        region_->persist(master_, sizeof(MasterRoot));
+        region_->setRoot(master_off_);
+    } else {
+        recoverState();
+    }
+
+    svc_ = std::make_unique<Svc>(*hsit_, epochs_, vs_ptrs_, opts_);
+
+    reclaimer_ = std::thread([this] { reclaimerLoop(); });
+    gc_thread_ = std::thread([this] { gcLoop(); });
+}
+
+PrismDb::~PrismDb()
+{
+    stop_.store(true, std::memory_order_release);
+    reclaim_cv_.notify_all();
+    reclaimer_.join();
+    gc_thread_.join();
+    // Destroy the SVC (its manager thread uses hsit_/value_storages_),
+    // then run every deferred reclamation before members are torn down:
+    // pending lambdas reference PWBs, Value Storages and the HSIT.
+    svc_.reset();
+    epochs_.drain();
+}
+
+void
+PrismDb::recoverState()
+{
+    const uint64_t t0 = nowNs();
+    const POff root = region_->root();
+    PRISM_CHECK(root != kNullOff && "no store in this region");
+    master_off_ = root;
+    master_ = region_->as<MasterRoot>(master_off_);
+    PRISM_CHECK(master_->magic == kMagic);
+
+    // Step 1 (§5.5): re-attach NVM components; drop volatile leftovers
+    // (SVC pointers, persisted-but-uncleared dirty bits).
+    hsit_ = Hsit::attach(*region_, master_->hsit_root);
+    hsit_->resetVolatile();
+    index_ = index::PacTree::recover(*region_, *alloc_,
+                                     master_->tree_root);
+
+    // Step 2: walk the key index to find reachable HSIT entries, and
+    // from them reconstruct each Value Storage's validity bitmaps.
+    for (auto &vs : value_storages_)
+        vs->resetForRecovery();
+    // The walk is partitioned across worker threads (§5.5: recovery is
+    // performed concurrently over partitioned key ranges). Byte-sized
+    // flags (not vector<bool>) keep the marking race-free.
+    std::vector<uint8_t> reachable_bytes(hsit_->capacity(), 0);
+    const int recovery_threads = std::max(
+        1u, std::thread::hardware_concurrency());
+    index_->forEachParallel(recovery_threads, [&](uint64_t key,
+                                                  uint64_t h) {
+        (void)key;
+        if (h >= hsit_->capacity())
+            return;
+        reachable_bytes[h] = 1;
+        const ValueAddr addr(
+            hsit_->entry(h).primary.load(std::memory_order_relaxed));
+        if (addr.isNull())
+            return;
+        if (addr.isVs() && addr.ssdId() < value_storages_.size()) {
+            value_storages_[addr.ssdId()]->markLiveAtRecovery(
+                addr.offset(), addr.recordBytes());
+        }
+    });
+    std::vector<bool> reachable(hsit_->capacity());
+    for (uint64_t i = 0; i < hsit_->capacity(); i++)
+        reachable[i] = reachable_bytes[i] != 0;
+    hsit_->rebuildFreeList(reachable);
+    for (auto &vs : value_storages_)
+        vs->finalizeRecovery();
+
+    // Step 3: re-attach the per-thread PWBs; slots are keyed by dense
+    // thread id, which restarts from zero, so slot i is simply reused by
+    // the i-th thread of the new process.
+    for (int tid = 0; tid < ThreadId::kMaxThreads; tid++) {
+        const POff pwb_root =
+            master_->pwb_roots[tid].load(std::memory_order_relaxed);
+        if (pwb_root == kNullOff)
+            continue;
+        auto pwb = Pwb::attach(*region_, pwb_root);
+        pwbs_[tid].store(pwb.get(), std::memory_order_release);
+        pwb_owner_.push_back(std::move(pwb));
+    }
+    recovery_ns_ = nowNs() - t0;
+}
+
+Pwb *
+PrismDb::pwbForThisThread()
+{
+    const int tid = ThreadId::self();
+    Pwb *p = pwbs_[tid].load(std::memory_order_acquire);
+    if (p != nullptr)
+        return p;
+    std::lock_guard<std::mutex> lock(pwb_mu_);
+    p = pwbs_[tid].load(std::memory_order_acquire);
+    if (p != nullptr)
+        return p;
+    auto pwb = Pwb::create(*region_, *alloc_, opts_.pwb_size_bytes);
+    PRISM_CHECK(pwb != nullptr);
+    master_->pwb_roots[tid].store(pwb->rootOff(),
+                                  std::memory_order_release);
+    region_->persist(&master_->pwb_roots[tid], sizeof(POff));
+    p = pwb.get();
+    pwb_owner_.push_back(std::move(pwb));
+    pwbs_[tid].store(p, std::memory_order_release);
+    return p;
+}
+
+void
+PrismDb::clearOldLocation(uint64_t hsit_idx, ValueAddr old_addr)
+{
+    if (old_addr.isVs() && old_addr.ssdId() < value_storages_.size()) {
+        value_storages_[old_addr.ssdId()]->clearValid(
+            old_addr.offset(), old_addr.recordBytes());
+    }
+    svc_->invalidate(hsit_idx);
+}
+
+Status
+PrismDb::put(uint64_t key, std::string_view value)
+{
+    if (value.size() > opts_.max_value_bytes)
+        return Status::invalidArgument("value too large");
+    stats_.puts.fetch_add(1, std::memory_order_relaxed);
+    stats_.user_bytes_written.fetch_add(value.size(),
+                                        std::memory_order_relaxed);
+
+    while (true) {
+        {
+            EpochGuard guard(epochs_);
+
+            // Resolve (or create) the key's HSIT entry.
+            uint64_t h;
+            const auto found = index_->lookup(key);
+            if (found.has_value()) {
+                h = *found;
+            } else {
+                const uint64_t nh = hsit_->allocEntry();
+                if (nh == Hsit::kInvalidIndex)
+                    return Status::outOfSpace("HSIT full");
+                const auto res = index_->insertOrGet(key, nh);
+                if (!res.inserted)
+                    hsit_->freeEntryImmediate(nh);  // lost the insert race
+                h = res.handle;
+            }
+
+            // Write the value (and its backward pointer) to this
+            // thread's PWB — durable before it becomes visible.
+            Pwb *pwb = pwbForThisThread();
+            const ValueAddr addr = pwb->append(
+                h, key, value.data(), static_cast<uint32_t>(value.size()));
+            if (!addr.isNull()) {
+                // Publish: durable-linearizable CAS of the forward
+                // pointer (§5.4). Retried on concurrent change.
+                while (true) {
+                    const ValueAddr old = hsit_->loadPrimary(h);
+                    if (hsit_->casPrimaryDurable(h, old, addr)) {
+                        pwb->markPublished();
+                        clearOldLocation(h, old);
+                        break;
+                    }
+                }
+                return Status::ok();
+            }
+        }
+        // PWB full. The epoch guard must be dropped while waiting: the
+        // space we need is released by an epoch-deferred head advance.
+        stats_.pwb_stalls.fetch_add(1, std::memory_order_relaxed);
+        reclaim_cv_.notify_all();
+        epochs_.tryAdvance();
+        std::this_thread::yield();
+    }
+}
+
+Status
+PrismDb::readValue(uint64_t hsit_idx, uint64_t key, ValueAddr addr,
+                   std::string *out, bool admit_to_svc)
+{
+    if (addr.isPwb()) {
+        const auto *hdr =
+            region_->as<ValueRecordHeader>(addr.offset());
+        region_->chargeRead(addr.recordBytes());
+        if (hdr->backward != hsit_idx)
+            return Status::corruption("PWB record coupling mismatch");
+        out->assign(reinterpret_cast<const char *>(hdr + 1),
+                    hdr->value_size);
+        stats_.pwb_hits.fetch_add(1, std::memory_order_relaxed);
+        return Status::ok();
+    }
+
+    if (addr.ssdId() >= value_storages_.size())
+        return Status::corruption("bad SSD id in HSIT entry");
+    ValueStorage *vs = value_storages_[addr.ssdId()].get();
+    std::vector<uint8_t> buf;
+    Status st = vs->readRecord(addr, buf);
+    if (!st.isOk())
+        return st;
+    const auto *hdr =
+        reinterpret_cast<const ValueRecordHeader *>(buf.data());
+    if (sizeof(ValueRecordHeader) + hdr->value_size > buf.size() ||
+        hdr->backward != hsit_idx) {
+        return Status::corruption("Value Storage record mismatch");
+    }
+    const auto *payload = buf.data() + sizeof(ValueRecordHeader);
+    if (!recordCrcOk(*hdr, payload))
+        return Status::corruption("Value Storage record checksum");
+    out->assign(reinterpret_cast<const char *>(payload), hdr->value_size);
+    stats_.vs_reads.fetch_add(1, std::memory_order_relaxed);
+    if (admit_to_svc)
+        svc_->admit(hsit_idx, key, addr, payload, hdr->value_size);
+    return Status::ok();
+}
+
+Status
+PrismDb::get(uint64_t key, std::string *value)
+{
+    stats_.gets.fetch_add(1, std::memory_order_relaxed);
+    EpochGuard guard(epochs_);
+    const auto h = index_->lookup(key);
+    if (!h.has_value())
+        return Status::notFound();
+    const ValueAddr addr = hsit_->loadPrimary(*h);
+    if (addr.isNull())
+        return Status::notFound();
+    if (svc_->lookup(*h, addr.raw(), value)) {
+        stats_.svc_hits.fetch_add(1, std::memory_order_relaxed);
+        return Status::ok();
+    }
+    return readValue(*h, key, addr, value, /*admit_to_svc=*/true);
+}
+
+Status
+PrismDb::del(uint64_t key)
+{
+    stats_.dels.fetch_add(1, std::memory_order_relaxed);
+    EpochGuard guard(epochs_);
+    const auto h = index_->lookup(key);
+    if (!h.has_value())
+        return Status::notFound();
+    if (!index_->remove(key))
+        return Status::notFound();  // lost the race to another deleter
+    svc_->invalidate(*h);
+    while (true) {
+        const ValueAddr old = hsit_->loadPrimary(*h);
+        if (hsit_->casPrimaryDurable(*h, old, ValueAddr())) {
+            if (old.isVs() && old.ssdId() < value_storages_.size()) {
+                value_storages_[old.ssdId()]->clearValid(
+                    old.offset(), old.recordBytes());
+            }
+            break;
+        }
+    }
+    hsit_->freeEntryDeferred(*h, epochs_);
+    return Status::ok();
+}
+
+Status
+PrismDb::scan(uint64_t start_key, size_t count,
+              std::vector<std::pair<uint64_t, std::string>> *out)
+{
+    stats_.scans.fetch_add(1, std::memory_order_relaxed);
+    EpochGuard guard(epochs_);
+    out->clear();
+
+    std::vector<std::pair<uint64_t, uint64_t>> handles;
+    index_->scan(start_key, count, handles);
+
+    struct VsReq {
+        size_t out_idx;
+        uint64_t h;
+        uint64_t key;
+        ValueAddr addr;
+    };
+    std::vector<VsReq> vs_reqs;
+    std::vector<std::pair<uint64_t, uint64_t>> noted;  // (key, hsit idx)
+
+    for (const auto &[key, h] : handles) {
+        const ValueAddr addr = hsit_->loadPrimary(h);
+        if (addr.isNull())
+            continue;  // deleted concurrently
+        out->emplace_back(key, std::string());
+        std::string *slot = &out->back().second;
+        if (svc_->lookup(h, addr.raw(), slot)) {
+            stats_.svc_hits.fetch_add(1, std::memory_order_relaxed);
+            noted.emplace_back(key, h);
+            continue;
+        }
+        if (addr.isPwb()) {
+            const Status st = readValue(h, key, addr, slot, false);
+            if (!st.isOk())
+                return st;
+            continue;
+        }
+        vs_reqs.push_back({out->size() - 1, h, key, addr});
+    }
+
+    if (!vs_reqs.empty()) {
+        // Batched SSD reads with span merging: after a scan-aware
+        // reorganisation the whole range collapses into one or two
+        // sequential chunk reads — the SSD I/O reduction of §4.4.
+        std::sort(vs_reqs.begin(), vs_reqs.end(),
+                  [](const VsReq &a, const VsReq &b) {
+                      if (a.addr.ssdId() != b.addr.ssdId())
+                          return a.addr.ssdId() < b.addr.ssdId();
+                      return a.addr.offset() < b.addr.offset();
+                  });
+        struct Span {
+            uint32_t ssd;
+            uint64_t start;
+            uint64_t end;
+            size_t first_req;
+            size_t req_count;
+            std::vector<uint8_t> buf;
+            ReadWaiter waiter;
+        };
+        std::vector<std::unique_ptr<Span>> spans;
+        for (size_t i = 0; i < vs_reqs.size(); i++) {
+            const auto &r = vs_reqs[i];
+            const uint64_t end = r.addr.offset() + r.addr.recordBytes();
+            if (!spans.empty()) {
+                Span &s = *spans.back();
+                if (s.ssd == r.addr.ssdId() && s.end == r.addr.offset() &&
+                    end - s.start <= opts_.chunk_bytes) {
+                    s.end = end;
+                    s.req_count++;
+                    continue;
+                }
+            }
+            auto s = std::make_unique<Span>();
+            s->ssd = r.addr.ssdId();
+            s->start = r.addr.offset();
+            s->end = end;
+            s->first_req = i;
+            s->req_count = 1;
+            spans.push_back(std::move(s));
+        }
+        for (auto &s : spans) {
+            s->buf.resize(s->end - s->start);
+            sim::SsdIoRequest req;
+            req.op = sim::SsdIoRequest::Op::kRead;
+            req.offset = s->start;
+            req.length = static_cast<uint32_t>(s->buf.size());
+            req.buf = s->buf.data();
+            req.user_data = reinterpret_cast<uint64_t>(&s->waiter);
+            const Status st =
+                value_storages_[s->ssd]->device().submit(req);
+            if (!st.isOk())
+                return st;
+        }
+        for (auto &s : spans) {
+            s->waiter.waitNonzero();
+            for (size_t i = s->first_req; i < s->first_req + s->req_count;
+                 i++) {
+                const auto &r = vs_reqs[i];
+                const auto *hdr =
+                    reinterpret_cast<const ValueRecordHeader *>(
+                        s->buf.data() + (r.addr.offset() - s->start));
+                if (hdr->backward != r.h)
+                    return Status::corruption("scan record mismatch");
+                const auto *payload =
+                    reinterpret_cast<const uint8_t *>(hdr + 1);
+                if (!recordCrcOk(*hdr, payload))
+                    return Status::corruption("scan record checksum");
+                (*out)[r.out_idx].second.assign(
+                    reinterpret_cast<const char *>(payload),
+                    hdr->value_size);
+                stats_.vs_reads.fetch_add(1, std::memory_order_relaxed);
+                svc_->admit(r.h, r.key, r.addr, payload, hdr->value_size);
+                noted.emplace_back(r.key, r.h);
+            }
+        }
+    }
+
+    // Chain this scan's members in key order for future reorganisation.
+    if (noted.size() >= 2) {
+        std::sort(noted.begin(), noted.end());
+        std::vector<uint64_t> indices;
+        indices.reserve(noted.size());
+        for (const auto &[key, h] : noted)
+            indices.push_back(h);
+        svc_->noteScan(std::move(indices));
+    }
+    return Status::ok();
+}
+
+Status
+PrismDb::multiGet(const std::vector<uint64_t> &keys,
+                  std::vector<std::optional<std::string>> *out)
+{
+    stats_.gets.fetch_add(keys.size(), std::memory_order_relaxed);
+    EpochGuard guard(epochs_);
+    out->assign(keys.size(), std::nullopt);
+
+    // Resolve every key; serve SVC/PWB hits inline and gather the SSD
+    // residents for one batched submission per Value Storage.
+    struct VsReq {
+        size_t out_idx;
+        uint64_t h;
+        ValueAddr addr;
+        std::vector<uint8_t> buf;
+        ReadWaiter waiter;
+    };
+    std::vector<std::unique_ptr<VsReq>> vs_reqs;
+    for (size_t i = 0; i < keys.size(); i++) {
+        const auto h = index_->lookup(keys[i]);
+        if (!h.has_value())
+            continue;
+        const ValueAddr addr = hsit_->loadPrimary(*h);
+        if (addr.isNull())
+            continue;
+        std::string value;
+        if (svc_->lookup(*h, addr.raw(), &value)) {
+            stats_.svc_hits.fetch_add(1, std::memory_order_relaxed);
+            (*out)[i] = std::move(value);
+            continue;
+        }
+        if (addr.isPwb()) {
+            const Status st = readValue(*h, keys[i], addr, &value, true);
+            if (!st.isOk())
+                return st;
+            (*out)[i] = std::move(value);
+            continue;
+        }
+        if (addr.ssdId() >= value_storages_.size())
+            return Status::corruption("bad SSD id in HSIT entry");
+        auto req = std::make_unique<VsReq>();
+        req->out_idx = i;
+        req->h = *h;
+        req->addr = addr;
+        req->buf.resize(addr.recordBytes());
+        vs_reqs.push_back(std::move(req));
+    }
+
+    // One submission per Value Storage covering all its requests.
+    for (size_t vs_id = 0; vs_id < value_storages_.size(); vs_id++) {
+        std::vector<sim::SsdIoRequest> batch;
+        for (auto &r : vs_reqs) {
+            if (r->addr.ssdId() != vs_id)
+                continue;
+            sim::SsdIoRequest io;
+            io.op = sim::SsdIoRequest::Op::kRead;
+            io.offset = r->addr.offset();
+            io.length = static_cast<uint32_t>(r->buf.size());
+            io.buf = r->buf.data();
+            io.user_data = reinterpret_cast<uint64_t>(&r->waiter);
+            batch.push_back(io);
+        }
+        if (batch.empty())
+            continue;
+        const Status st = value_storages_[vs_id]->device().submit(
+            {batch.data(), batch.size()});
+        if (!st.isOk())
+            return st;
+    }
+    for (auto &r : vs_reqs) {
+        r->waiter.waitNonzero();
+        const auto *hdr =
+            reinterpret_cast<const ValueRecordHeader *>(r->buf.data());
+        if (sizeof(ValueRecordHeader) + hdr->value_size > r->buf.size() ||
+            hdr->backward != r->h) {
+            return Status::corruption("multiGet record mismatch");
+        }
+        const auto *payload = r->buf.data() + sizeof(ValueRecordHeader);
+        if (!recordCrcOk(*hdr, payload))
+            return Status::corruption("multiGet record checksum");
+        (*out)[r->out_idx].emplace(
+            reinterpret_cast<const char *>(payload), hdr->value_size);
+        stats_.vs_reads.fetch_add(1, std::memory_order_relaxed);
+        svc_->admit(r->h, keys[r->out_idx], r->addr, payload,
+                    hdr->value_size);
+    }
+    return Status::ok();
+}
+
+void
+PrismDb::reclaimPwb(Pwb *pwb)
+{
+    // One reclamation pass at a time: flushAll and the background
+    // reclaimer may race, and overlapping passes would waste SSD writes
+    // relocating the same records twice (and must not interleave their
+    // cursor updates). Blocking, so flushAll reliably makes progress.
+    std::lock_guard<std::mutex> pass_lock(reclaim_pass_mu_);
+
+    // Start past every range a still-deferred head advance may cover:
+    // that space can be recycled mid-pass, so its bytes must not be
+    // trusted. [cursor, tail) is stable until *this* pass's advance.
+    const uint64_t start =
+        std::max(pwb->headLogical(), pwb->reclaimCursor());
+    std::vector<Pwb::RecordRef> refs;
+    const uint64_t new_head =
+        pwb->collectFrom(start, pwb->usedBytes(), refs);
+    if (new_head == start)
+        return;
+
+    struct LiveValue {
+        uint64_t h;
+        uint64_t key;
+        const uint8_t *payload;
+        uint32_t size;
+        ValueAddr pwb_addr;
+    };
+    std::vector<LiveValue> live;
+    live.reserve(refs.size());
+    const bool paranoid = std::getenv("PRISM_PARANOID") != nullptr;
+    for (const auto &ref : refs) {
+        if (paranoid && !recordCrcOk(*ref.hdr, ref.payload)) {
+            std::fprintf(stderr,
+                "RECDBG bad crc at logical_end=%llu addr=%llu key=%llu "
+                "back=%llu size=%u start=%llu head=%llu tail=%llu "
+                "cursor=%llu\n",
+                (unsigned long long)ref.logical_end,
+                (unsigned long long)ref.addr.offset(),
+                (unsigned long long)ref.hdr->key,
+                (unsigned long long)ref.hdr->backward,
+                ref.hdr->value_size, (unsigned long long)start,
+                (unsigned long long)pwb->headLogical(),
+                (unsigned long long)pwb->tailLogical(),
+                (unsigned long long)pwb->reclaimCursor());
+            std::abort();
+        }
+        const uint64_t h = ref.hdr->backward;
+        if (h >= hsit_->capacity())
+            continue;
+        // Well-coupled check (§5.2): the HSIT forward pointer must refer
+        // back to this exact record; superseded versions are skipped,
+        // which is Prism's write-traffic dedup.
+        const ValueAddr primary = hsit_->loadPrimary(h);
+        if (primary == ref.addr) {
+            live.push_back({h, ref.hdr->key, ref.payload,
+                            ref.hdr->value_size, ref.addr});
+        } else {
+            stats_.reclaim_skipped_stale.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+
+    if (!live.empty()) {
+        ChunkWriter writer(vs_ptrs_);
+        std::vector<ValueAddr> placed(live.size());
+        for (size_t i = 0; i < live.size(); i++) {
+            ValueAddr a = writer.add(live[i].h, live[i].key,
+                                     live[i].payload, live[i].size);
+            for (int attempt = 0; a.isNull() && attempt < 64; attempt++) {
+                // No free chunk anywhere: force GC and let the epoch
+                // machinery release recycled chunks, then retry.
+                for (auto &vs : value_storages_)
+                    vs->runGcPass(*hsit_);
+                epochs_.tryAdvance();
+                std::this_thread::yield();
+                a = writer.add(live[i].h, live[i].key, live[i].payload,
+                               live[i].size);
+            }
+            PRISM_CHECK(!a.isNull() && "Value Storage out of space");
+            placed[i] = a;
+        }
+        const Status st = writer.finish();
+        PRISM_CHECK(st.isOk());
+
+        // Mark the new copies live *before* publishing them: a chunk
+        // whose bits lag its HSIT references could be selected, emptied
+        // and recycled by a concurrent GC pass.
+        for (size_t i = 0; i < live.size(); i++) {
+            value_storages_[placed[i].ssdId()]->setValid(
+                placed[i].offset(), placed[i].recordBytes());
+        }
+        writer.settleAll();
+        for (size_t i = 0; i < live.size(); i++) {
+            const auto &v = live[i];
+            if (hsit_->casPrimaryDurable(v.h, v.pwb_addr, placed[i])) {
+                stats_.reclaimed_values.fetch_add(
+                    1, std::memory_order_relaxed);
+            } else {
+                // Superseded after collection; retract the unused copy.
+                value_storages_[placed[i].ssdId()]->clearValid(
+                    placed[i].offset(), placed[i].recordBytes());
+            }
+        }
+    }
+
+    stats_.reclaim_passes.fetch_add(1, std::memory_order_relaxed);
+    pwb->setReclaimCursor(new_head);
+    // The head advance (space reuse) waits out the epoch grace period:
+    // readers may still be dereferencing reclaimed PWB addresses.
+    epochs_.retire([this, pwb, start, new_head] {
+        if (std::getenv("PRISM_PARANOID") != nullptr) {
+            // No HSIT entry may still reference the range being freed.
+            for (uint64_t i = 0; i < hsit_->capacity(); i++) {
+                const ValueAddr a(
+                    hsit_->entry(i).primary.load(
+                        std::memory_order_acquire));
+                if (a.isPwb() &&
+                    pwb->offsetInLogicalRange(a.offset(), start,
+                                              new_head)) {
+                    std::fprintf(stderr,
+                        "ADVDBG live entry %llu at pwb off %llu in "
+                        "[%llu,%llu) head=%llu tail=%llu\n",
+                        (unsigned long long)i,
+                        (unsigned long long)a.offset(),
+                        (unsigned long long)start,
+                        (unsigned long long)new_head,
+                        (unsigned long long)pwb->headLogical(),
+                        (unsigned long long)pwb->tailLogical());
+                    std::abort();
+                }
+            }
+        }
+        pwb->advanceHead(new_head);
+    });
+}
+
+void
+PrismDb::reclaimerLoop()
+{
+    std::unique_lock<std::mutex> lock(reclaim_mu_);
+    while (!stop_.load(std::memory_order_acquire)) {
+        reclaim_cv_.wait_for(
+            lock, std::chrono::microseconds(opts_.reclaimer_poll_us));
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        lock.unlock();
+        for (int tid = 0; tid < ThreadId::kMaxThreads; tid++) {
+            Pwb *pwb = pwbs_[tid].load(std::memory_order_acquire);
+            if (pwb == nullptr)
+                continue;
+            if (pwb->utilization() >= opts_.pwb_reclaim_watermark)
+                reclaimPwb(pwb);
+        }
+        epochs_.tryAdvance();
+        lock.lock();
+    }
+}
+
+void
+PrismDb::gcLoop()
+{
+    while (!stop_.load(std::memory_order_acquire)) {
+        for (auto &vs : value_storages_) {
+            if (stop_.load(std::memory_order_acquire))
+                return;
+            if (vs->needsGc())
+                vs->runGcPass(*hsit_);
+        }
+        epochs_.tryAdvance();
+        delayFor(200 * 1000);
+    }
+}
+
+void
+PrismDb::flushAll()
+{
+    // Quiesced-caller contract: no concurrent put/get/scan.
+    for (int round = 0; round < 1024; round++) {
+        bool dirty = false;
+        for (int tid = 0; tid < ThreadId::kMaxThreads; tid++) {
+            Pwb *pwb = pwbs_[tid].load(std::memory_order_acquire);
+            if (pwb == nullptr || pwb->usedBytes() == 0)
+                continue;
+            dirty = true;
+            reclaimPwb(pwb);
+        }
+        epochs_.drain();  // apply the deferred head advances
+        if (!dirty)
+            return;
+    }
+}
+
+void
+PrismDb::forceGc()
+{
+    for (auto &vs : value_storages_) {
+        int guard = 1024;
+        while (vs->needsGc() && guard-- > 0) {
+            if (vs->runGcPass(*hsit_) == 0)
+                break;
+            epochs_.drain();
+        }
+    }
+}
+
+uint64_t
+PrismDb::ssdBytesWritten() const
+{
+    uint64_t total = 0;
+    for (const auto &vs : value_storages_) {
+        total += const_cast<ValueStorage &>(*vs)
+                     .device()
+                     .stats()
+                     .bytes_written.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+uint64_t
+PrismDb::nvmIndexBytes() const
+{
+    return index_->nvmBytes() + hsit_->nvmBytes();
+}
+
+}  // namespace prism::core

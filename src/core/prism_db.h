@@ -1,0 +1,226 @@
+/**
+ * @file
+ * PrismDb — the public key-value store API (§4, Fig. 2).
+ *
+ * Wires the five components together:
+ *
+ *   Persistent Key Index (PacTree, NVM)  -> HSIT entry index
+ *   HSIT (NVM)                           -> value location (PWB/VS/SVC)
+ *   PWB (per-thread, NVM)                -> fresh writes, durable at once
+ *   Value Storage (one per SSD)          -> bulk of the data
+ *   SVC (DRAM)                           -> read-hot values, scan chains
+ *
+ * Operation outlines (detail in prism_db.cc):
+ *  - put: PWB append (value + backward ptr, one fence) then durable CAS
+ *    of the HSIT forward pointer — the linearization point (§5.4).
+ *  - get: index -> HSIT -> SVC / PWB / Value Storage (thread-combined
+ *    SSD read), then SVC admission off the critical path.
+ *  - scan: index range -> batched SSD reads with span merging -> SVC
+ *    admission + scan-chain registration (§4.4).
+ *  - del: index remove + epoch-deferred HSIT entry reclamation.
+ *
+ * Background threads: one PWB reclaimer (§5.2), one GC thread, the SVC
+ * manager, and one completion thread per Value Storage.
+ *
+ * Crash consistency: see §5.5 / recover(). The store can be shut down
+ * abruptly (or its devices snapshotted mid-run) and reopened with
+ * recover(); tests inject crashes at arbitrary points via the pmem
+ * tracking mode.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/status.h"
+#include "common/thread_util.h"
+#include "core/hsit.h"
+#include "core/options.h"
+#include "core/pwb.h"
+#include "core/svc.h"
+#include "core/value_storage.h"
+#include "index/pactree.h"
+#include "pmem/pmem_allocator.h"
+#include "pmem/pmem_region.h"
+#include "sim/ssd_device.h"
+
+namespace prism::core {
+
+/** Operation counters exposed for benchmarks and tests. */
+struct PrismDbStats {
+    std::atomic<uint64_t> puts{0};
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> dels{0};
+    std::atomic<uint64_t> scans{0};
+    std::atomic<uint64_t> pwb_hits{0};   ///< gets served from the PWB
+    std::atomic<uint64_t> svc_hits{0};   ///< gets served from the SVC
+    std::atomic<uint64_t> vs_reads{0};   ///< gets that went to the SSD
+    std::atomic<uint64_t> reclaim_passes{0};
+    std::atomic<uint64_t> reclaimed_values{0};
+    std::atomic<uint64_t> reclaim_skipped_stale{0};  ///< dedup wins (§4.3)
+    std::atomic<uint64_t> user_bytes_written{0};     ///< WAF denominator
+    std::atomic<uint64_t> pwb_stalls{0};  ///< puts that waited for space
+};
+
+/** A Prism key-value store instance. */
+class PrismDb {
+  public:
+    /**
+     * Open a store.
+     *
+     * @param opts   tunables and ablation flags.
+     * @param region the NVM pool (caller keeps ownership shared so crash
+     *               tests can snapshot/restore it).
+     * @param ssds   one Value Storage is created per device.
+     * @param format true = initialise fresh; false = recover (§5.5).
+     */
+    PrismDb(const PrismOptions &opts,
+            std::shared_ptr<pmem::PmemRegion> region,
+            std::vector<std::shared_ptr<sim::SsdDevice>> ssds, bool format);
+    ~PrismDb();
+
+    PrismDb(const PrismDb &) = delete;
+    PrismDb &operator=(const PrismDb &) = delete;
+
+    /** Convenience: fresh store. */
+    static std::unique_ptr<PrismDb>
+    open(const PrismOptions &opts, std::shared_ptr<pmem::PmemRegion> region,
+         std::vector<std::shared_ptr<sim::SsdDevice>> ssds)
+    {
+        return std::make_unique<PrismDb>(opts, std::move(region),
+                                         std::move(ssds), true);
+    }
+
+    /** Convenience: recover an existing store after crash/restart. */
+    static std::unique_ptr<PrismDb>
+    recover(const PrismOptions &opts,
+            std::shared_ptr<pmem::PmemRegion> region,
+            std::vector<std::shared_ptr<sim::SsdDevice>> ssds)
+    {
+        return std::make_unique<PrismDb>(opts, std::move(region),
+                                         std::move(ssds), false);
+    }
+
+    /** @name Store operations */
+    ///@{
+    /** Insert or update. Durable on return (durable linearizability). */
+    Status put(uint64_t key, std::string_view value);
+
+    /** Point lookup. */
+    Status get(uint64_t key, std::string *value);
+
+    /** Delete. */
+    Status del(uint64_t key);
+
+    /**
+     * Range scan: up to @p count pairs with key >= @p start_key in
+     * ascending key order.
+     */
+    Status scan(uint64_t start_key, size_t count,
+                std::vector<std::pair<uint64_t, std::string>> *out);
+
+    /**
+     * Batched point lookups: out[i] holds key[i]'s value or nullopt for
+     * missing keys. All SSD-resident values are fetched with one device
+     * batch per Value Storage, amortizing submission cost — the natural
+     * API for applications with dependency-free read sets.
+     */
+    Status multiGet(const std::vector<uint64_t> &keys,
+                    std::vector<std::optional<std::string>> *out);
+    ///@}
+
+    /** Number of live keys. */
+    size_t size() const { return index_->size(); }
+
+    /**
+     * Synchronously reclaim every PWB down to empty and apply deferred
+     * head advances (tests and orderly shutdown; not needed for
+     * durability — the PWB *is* durable).
+     */
+    void flushAll();
+
+    /** Run GC passes until no Value Storage is above its watermark. */
+    void forceGc();
+
+    /** @name Introspection for benchmarks */
+    ///@{
+    PrismDbStats &stats() { return stats_; }
+    SvcStats &svcStats() { return svc_->stats(); }
+    index::KeyIndex &keyIndex() { return *index_; }
+    Hsit &hsit() { return *hsit_; }
+    Svc &svc() { return *svc_; }
+    ValueStorage &valueStorage(size_t i) { return *value_storages_[i]; }
+    size_t valueStorageCount() const { return value_storages_.size(); }
+    EpochManager &epochs() { return epochs_; }
+
+    /** Total SSD bytes written across all Value Storages (WAF numerator). */
+    uint64_t ssdBytesWritten() const;
+
+    /** NVM bytes used by Key Index + HSIT (§7.6 space experiment). */
+    uint64_t nvmIndexBytes() const;
+
+    /** Wall-clock nanoseconds the constructor spent in recovery. */
+    uint64_t recoveryTimeNs() const { return recovery_ns_; }
+    ///@}
+
+  private:
+    /** Per-thread PWB, created lazily on a thread's first put. */
+    Pwb *pwbForThisThread();
+
+    Status readValue(uint64_t hsit_idx, uint64_t key, ValueAddr addr,
+                     std::string *out, bool admit_to_svc);
+
+    void reclaimerLoop();
+    void gcLoop();
+    /** One reclamation pass over @p pwb (§5.2, Fig. 4). */
+    void reclaimPwb(Pwb *pwb);
+    void recoverState();
+    void clearOldLocation(uint64_t hsit_idx, ValueAddr old_addr);
+
+    /** On-NVM master root tying all persistent components together. */
+    struct MasterRoot {
+        uint64_t magic;
+        pmem::POff tree_root;
+        pmem::POff hsit_root;
+        std::atomic<pmem::POff> pwb_roots[ThreadId::kMaxThreads];
+    };
+    static constexpr uint64_t kMagic = 0x5052495344427631ull;  // PRISMDBv1
+
+    PrismOptions opts_;
+    std::shared_ptr<pmem::PmemRegion> region_;
+    std::unique_ptr<pmem::PmemAllocator> alloc_;
+    EpochManager epochs_;
+
+    std::unique_ptr<index::PacTree> index_;
+    std::unique_ptr<Hsit> hsit_;
+    std::vector<std::unique_ptr<ValueStorage>> value_storages_;
+    std::vector<ValueStorage *> vs_ptrs_;
+    std::unique_ptr<Svc> svc_;
+
+    pmem::POff master_off_ = pmem::kNullOff;
+    MasterRoot *master_ = nullptr;
+
+    std::mutex pwb_mu_;
+    std::vector<std::unique_ptr<Pwb>> pwb_owner_;
+    std::atomic<Pwb *> pwbs_[ThreadId::kMaxThreads] = {};
+
+    std::atomic<bool> stop_{false};
+    std::thread reclaimer_;
+    std::thread gc_thread_;
+    std::mutex reclaim_mu_;
+    std::mutex reclaim_pass_mu_;  ///< serializes reclaimPwb passes
+    std::condition_variable reclaim_cv_;
+
+    PrismDbStats stats_;
+    uint64_t recovery_ns_ = 0;
+};
+
+}  // namespace prism::core

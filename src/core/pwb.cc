@@ -1,0 +1,165 @@
+#include "core/pwb.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace prism::core {
+
+using pmem::kNullOff;
+using pmem::POff;
+
+Pwb::Pwb(pmem::PmemRegion &region, POff root_off)
+    : region_(&region), root_off_(root_off)
+{
+    const auto *r = root();
+    PRISM_CHECK(r->magic == kMagic);
+    data_off_ = r->data;
+    capacity_ = r->capacity;
+    reclaim_cursor_.store(r->head.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+}
+
+std::unique_ptr<Pwb>
+Pwb::create(pmem::PmemRegion &region, pmem::PmemAllocator &alloc,
+            uint64_t capacity)
+{
+    // Round to whole 64 B units (records are unit-aligned).
+    capacity &= ~(ValueAddr::kSizeUnit - 1);
+    PRISM_CHECK(capacity >= 4 * ValueAddr::kSizeUnit);
+    const POff root_off = alloc.alloc(sizeof(PwbRoot));
+    PRISM_CHECK(root_off != kNullOff);
+    const POff data = alloc.allocRaw(capacity);
+    PRISM_CHECK(data != kNullOff && "NVM too small for PWB");
+
+    auto *r = region.as<PwbRoot>(root_off);
+    r->capacity = capacity;
+    r->head.store(0, std::memory_order_relaxed);
+    r->tail.store(0, std::memory_order_relaxed);
+    r->data = data;
+    r->magic = kMagic;
+    region.persist(r, sizeof(*r));
+    return std::unique_ptr<Pwb>(new Pwb(region, root_off));
+}
+
+std::unique_ptr<Pwb>
+Pwb::attach(pmem::PmemRegion &region, POff root_off)
+{
+    return std::unique_ptr<Pwb>(new Pwb(region, root_off));
+}
+
+void
+Pwb::writePad(uint64_t tail, uint64_t pad_bytes)
+{
+    PRISM_DCHECK(pad_bytes >= sizeof(ValueRecordHeader));
+    auto *hdr = reinterpret_cast<ValueRecordHeader *>(dataAt(
+        tail % capacity_));
+    hdr->backward = 0;
+    hdr->key = 0;
+    hdr->value_size = static_cast<uint32_t>(
+        pad_bytes - sizeof(ValueRecordHeader));
+    hdr->flags = ValueRecordHeader::kFlagPad;
+    hdr->crc = 0;
+    hdr->reserved = 0;
+    region_->flush(hdr, sizeof(*hdr));
+}
+
+ValueAddr
+Pwb::append(uint64_t hsit_idx, uint64_t key, const void *value,
+            uint32_t size)
+{
+    const uint64_t bytes = recordBytes(size);
+    auto *r = root();
+    uint64_t tail = r->tail.load(std::memory_order_relaxed);
+    const uint64_t head = r->head.load(std::memory_order_acquire);
+
+    uint64_t pad = 0;
+    const uint64_t to_wrap = capacity_ - tail % capacity_;
+    if (bytes > to_wrap)
+        pad = to_wrap;  // record must be physically contiguous
+    if (tail + pad + bytes - head > capacity_)
+        return ValueAddr();  // full; caller waits for reclamation
+
+    if (pad != 0) {
+        writePad(tail, pad);
+        tail += pad;
+    }
+
+    // Fence the record against reclamation until the caller publishes
+    // it (see markPublished). Ordered before the tail bump, so any
+    // reclaimer that can see the record also sees the marker.
+    inflight_.store(tail, std::memory_order_release);
+
+    const uint64_t phys = tail % capacity_;
+    auto *hdr = reinterpret_cast<ValueRecordHeader *>(dataAt(phys));
+    hdr->backward = hsit_idx;
+    hdr->key = key;
+    hdr->value_size = size;
+    hdr->flags = 0;
+    hdr->reserved = 0;
+    std::memcpy(hdr + 1, value, size);
+    hdr->crc = recordCrc(*hdr, hdr + 1);
+
+    // One fence covers the record, any pad, and the tail bump: all are
+    // durable before the HSIT publish that makes the value reachable.
+    region_->flush(hdr, sizeof(*hdr) + size);
+    r->tail.store(tail + bytes, std::memory_order_release);
+    region_->flush(&r->tail, sizeof(r->tail));
+    region_->fence();
+
+    return ValueAddr::pwb(data_off_ + phys, bytes);
+}
+
+uint64_t
+Pwb::collectFrom(uint64_t from, uint64_t max_bytes,
+                 std::vector<RecordRef> &out) const
+{
+    const auto *r = root();
+    uint64_t pos = std::max(from, r->head.load(std::memory_order_acquire));
+    uint64_t tail = r->tail.load(std::memory_order_acquire);
+    // An appended-but-unpublished record must not be judged: it looks
+    // ill-coupled but is about to become live. (Read after tail: the
+    // owner orders the marker store before the tail bump.)
+    tail = std::min(tail, inflight_.load(std::memory_order_acquire));
+    if (pos >= tail)
+        return pos;
+    // Saturating bound: callers may pass UINT64_MAX for "everything".
+    const uint64_t stop =
+        max_bytes >= tail - pos ? tail : pos + max_bytes;
+
+    while (pos < stop) {
+        const uint64_t phys = pos % capacity_;
+        const auto *hdr =
+            reinterpret_cast<const ValueRecordHeader *>(dataAt(phys));
+        const uint64_t bytes = recordBytes(hdr->value_size);
+        // Defensive bound: a corrupt header must not run the scan off the
+        // ring (cannot happen with our fence model, but cheap to verify).
+        if (bytes == 0 || bytes > capacity_ - phys || pos + bytes > tail)
+            break;
+        if (!(hdr->flags & ValueRecordHeader::kFlagPad)) {
+            out.push_back({pos + bytes,
+                           ValueAddr::pwb(data_off_ + phys, bytes), hdr,
+                           reinterpret_cast<const uint8_t *>(hdr + 1)});
+        }
+        pos += bytes;
+    }
+    return pos;
+}
+
+void
+Pwb::advanceHead(uint64_t new_head)
+{
+    auto *r = root();
+    // Monotonic: concurrent reclaim passes (background reclaimer +
+    // flushAll) may apply their deferred advances out of order; moving
+    // the head backwards would break the ring invariant and let the
+    // owner overwrite live records.
+    if (new_head <= r->head.load(std::memory_order_acquire))
+        return;
+    PRISM_DCHECK(new_head <= r->tail.load(std::memory_order_relaxed));
+    r->head.store(new_head, std::memory_order_release);
+    region_->persist(&r->head, sizeof(r->head));
+}
+
+}  // namespace prism::core

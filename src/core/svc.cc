@@ -1,0 +1,430 @@
+#include "core/svc.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "core/chunk_writer.h"
+
+namespace prism::core {
+
+Svc::Svc(Hsit &hsit, EpochManager &epochs,
+         std::vector<ValueStorage *> targets, const PrismOptions &opts)
+    : hsit_(hsit), epochs_(epochs), targets_(std::move(targets)),
+      enabled_(opts.enable_svc), scan_reorg_(opts.enable_scan_reorg),
+      capacity_(opts.svc_capacity_bytes)
+{
+    manager_ = std::thread([this] { managerLoop(); });
+}
+
+Svc::~Svc()
+{
+    stop_.store(true, std::memory_order_release);
+    manager_.join();
+    // Drain straggler events in order, then free the survivors; no
+    // application threads can remain at destruction.
+    std::vector<Event> batch;
+    {
+        std::lock_guard<std::mutex> lock(ev_mu_);
+        while (!events_.empty()) {
+            batch.push_back(std::move(events_.front()));
+            events_.pop_front();
+        }
+    }
+    for (auto &ev : batch)
+        processEvent(ev);
+    for (SvcEntry *e : admitted_) {
+        hsit_.svcCas(e->hsit_idx, e, nullptr);
+        operator delete(e);
+    }
+    admitted_.clear();
+    epochs_.drain();  // run pending EBR deleters for retired entries
+}
+
+bool
+Svc::lookup(uint64_t hsit_idx, uint64_t primary_raw, std::string *out)
+{
+    if (!enabled_)
+        return false;
+    auto *e = static_cast<SvcEntry *>(hsit_.svcLoad(hsit_idx));
+    if (e == nullptr) {
+        stats_.misses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    // Staleness validation: the copy is authoritative only while the
+    // forward pointer still names the record it was taken from.
+    if (e->vs_raw.load(std::memory_order_acquire) != primary_raw) {
+        stats_.misses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    out->assign(reinterpret_cast<const char *>(e->data()), e->size);
+    e->referenced.store(true, std::memory_order_relaxed);
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+Svc::admit(uint64_t hsit_idx, uint64_t key, ValueAddr vs_addr,
+           const uint8_t *payload, uint32_t size)
+{
+    if (!enabled_)
+        return;
+    auto *e = static_cast<SvcEntry *>(
+        operator new(sizeof(SvcEntry) + size));
+    new (e) SvcEntry();
+    e->key = key;
+    e->hsit_idx = hsit_idx;
+    e->vs_raw.store(vs_addr.withoutDirty().raw(), std::memory_order_relaxed);
+    e->size = size;
+    std::memcpy(e->data(), payload, size);
+
+    used_bytes_.fetch_add(e->footprint(), std::memory_order_relaxed);
+    if (!hsit_.svcCas(hsit_idx, nullptr, e)) {
+        // Raced with another admitter; nobody else saw this entry.
+        used_bytes_.fetch_sub(e->footprint(), std::memory_order_relaxed);
+        operator delete(e);
+        return;
+    }
+    stats_.admissions.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(ev_mu_);
+        events_.push_back({EvType::kAdmit, e, {}});
+    }
+    // Post-publish re-validation: if the forward pointer moved while we
+    // were publishing, retract the (possibly stale) copy. Whoever wins
+    // the detach CAS enqueues the Remove; the background thread performs
+    // the actual retirement.
+    if (hsit_.entry(hsit_idx).primary.load(std::memory_order_acquire) !=
+        e->vs_raw.load(std::memory_order_relaxed)) {
+        if (hsit_.svcCas(hsit_idx, e, nullptr)) {
+            std::lock_guard<std::mutex> lock(ev_mu_);
+            events_.push_back({EvType::kRemove, e, {}});
+        }
+    }
+}
+
+void
+Svc::invalidate(uint64_t hsit_idx)
+{
+    if (!enabled_)
+        return;
+    auto *e = static_cast<SvcEntry *>(hsit_.svcLoad(hsit_idx));
+    if (e == nullptr)
+        return;
+    if (hsit_.svcCas(hsit_idx, e, nullptr)) {
+        std::lock_guard<std::mutex> lock(ev_mu_);
+        events_.push_back({EvType::kRemove, e, {}});
+    }
+}
+
+void
+Svc::noteScan(std::vector<uint64_t> hsit_indices)
+{
+    if (!enabled_ || !scan_reorg_ || hsit_indices.size() < 2)
+        return;
+    std::lock_guard<std::mutex> lock(ev_mu_);
+    events_.push_back({EvType::kScanChain, nullptr,
+                       std::move(hsit_indices)});
+}
+
+void
+Svc::rebind(uint64_t hsit_idx, uint64_t old_raw, uint64_t new_raw)
+{
+    if (!enabled_)
+        return;
+    EpochGuard guard(epochs_);
+    auto *e = static_cast<SvcEntry *>(hsit_.svcLoad(hsit_idx));
+    if (e == nullptr)
+        return;
+    uint64_t expected = old_raw;
+    e->vs_raw.compare_exchange_strong(expected, new_raw,
+                                      std::memory_order_acq_rel);
+}
+
+void
+Svc::drainForTest()
+{
+    const uint64_t gen = drained_generation_.load(std::memory_order_acquire);
+    // Wait for two full passes: one may already have been in flight.
+    while (drained_generation_.load(std::memory_order_acquire) < gen + 2)
+        std::this_thread::yield();
+}
+
+void
+Svc::Lru::pushFront(SvcEntry *e)
+{
+    e->prev = nullptr;
+    e->next = head;
+    if (head != nullptr)
+        head->prev = e;
+    head = e;
+    if (tail == nullptr)
+        tail = e;
+    count++;
+}
+
+void
+Svc::Lru::unlink(SvcEntry *e)
+{
+    if (e->prev != nullptr)
+        e->prev->next = e->next;
+    else
+        head = e->next;
+    if (e->next != nullptr)
+        e->next->prev = e->prev;
+    else
+        tail = e->prev;
+    e->prev = e->next = nullptr;
+    count--;
+}
+
+Svc::SvcEntry *
+Svc::Lru::popBack()
+{
+    SvcEntry *e = tail;
+    if (e != nullptr)
+        unlink(e);
+    return e;
+}
+
+void
+Svc::managerLoop()
+{
+    std::vector<Event> batch;
+    while (!stop_.load(std::memory_order_acquire)) {
+        batch.clear();
+        {
+            std::lock_guard<std::mutex> lock(ev_mu_);
+            while (!events_.empty()) {
+                batch.push_back(std::move(events_.front()));
+                events_.pop_front();
+            }
+        }
+        for (auto &ev : batch)
+            processEvent(ev);
+        balance();
+        epochs_.tryAdvance();
+        drained_generation_.fetch_add(1, std::memory_order_release);
+        if (batch.empty())
+            delayFor(50 * 1000);  // idle poll
+    }
+}
+
+void
+Svc::processEvent(Event &ev)
+{
+    switch (ev.type) {
+      case EvType::kAdmit: {
+        SvcEntry *e = ev.entry;
+        if (pending_remove_.erase(e) > 0) {
+            // Its Remove arrived first (the entry was detached before we
+            // got here); retire it now that both events are accounted.
+            retireEntry(e);
+            return;
+        }
+        admitted_.insert(e);
+        // First touch goes to the inactive list (2Q admission, Fig. 3-1).
+        inactive_.pushFront(e);
+        e->in_lru = true;
+        e->in_active = false;
+        return;
+      }
+      case EvType::kRemove: {
+        SvcEntry *e = ev.entry;
+        if (admitted_.erase(e) > 0) {
+            retireEntry(e);
+        } else {
+            // Admit not yet processed; defer until it arrives.
+            pending_remove_.insert(e);
+        }
+        return;
+      }
+      case EvType::kScanChain: {
+        // Link the (still-cached) members of one scan into a chain.
+        SvcEntry *prev = nullptr;
+        for (uint64_t idx : ev.chain) {
+            auto *e = static_cast<SvcEntry *>(hsit_.svcLoad(idx));
+            if (e == nullptr || e->evicted || !e->in_lru)
+                continue;
+            unlinkScan(e);
+            if (prev != nullptr) {
+                prev->scan_next = e;
+                e->scan_prev = prev;
+            }
+            prev = e;
+        }
+        return;
+      }
+    }
+}
+
+void
+Svc::balance()
+{
+    // Demote from the active tail when the active list dominates
+    // (Fig. 3-3), and evict from the inactive tail over capacity
+    // (Fig. 3-4).
+    while (active_.count > 2 * inactive_.count + 8) {
+        SvcEntry *e = active_.popBack();
+        if (e == nullptr)
+            break;
+        e->in_active = false;
+        e->referenced.store(false, std::memory_order_relaxed);
+        inactive_.pushFront(e);
+    }
+    int guard = 4096;
+    while (used_bytes_.load(std::memory_order_relaxed) > capacity_ &&
+           guard-- > 0) {
+        evictOne();
+        if (active_.count == 0 && inactive_.count == 0)
+            break;
+    }
+}
+
+void
+Svc::evictOne()
+{
+    SvcEntry *e = inactive_.popBack();
+    if (e == nullptr) {
+        e = active_.popBack();
+        if (e == nullptr)
+            return;
+        e->in_active = false;
+    }
+    e->in_lru = false;
+    if (e->referenced.exchange(false, std::memory_order_relaxed) &&
+        !e->in_active) {
+        // Second access observed: promote instead of evicting
+        // (Fig. 3-2).
+        e->in_active = true;
+        e->in_lru = true;
+        active_.pushFront(e);
+        return;
+    }
+    if (scan_reorg_ && (e->scan_prev != nullptr || e->scan_next != nullptr))
+        reorganizeChain(e);
+
+    // Logical deletion first (disconnect from HSIT), physical free after
+    // the epoch grace period (§4.4). If the detach CAS loses, another
+    // thread already detached the entry and its Remove event will retire
+    // it; we must not free it twice.
+    if (hsit_.svcCas(e->hsit_idx, e, nullptr)) {
+        admitted_.erase(e);
+        retireEntry(e);
+    }
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Svc::unlinkScan(SvcEntry *e)
+{
+    if (e->scan_prev != nullptr)
+        e->scan_prev->scan_next = e->scan_next;
+    if (e->scan_next != nullptr)
+        e->scan_next->scan_prev = e->scan_prev;
+    e->scan_prev = e->scan_next = nullptr;
+}
+
+void
+Svc::reorganizeChain(SvcEntry *evictee)
+{
+    // Walk the doubly-linked chain formed at scan time (no extra lookup
+    // needed, §4.4), collect the members, and rewrite them sorted into a
+    // fresh chunk so the range becomes one sequential read.
+    std::vector<SvcEntry *> chain;
+    for (SvcEntry *e = evictee; e != nullptr; e = e->scan_prev)
+        chain.push_back(e);
+    std::reverse(chain.begin(), chain.end());
+    for (SvcEntry *e = evictee->scan_next; e != nullptr; e = e->scan_next)
+        chain.push_back(e);
+
+    struct Item {
+        SvcEntry *e;
+        ValueAddr old_addr;
+    };
+    std::vector<Item> items;
+    for (SvcEntry *e : chain) {
+        unlinkScan(e);
+        const ValueAddr addr(e->vs_raw.load(std::memory_order_acquire));
+        // Only values that still live on SSD participate; a member whose
+        // value moved back to the PWB is skipped.
+        if (!addr.isVs())
+            continue;
+        if (hsit_.entry(e->hsit_idx).primary.load(
+                std::memory_order_acquire) != addr.raw())
+            continue;  // superseded meanwhile
+        items.push_back({e, addr});
+    }
+    if (items.size() < 2)
+        return;
+
+    std::sort(items.begin(), items.end(), [](const Item &a, const Item &b) {
+        return a.e->key < b.e->key;
+    });
+
+    ChunkWriter writer(targets_);
+    std::vector<ValueAddr> new_addrs;
+    new_addrs.reserve(items.size());
+    for (const auto &it : items) {
+        const ValueAddr a = writer.add(it.e->hsit_idx, it.e->key,
+                                       it.e->data(), it.e->size);
+        if (a.isNull())
+            return;  // Value Storage full; skip the optimisation
+        new_addrs.push_back(a);
+    }
+    if (!writer.finish().isOk())
+        return;
+
+    auto vs_by_id = [this](uint32_t id) -> ValueStorage * {
+        for (ValueStorage *vs : targets_) {
+            if (vs->ssdId() == id)
+                return vs;
+        }
+        return targets_[0];
+    };
+
+    // Pre-mark the copies live so a concurrent GC pass cannot judge the
+    // destination chunk empty before the CASes land.
+    for (size_t i = 0; i < items.size(); i++) {
+        vs_by_id(new_addrs[i].ssdId())
+            ->setValid(new_addrs[i].offset(), new_addrs[i].recordBytes());
+    }
+    writer.settleAll();
+    size_t moved = 0;
+    for (size_t i = 0; i < items.size(); i++) {
+        const auto &it = items[i];
+        if (hsit_.casPrimaryDurable(it.e->hsit_idx, it.old_addr,
+                                    new_addrs[i])) {
+            vs_by_id(it.old_addr.ssdId())
+                ->clearValid(it.old_addr.offset(),
+                             it.old_addr.recordBytes());
+            it.e->vs_raw.store(new_addrs[i].withoutDirty().raw(),
+                               std::memory_order_release);
+            moved++;
+        } else {
+            vs_by_id(new_addrs[i].ssdId())
+                ->clearValid(new_addrs[i].offset(),
+                             new_addrs[i].recordBytes());
+        }
+    }
+    stats_.scan_reorgs.fetch_add(1, std::memory_order_relaxed);
+    stats_.reorged_values.fetch_add(moved, std::memory_order_relaxed);
+}
+
+void
+Svc::retireEntry(SvcEntry *e)
+{
+    if (e->evicted)
+        return;
+    if (e->in_lru) {
+        (e->in_active ? active_ : inactive_).unlink(e);
+        e->in_lru = false;
+    }
+    unlinkScan(e);
+    e->evicted = true;
+    used_bytes_.fetch_sub(e->footprint(), std::memory_order_relaxed);
+    epochs_.retire([e] { operator delete(e); });
+}
+
+}  // namespace prism::core

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Scan-aware Value Cache (SVC, §4.4, Fig. 3).
+ *
+ * A DRAM cache of read-hot values with three defining properties from
+ * the paper:
+ *
+ *  1. *No separate cache index* — a cached value is reached directly from
+ *     the key index through the HSIT's SVC pointer.
+ *  2. *Off-critical-path management* — application threads only publish
+ *     (CAS the HSIT SVC pointer) and set a reference flag; a background
+ *     thread owns the 2Q LRU lists (active/inactive), promotion,
+ *     demotion and eviction, with epoch-based reclamation protecting
+ *     readers of evicted entries.
+ *  3. *Scan awareness* — values returned by one scan are chained in a
+ *     doubly-linked list; when one of them is evicted, the whole chain
+ *     is sorted by key and rewritten into a single Value Storage chunk,
+ *     restoring spatial locality for future scans.
+ *
+ * Staleness safety: an SVC entry remembers the Value Storage address its
+ * payload was copied from (`vs_raw`). Readers accept the cached copy
+ * only while the HSIT forward pointer still equals that address, so a
+ * concurrent update can never serve a stale value even before the
+ * updater's cleanup CAS lands.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/epoch.h"
+#include "core/addr.h"
+#include "core/hsit.h"
+#include "core/options.h"
+#include "core/value_storage.h"
+
+namespace prism::core {
+
+/** Cache usage counters. */
+struct SvcStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> admissions{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> scan_reorgs{0};
+    std::atomic<uint64_t> reorged_values{0};
+};
+
+/** The Scan-aware Value Cache. */
+class Svc {
+  public:
+    /**
+     * @param hsit    the indirection table (SVC pointers live there).
+     * @param epochs  epoch domain shared with the rest of the store.
+     * @param targets Value Storages for scan-range rewrites.
+     * @param opts    capacity and feature flags.
+     */
+    Svc(Hsit &hsit, EpochManager &epochs,
+        std::vector<ValueStorage *> targets, const PrismOptions &opts);
+    ~Svc();
+
+    Svc(const Svc &) = delete;
+    Svc &operator=(const Svc &) = delete;
+
+    /**
+     * Try to serve @p hsit_idx from the cache. Valid only while the
+     * caller holds an epoch guard.
+     *
+     * @param primary_raw the entry's current (clean) forward pointer;
+     *        the cached copy is used only if it was taken from exactly
+     *        this location.
+     * @return true and fills @p out on a (validated) hit.
+     */
+    bool lookup(uint64_t hsit_idx, uint64_t primary_raw, std::string *out);
+
+    /**
+     * Admit a value just read from Value Storage (caller holds an epoch
+     * guard). Failure to admit (lost race, cache disabled) is silent.
+     */
+    void admit(uint64_t hsit_idx, uint64_t key, ValueAddr vs_addr,
+               const uint8_t *payload, uint32_t size);
+
+    /**
+     * Drop the cached copy for an updated/deleted entry (cleanup only;
+     * readers already validate against the forward pointer).
+     */
+    void invalidate(uint64_t hsit_idx);
+
+    /**
+     * Record that one scan returned these entries; the background thread
+     * chains them so eviction can reorganise the whole range (§4.4).
+     */
+    void noteScan(std::vector<uint64_t> hsit_indices);
+
+    /**
+     * Re-bind a cached entry after its on-SSD record moved (GC): keeps
+     * the cache warm across relocations.
+     */
+    void rebind(uint64_t hsit_idx, uint64_t old_raw, uint64_t new_raw);
+
+    uint64_t usedBytes() const {
+        return used_bytes_.load(std::memory_order_relaxed);
+    }
+    uint64_t capacityBytes() const { return capacity_; }
+    SvcStats &stats() { return stats_; }
+
+    /** Block until the event queue has been drained once (tests). */
+    void drainForTest();
+
+  private:
+    struct SvcEntry {
+        uint64_t key;
+        uint64_t hsit_idx;
+        std::atomic<uint64_t> vs_raw;    ///< source VS address (validation)
+        uint32_t size;
+        std::atomic<bool> referenced{false};  ///< set on hit; 2Q promotion
+
+        // Fields below are owned by the background thread.
+        bool in_lru = false;
+        bool in_active = false;
+        bool evicted = false;
+        SvcEntry *prev = nullptr;
+        SvcEntry *next = nullptr;
+        SvcEntry *scan_prev = nullptr;
+        SvcEntry *scan_next = nullptr;
+
+        uint8_t *data() { return reinterpret_cast<uint8_t *>(this + 1); }
+        const uint8_t *data() const {
+            return reinterpret_cast<const uint8_t *>(this + 1);
+        }
+        uint64_t footprint() const { return sizeof(SvcEntry) + size; }
+    };
+
+    /** Intrusive doubly-linked list head (background thread only). */
+    struct Lru {
+        SvcEntry *head = nullptr;  ///< most recent
+        SvcEntry *tail = nullptr;  ///< least recent
+        size_t count = 0;
+
+        void pushFront(SvcEntry *e);
+        void unlink(SvcEntry *e);
+        SvcEntry *popBack();
+    };
+
+    enum class EvType { kAdmit, kRemove, kScanChain };
+    struct Event {
+        EvType type;
+        SvcEntry *entry = nullptr;
+        std::vector<uint64_t> chain;
+    };
+
+    void managerLoop();
+    void processEvent(Event &ev);
+    void balance();
+    void evictOne();
+    /** Sort + rewrite the scan chain containing @p e (Fig. 3 steps 5-6). */
+    void reorganizeChain(SvcEntry *e);
+    void unlinkScan(SvcEntry *e);
+    void retireEntry(SvcEntry *e);
+
+    Hsit &hsit_;
+    EpochManager &epochs_;
+    std::vector<ValueStorage *> targets_;
+    bool enabled_;
+    bool scan_reorg_;
+    uint64_t capacity_;
+
+    std::atomic<uint64_t> used_bytes_{0};
+
+    std::mutex ev_mu_;
+    std::deque<Event> events_;
+    std::atomic<uint64_t> drained_generation_{0};
+
+    Lru active_;
+    Lru inactive_;
+
+    // Entry-lifecycle bookkeeping (background thread only). An entry is
+    // freed only after its Admit event has been processed, which closes
+    // the race where a descheduled admitter enqueues an event for an
+    // entry that was detached, retired and reclaimed in the meantime.
+    std::unordered_set<SvcEntry *> admitted_;
+    std::unordered_set<SvcEntry *> pending_remove_;
+
+    SvcStats stats_;
+
+    std::atomic<bool> stop_{false};
+    std::thread manager_;
+};
+
+}  // namespace prism::core

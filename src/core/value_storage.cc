@@ -1,0 +1,388 @@
+#include "core/value_storage.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "core/chunk_writer.h"
+
+namespace prism::core {
+
+ValueStorage::ValueStorage(uint32_t ssd_id,
+                           std::shared_ptr<sim::SsdDevice> device,
+                           const PrismOptions &opts, EpochManager &epochs)
+    : ssd_id_(ssd_id), device_(std::move(device)),
+      chunk_bytes_(opts.chunk_bytes), gc_watermark_(opts.vs_gc_watermark),
+      gc_victims_per_pass_(opts.gc_victims_per_pass), epochs_(epochs),
+      metas_(device_->capacity() / opts.chunk_bytes)
+{
+    PRISM_CHECK(!metas_.empty());
+    PRISM_CHECK(chunk_bytes_ % ValueAddr::kSizeUnit == 0);
+    const size_t words = (unitsPerChunk() + 63) / 64;
+    for (size_t i = 0; i < metas_.size(); i++) {
+        metas_[i].bitmap.reset(new std::atomic<uint64_t>[words]);
+        for (size_t w = 0; w < words; w++)
+            metas_[i].bitmap[w].store(0, std::memory_order_relaxed);
+        free_chunks_.push_back(static_cast<int64_t>(i));
+    }
+    // Hand out low chunk indices first (purely cosmetic determinism).
+    std::reverse(free_chunks_.begin(), free_chunks_.end());
+
+    reader_ = std::make_unique<ReadBatcher>(
+        *device_, opts.read_batch_mode, opts.read_queue_depth,
+        opts.timeout_batch_us);
+    completion_thread_ = std::thread([this] { completionLoop(); });
+}
+
+ValueStorage::~ValueStorage()
+{
+    stop_.store(true, std::memory_order_release);
+    completion_thread_.join();
+}
+
+void
+ValueStorage::completionLoop()
+{
+    // The background completion thread of §5.3 step 4: reap the CQ and
+    // wake the waiter identified by each completion's user_data.
+    std::vector<sim::SsdCompletion> completions;
+    while (!stop_.load(std::memory_order_acquire)) {
+        completions.clear();
+        if (device_->waitCompletions(completions, 256, 200) == 0)
+            continue;
+        for (const auto &c : completions) {
+            auto *w = reinterpret_cast<ReadWaiter *>(c.user_data & ~1ull);
+            if (w != nullptr)
+                w->signal(1);
+        }
+    }
+}
+
+size_t
+ValueStorage::freeChunks() const
+{
+    size_t n = 0;
+    for (const auto &m : metas_) {
+        if (m.state.load(std::memory_order_relaxed) ==
+            static_cast<uint32_t>(ChunkState::kFree))
+            n++;
+    }
+    return n;
+}
+
+int64_t
+ValueStorage::allocChunk()
+{
+    std::lock_guard<TicketLock> lock(free_mu_);
+    if (free_chunks_.empty())
+        return -1;
+    const int64_t chunk = free_chunks_.back();
+    free_chunks_.pop_back();
+    metas_[static_cast<size_t>(chunk)].state.store(
+        static_cast<uint32_t>(ChunkState::kOpen),
+        std::memory_order_release);
+    return chunk;
+}
+
+Status
+ValueStorage::submitChunkWrite(int64_t chunk, const uint8_t *buf,
+                               uint32_t len, WriteTicket *ticket)
+{
+    PRISM_DCHECK(len <= chunk_bytes_);
+    sim::SsdIoRequest req;
+    req.op = sim::SsdIoRequest::Op::kWrite;
+    req.offset = static_cast<uint64_t>(chunk) * chunk_bytes_;
+    req.length = len;
+    req.src = buf;
+    // Bit 0 tags the waiter as a chunk-write ticket (pointers are
+    // 8-byte aligned, so the low bits are free).
+    req.user_data = reinterpret_cast<uint64_t>(&ticket->waiter) | 1ull;
+    return device_->submit(req);
+}
+
+void
+ValueStorage::sealChunk(int64_t chunk, uint32_t used_bytes)
+{
+    auto &m = metas_[static_cast<size_t>(chunk)];
+    m.used_bytes.store(used_bytes, std::memory_order_release);
+    m.settled.store(false, std::memory_order_release);
+    m.state.store(static_cast<uint32_t>(ChunkState::kSealed),
+                  std::memory_order_release);
+}
+
+void
+ValueStorage::settleChunk(int64_t chunk)
+{
+    metas_[static_cast<size_t>(chunk)].settled.store(
+        true, std::memory_order_release);
+}
+
+void
+ValueStorage::freeChunkDeferred(int64_t chunk)
+{
+    // Only one retirer may free a chunk: concurrent GC/reclaim paths
+    // could otherwise push it onto the free list twice and hand the same
+    // chunk to two writers.
+    auto &meta = metas_[static_cast<size_t>(chunk)];
+    uint32_t expected = static_cast<uint32_t>(ChunkState::kSealed);
+    if (!meta.state.compare_exchange_strong(
+            expected, static_cast<uint32_t>(ChunkState::kFreeing),
+            std::memory_order_acq_rel)) {
+        // Allow freeing a never-sealed (open, empty) chunk as well.
+        expected = static_cast<uint32_t>(ChunkState::kOpen);
+        if (!meta.state.compare_exchange_strong(
+                expected, static_cast<uint32_t>(ChunkState::kFreeing),
+                std::memory_order_acq_rel)) {
+            return;  // someone else is already freeing it
+        }
+    }
+    // Readers may still hold addresses into this chunk; recycle it only
+    // after two epochs (§5.4's grace-period discipline).
+    epochs_.retire([this, chunk] {
+        auto &m = metas_[static_cast<size_t>(chunk)];
+        const size_t words = (unitsPerChunk() + 63) / 64;
+        for (size_t w = 0; w < words; w++)
+            m.bitmap[w].store(0, std::memory_order_relaxed);
+        m.used_bytes.store(0, std::memory_order_relaxed);
+        m.live_units.store(0, std::memory_order_relaxed);
+        m.settled.store(false, std::memory_order_relaxed);
+        m.state.store(static_cast<uint32_t>(ChunkState::kFree),
+                      std::memory_order_release);
+        std::lock_guard<TicketLock> lock(free_mu_);
+        free_chunks_.push_back(chunk);
+    });
+}
+
+void
+ValueStorage::setValid(uint64_t dev_offset, uint64_t record_bytes)
+{
+    const uint64_t chunk = dev_offset / chunk_bytes_;
+    const uint64_t unit = (dev_offset % chunk_bytes_) / ValueAddr::kSizeUnit;
+    auto &m = metas_[chunk];
+    const uint64_t prev = m.bitmap[unit / 64].fetch_or(
+        1ull << (unit % 64), std::memory_order_acq_rel);
+    if (!(prev & (1ull << (unit % 64)))) {
+        m.live_units.fetch_add(
+            static_cast<uint32_t>(record_bytes / ValueAddr::kSizeUnit),
+            std::memory_order_relaxed);
+    }
+}
+
+void
+ValueStorage::clearValid(uint64_t dev_offset, uint64_t record_bytes)
+{
+    const uint64_t chunk = dev_offset / chunk_bytes_;
+    const uint64_t unit = (dev_offset % chunk_bytes_) / ValueAddr::kSizeUnit;
+    auto &m = metas_[chunk];
+    const uint64_t prev = m.bitmap[unit / 64].fetch_and(
+        ~(1ull << (unit % 64)), std::memory_order_acq_rel);
+    if (prev & (1ull << (unit % 64))) {
+        m.live_units.fetch_sub(
+            static_cast<uint32_t>(record_bytes / ValueAddr::kSizeUnit),
+            std::memory_order_relaxed);
+    }
+}
+
+bool
+ValueStorage::isValid(uint64_t dev_offset) const
+{
+    const uint64_t chunk = dev_offset / chunk_bytes_;
+    const uint64_t unit = (dev_offset % chunk_bytes_) / ValueAddr::kSizeUnit;
+    return metas_[chunk].bitmap[unit / 64].load(std::memory_order_acquire) &
+           (1ull << (unit % 64));
+}
+
+Status
+ValueStorage::readRecord(ValueAddr addr, std::vector<uint8_t> &buf)
+{
+    PRISM_DCHECK(addr.isVs() && addr.ssdId() == ssd_id_);
+    buf.resize(addr.recordBytes());
+    return reader_->read(addr.offset(), buf.data(),
+                         static_cast<uint32_t>(addr.recordBytes()));
+}
+
+bool
+ValueStorage::needsGc() const
+{
+    size_t free_count = 0;
+    {
+        auto *self = const_cast<ValueStorage *>(this);
+        std::lock_guard<TicketLock> lock(self->free_mu_);
+        free_count = free_chunks_.size();
+    }
+    return static_cast<double>(metas_.size() - free_count) >
+           gc_watermark_ * static_cast<double>(metas_.size());
+}
+
+size_t
+ValueStorage::runGcPass(Hsit &hsit)
+{
+    // One GC pass at a time per Value Storage; concurrent passes would
+    // pick overlapping victims and double-relocate.
+    std::unique_lock<std::mutex> gc_lock(gc_mu_, std::try_to_lock);
+    if (!gc_lock.owns_lock())
+        return 0;
+
+    // Greedy victim selection: sealed chunks with the fewest live units.
+    struct Victim {
+        int64_t chunk;
+        uint32_t live;
+    };
+    std::vector<Victim> victims;
+    for (size_t i = 0; i < metas_.size(); i++) {
+        const auto &m = metas_[i];
+        if (m.state.load(std::memory_order_acquire) !=
+            static_cast<uint32_t>(ChunkState::kSealed))
+            continue;
+        if (!m.settled.load(std::memory_order_acquire))
+            continue;  // its writer is still publishing into it
+        const uint32_t live = m.live_units.load(std::memory_order_relaxed);
+        if (live >= unitsPerChunk())
+            continue;  // fully live; nothing to gain
+        victims.push_back({static_cast<int64_t>(i), live});
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const Victim &a, const Victim &b) {
+                  return a.live < b.live;
+              });
+    if (victims.size() > static_cast<size_t>(gc_victims_per_pass_))
+        victims.resize(static_cast<size_t>(gc_victims_per_pass_));
+    if (victims.empty())
+        return 0;
+
+    struct Survivor {
+        uint64_t hsit_idx;
+        uint64_t key;
+        ValueAddr old_addr;
+        std::vector<uint8_t> payload;
+    };
+    std::vector<Survivor> survivors;
+    std::vector<uint8_t> chunk_buf(chunk_bytes_);
+
+    for (const auto &v : victims) {
+        auto &m = metas_[static_cast<size_t>(v.chunk)];
+        const uint32_t used = m.used_bytes.load(std::memory_order_acquire);
+        if (v.live == 0 || used == 0)
+            continue;
+        const uint64_t base = static_cast<uint64_t>(v.chunk) * chunk_bytes_;
+        device_->readSync(base, chunk_buf.data(), used);
+        // Parse the chunk's records; the first-unit bit decides liveness
+        // — no key-index traversal (§5.2).
+        uint64_t off = 0;
+        while (off + sizeof(ValueRecordHeader) <= used) {
+            const auto *hdr = reinterpret_cast<const ValueRecordHeader *>(
+                chunk_buf.data() + off);
+            const uint64_t bytes = recordBytes(hdr->value_size);
+            if (hdr->value_size == 0 || off + bytes > used)
+                break;  // zero padding tail
+            if (!(hdr->flags & ValueRecordHeader::kFlagPad) &&
+                isValid(base + off) &&
+                recordCrcOk(*hdr, chunk_buf.data() + off +
+                                      sizeof(ValueRecordHeader))) {
+                Survivor s;
+                s.hsit_idx = hdr->backward;
+                s.key = hdr->key;
+                s.old_addr = ValueAddr::vs(ssd_id_, base + off, bytes);
+                s.payload.assign(
+                    chunk_buf.data() + off + sizeof(ValueRecordHeader),
+                    chunk_buf.data() + off + sizeof(ValueRecordHeader) +
+                        hdr->value_size);
+                survivors.push_back(std::move(s));
+            }
+            off += bytes;
+        }
+    }
+
+    if (!survivors.empty()) {
+        // Rewrite survivors within this same Value Storage (§5.2).
+        ChunkWriter writer({this});
+        std::vector<ValueAddr> new_addrs;
+        new_addrs.reserve(survivors.size());
+        for (const auto &s : survivors) {
+            const ValueAddr a = writer.add(
+                s.hsit_idx, s.key, s.payload.data(),
+                static_cast<uint32_t>(s.payload.size()));
+            PRISM_CHECK(!a.isNull() && "Value Storage exhausted during GC");
+            new_addrs.push_back(a);
+        }
+        const Status st = writer.finish();
+        PRISM_CHECK(st.isOk());
+
+        // Pre-mark the copies live so a concurrent GC pass cannot judge
+        // the destination chunk empty before the CASes land.
+        for (size_t i = 0; i < survivors.size(); i++)
+            setValid(new_addrs[i].offset(), new_addrs[i].recordBytes());
+        writer.settleAll();
+        for (size_t i = 0; i < survivors.size(); i++) {
+            const auto &s = survivors[i];
+            if (hsit.casPrimaryDurable(s.hsit_idx, s.old_addr,
+                                       new_addrs[i])) {
+                clearValid(s.old_addr.offset(), s.old_addr.recordBytes());
+            } else {
+                // The value was updated or relocated concurrently;
+                // whoever won also cleared the old bit. Retract ours.
+                clearValid(new_addrs[i].offset(),
+                           new_addrs[i].recordBytes());
+            }
+        }
+    }
+
+    size_t reclaimed = 0;
+    for (const auto &v : victims) {
+        auto &m = metas_[static_cast<size_t>(v.chunk)];
+        if (m.live_units.load(std::memory_order_acquire) == 0) {
+            freeChunkDeferred(v.chunk);
+            reclaimed++;
+        }
+    }
+    gc_passes_.fetch_add(1, std::memory_order_relaxed);
+    return reclaimed;
+}
+
+void
+ValueStorage::resetForRecovery()
+{
+    const size_t words = (unitsPerChunk() + 63) / 64;
+    for (auto &m : metas_) {
+        m.state.store(static_cast<uint32_t>(ChunkState::kFree),
+                      std::memory_order_relaxed);
+        m.settled.store(false, std::memory_order_relaxed);
+        m.used_bytes.store(0, std::memory_order_relaxed);
+        m.live_units.store(0, std::memory_order_relaxed);
+        for (size_t w = 0; w < words; w++)
+            m.bitmap[w].store(0, std::memory_order_relaxed);
+    }
+    std::lock_guard<TicketLock> lock(free_mu_);
+    free_chunks_.clear();
+}
+
+void
+ValueStorage::markLiveAtRecovery(uint64_t dev_offset, uint64_t record_bytes)
+{
+    const uint64_t chunk = dev_offset / chunk_bytes_;
+    auto &m = metas_[chunk];
+    m.state.store(static_cast<uint32_t>(ChunkState::kSealed),
+                  std::memory_order_relaxed);
+    m.settled.store(true, std::memory_order_relaxed);
+    const auto end = static_cast<uint32_t>(
+        dev_offset % chunk_bytes_ + record_bytes);
+    uint32_t used = m.used_bytes.load(std::memory_order_relaxed);
+    while (end > used &&
+           !m.used_bytes.compare_exchange_weak(used, end,
+                                               std::memory_order_relaxed)) {
+    }
+    setValid(dev_offset, record_bytes);
+}
+
+void
+ValueStorage::finalizeRecovery()
+{
+    std::lock_guard<TicketLock> lock(free_mu_);
+    for (size_t i = metas_.size(); i-- > 0;) {
+        if (metas_[i].state.load(std::memory_order_relaxed) ==
+            static_cast<uint32_t>(ChunkState::kFree))
+            free_chunks_.push_back(static_cast<int64_t>(i));
+    }
+}
+
+}  // namespace prism::core

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Value Storage (§4.2, §5.1, §5.2): a log-structured chunk store on one
+ * SSD.
+ *
+ * The device space is divided into fixed 512 KB chunks. Reclaimed PWB
+ * values and GC survivors are packed into chunk-sized buffers and
+ * written with single large sequential I/Os — the SSD-friendly pattern
+ * the paper takes from SFS/log-structured stores. Each value carries its
+ * per-value metadata (backward pointer + size) so crash recovery and GC
+ * never need the key index.
+ *
+ * A DRAM validity bitmap (one bit per 64-byte unit; a record's first
+ * unit carries its liveness) answers "is this value garbage?" in O(1).
+ * It is rebuilt from the HSIT at recovery (§5.5), so it never needs to
+ * be persisted.
+ *
+ * Garbage collection is greedy: victims are the sealed chunks with the
+ * fewest live bytes; survivors are rewritten within the same Value
+ * Storage and the HSIT is re-pointed with durable CASes. Freed chunks
+ * are recycled only after an epoch grace period, so in-flight readers
+ * holding old addresses stay safe.
+ *
+ * One ValueStorage exists per SSD; each owns a completion thread that
+ * reaps the device CQ and wakes read/write waiters (§5.1: "one Value
+ * Storage per SSD ... its own thread for asynchronous IO").
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/spinlock.h"
+#include "core/addr.h"
+#include "core/hsit.h"
+#include "core/options.h"
+#include "core/read_batcher.h"
+#include "sim/ssd_device.h"
+
+namespace prism::core {
+
+/** Completion handle for an asynchronous chunk write. */
+struct WriteTicket {
+    ReadWaiter waiter;
+
+    void wait() { waiter.waitNonzero(); }
+};
+
+/** Log-structured chunk store on a single SSD. */
+class ValueStorage {
+  public:
+    enum class ChunkState : uint32_t {
+        kFree = 0,
+        kOpen = 1,
+        kSealed = 2,
+        kFreeing = 3,  ///< retired, waiting out the epoch grace period
+    };
+
+    ValueStorage(uint32_t ssd_id, std::shared_ptr<sim::SsdDevice> device,
+                 const PrismOptions &opts, EpochManager &epochs);
+    ~ValueStorage();
+
+    ValueStorage(const ValueStorage &) = delete;
+    ValueStorage &operator=(const ValueStorage &) = delete;
+
+    uint32_t ssdId() const { return ssd_id_; }
+    sim::SsdDevice &device() { return *device_; }
+    ReadBatcher &reader() { return *reader_; }
+    uint64_t chunkBytes() const { return chunk_bytes_; }
+    size_t totalChunks() const { return metas_.size(); }
+    size_t freeChunks() const;
+
+    /** @name Chunk lifecycle */
+    ///@{
+    /**
+     * Allocate a free chunk (FREE -> OPEN). This is the only critical
+     * section of the write path (§5.2); after it, writers proceed
+     * independently on their private chunks.
+     * @return chunk index, or -1 when no chunk is free (run GC).
+     */
+    int64_t allocChunk();
+
+    /** Submit an asynchronous write of @p len bytes into @p chunk. */
+    Status submitChunkWrite(int64_t chunk, const uint8_t *buf, uint32_t len,
+                            WriteTicket *ticket);
+
+    /** OPEN -> SEALED once its write has been submitted. */
+    void sealChunk(int64_t chunk, uint32_t used_bytes);
+
+    /**
+     * Mark a sealed chunk GC-eligible. Callers settle a chunk only after
+     * setting its validity bits; until then GC must not judge it empty
+     * (it would recycle a chunk the caller is about to publish into).
+     */
+    void settleChunk(int64_t chunk);
+
+    /** Recycle a chunk after the epoch grace period (SEALED -> FREE). */
+    void freeChunkDeferred(int64_t chunk);
+    ///@}
+
+    /** @name Validity bitmap (device-offset addressed) */
+    ///@{
+    void setValid(uint64_t dev_offset, uint64_t record_bytes);
+
+    /** Idempotent: clearing an already-dead record is a no-op. */
+    void clearValid(uint64_t dev_offset, uint64_t record_bytes);
+
+    bool isValid(uint64_t dev_offset) const;
+
+    uint32_t liveUnits(int64_t chunk) const {
+        return metas_[static_cast<size_t>(chunk)].live_units.load(
+            std::memory_order_relaxed);
+    }
+    ///@}
+
+    /** Read a full record (header + payload) through the read batcher. */
+    Status readRecord(ValueAddr addr, std::vector<uint8_t> &buf);
+
+    /** @name Garbage collection (§5.2) */
+    ///@{
+    bool needsGc() const;
+
+    /**
+     * One greedy GC pass: pick the sealed chunks with the fewest live
+     * units, rewrite their survivors into fresh chunks of this same
+     * Value Storage, re-point the HSIT, recycle the victims.
+     * @return number of chunks reclaimed.
+     */
+    size_t runGcPass(Hsit &hsit);
+
+    uint64_t gcPasses() const {
+        return gc_passes_.load(std::memory_order_relaxed);
+    }
+    ///@}
+
+    /** @name Recovery (§5.5) */
+    ///@{
+    /** Forget all volatile chunk state (then mark live values). */
+    void resetForRecovery();
+
+    /** Mark one HSIT-reachable record live during recovery. */
+    void markLiveAtRecovery(uint64_t dev_offset, uint64_t record_bytes);
+
+    /** Rebuild the free-chunk list from the recovered states. */
+    void finalizeRecovery();
+    ///@}
+
+  private:
+    struct ChunkMeta {
+        std::atomic<uint32_t> state{
+            static_cast<uint32_t>(ChunkState::kFree)};
+        std::atomic<bool> settled{false};  ///< bits populated; GC may act
+        std::atomic<uint32_t> used_bytes{0};
+        std::atomic<uint32_t> live_units{0};
+        std::unique_ptr<std::atomic<uint64_t>[]> bitmap;
+    };
+
+    void completionLoop();
+
+    uint64_t unitsPerChunk() const {
+        return chunk_bytes_ / ValueAddr::kSizeUnit;
+    }
+
+    uint32_t ssd_id_;
+    std::shared_ptr<sim::SsdDevice> device_;
+    uint64_t chunk_bytes_;
+    double gc_watermark_;
+    int gc_victims_per_pass_;
+    EpochManager &epochs_;
+
+    std::vector<ChunkMeta> metas_;
+    TicketLock free_mu_;
+    std::vector<int64_t> free_chunks_;
+    std::mutex gc_mu_;  ///< serializes GC passes on this Value Storage
+
+    std::unique_ptr<ReadBatcher> reader_;
+
+    std::atomic<bool> stop_{false};
+    std::thread completion_thread_;
+    std::atomic<uint64_t> gc_passes_{0};
+};
+
+}  // namespace prism::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Volatile ordered index: a sharded std::map behind the KeyIndex
+ * interface. Used as the per-shard index of the KVell baseline and as a
+ * reference implementation in tests (PacTree must agree with it).
+ */
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+#include "index/key_index.h"
+
+namespace prism::index {
+
+/** In-DRAM KeyIndex; sharded by the top key byte for write scalability. */
+class DramIndex : public KeyIndex {
+  public:
+    DramIndex() = default;
+
+    InsertResult
+    insertOrGet(uint64_t key, uint64_t handle) override
+    {
+        auto &shard = shards_[shardFor(key)];
+        std::unique_lock<std::shared_mutex> lock(shard.mu);
+        auto [it, inserted] = shard.map.try_emplace(key, handle);
+        return {it->second, inserted};
+    }
+
+    std::optional<uint64_t>
+    lookup(uint64_t key) const override
+    {
+        const auto &shard = shards_[shardFor(key)];
+        std::shared_lock<std::shared_mutex> lock(shard.mu);
+        auto it = shard.map.find(key);
+        if (it == shard.map.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    bool
+    remove(uint64_t key) override
+    {
+        auto &shard = shards_[shardFor(key)];
+        std::unique_lock<std::shared_mutex> lock(shard.mu);
+        return shard.map.erase(key) > 0;
+    }
+
+    size_t
+    scan(uint64_t start, size_t count,
+         std::vector<std::pair<uint64_t, uint64_t>> &out) const override
+    {
+        size_t appended = 0;
+        // Shards partition the key space by high byte, so visiting shards
+        // in order yields globally ordered results.
+        for (int s = shardFor(start); s < kShards && appended < count; s++) {
+            const auto &shard = shards_[s];
+            std::shared_lock<std::shared_mutex> lock(shard.mu);
+            for (auto it = shard.map.lower_bound(start);
+                 it != shard.map.end() && appended < count; ++it) {
+                out.emplace_back(it->first, it->second);
+                appended++;
+            }
+        }
+        return appended;
+    }
+
+    void
+    forEach(const std::function<void(uint64_t, uint64_t)> &fn) const override
+    {
+        for (int s = 0; s < kShards; s++) {
+            const auto &shard = shards_[s];
+            std::shared_lock<std::shared_mutex> lock(shard.mu);
+            for (const auto &[k, v] : shard.map)
+                fn(k, v);
+        }
+    }
+
+    size_t
+    size() const override
+    {
+        size_t total = 0;
+        for (int s = 0; s < kShards; s++) {
+            const auto &shard = shards_[s];
+            std::shared_lock<std::shared_mutex> lock(shard.mu);
+            total += shard.map.size();
+        }
+        return total;
+    }
+
+  private:
+    static constexpr int kShards = 256;
+
+    static int shardFor(uint64_t key) {
+        return static_cast<int>(key >> 56);
+    }
+
+    struct alignas(64) Shard {
+        mutable std::shared_mutex mu;
+        std::map<uint64_t, uint64_t> map;
+    };
+
+    Shard shards_[kShards];
+};
+
+}  // namespace prism::index

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Abstract ordered key index used by Prism.
+ *
+ * The paper stresses that Prism "has no dependency on PACTree" — any
+ * scalable range index works (§4.1, §6). This interface is that seam:
+ * PrismDb is written against KeyIndex, with PacTree as the default
+ * implementation and DramIndex available for tests and baselines.
+ *
+ * Keys are 64-bit integers; the mapped value is an opaque 64-bit handle
+ * (in Prism, the index of an HSIT entry).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace prism::index {
+
+/** Result of insertOrGet. */
+struct InsertResult {
+    uint64_t handle;   ///< the handle now associated with the key
+    bool inserted;     ///< true when this call created the mapping
+};
+
+/** Ordered map from 64-bit keys to 64-bit handles. All methods thread-safe. */
+class KeyIndex {
+  public:
+    virtual ~KeyIndex() = default;
+
+    /**
+     * Insert @p key -> @p handle if absent.
+     * If the key already exists, the existing mapping is returned
+     * untouched — the caller (Prism) then routes the update through the
+     * existing HSIT entry instead.
+     */
+    virtual InsertResult insertOrGet(uint64_t key, uint64_t handle) = 0;
+
+    /** Point lookup. */
+    virtual std::optional<uint64_t> lookup(uint64_t key) const = 0;
+
+    /** Remove the key. @return true when the key was present. */
+    virtual bool remove(uint64_t key) = 0;
+
+    /**
+     * Collect up to @p count (key, handle) pairs with key >= @p start in
+     * ascending key order.
+     * @return number of pairs appended to @p out.
+     */
+    virtual size_t scan(uint64_t start, size_t count,
+                        std::vector<std::pair<uint64_t, uint64_t>> &out)
+        const = 0;
+
+    /** Visit every (key, handle) pair; used by recovery. Not linearizable
+     *  against concurrent writers — call quiesced. */
+    virtual void forEach(
+        const std::function<void(uint64_t, uint64_t)> &fn) const = 0;
+
+    /** Number of live keys. */
+    virtual size_t size() const = 0;
+};
+
+}  // namespace prism::index

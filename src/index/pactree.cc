@@ -1,0 +1,440 @@
+#include "index/pactree.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/spinlock.h"
+
+namespace prism::index {
+
+using pmem::kNullOff;
+using pmem::POff;
+
+PacTree::PacTree(pmem::PmemRegion &region, pmem::PmemAllocator &alloc,
+                 POff root_off)
+    : region_(region), alloc_(alloc), root_off_(root_off),
+      head_leaf_(kNullOff), shards_(new DirShard[kDirShards])
+{
+}
+
+std::unique_ptr<PacTree>
+PacTree::create(pmem::PmemRegion &region, pmem::PmemAllocator &alloc)
+{
+    const POff root_off = alloc.alloc(sizeof(TreeRoot));
+    PRISM_CHECK(root_off != kNullOff);
+    std::unique_ptr<PacTree> tree(new PacTree(region, alloc, root_off));
+
+    const POff head = tree->allocLeaf(0);
+    PRISM_CHECK(head != kNullOff);
+    tree->head_leaf_ = head;
+    tree->leaf_count_.store(1, std::memory_order_relaxed);
+    tree->dirInsert(0, head);
+
+    auto *root = region.as<TreeRoot>(root_off);
+    root->head_leaf = head;
+    root->magic = kTreeMagic;
+    region.persist(root, sizeof(*root));
+    return tree;
+}
+
+std::unique_ptr<PacTree>
+PacTree::recover(pmem::PmemRegion &region, pmem::PmemAllocator &alloc,
+                 POff root_off)
+{
+    auto *root = region.as<TreeRoot>(root_off);
+    PRISM_CHECK(root != nullptr && root->magic == kTreeMagic);
+    std::unique_ptr<PacTree> tree(new PacTree(region, alloc, root_off));
+    tree->head_leaf_ = root->head_leaf;
+    tree->rebuildFromChain();
+    return tree;
+}
+
+POff
+PacTree::allocLeaf(uint64_t low_key)
+{
+    const POff off = alloc_.alloc(sizeof(Leaf));
+    if (off == kNullOff)
+        return kNullOff;
+    auto *leaf = leafAt(off);
+    std::memset(static_cast<void *>(leaf), 0, sizeof(Leaf));
+    leaf->low_key = low_key;
+    return off;
+}
+
+void
+PacTree::dirInsert(uint64_t low_key, POff leaf)
+{
+    auto &shard = shards_[shardFor(low_key)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.leaves[low_key] = leaf;
+}
+
+void
+PacTree::dirErase(uint64_t low_key)
+{
+    auto &shard = shards_[shardFor(low_key)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.leaves.erase(low_key);
+}
+
+POff
+PacTree::dirFind(uint64_t key) const
+{
+    // Search this key's shard, then fall back to lower shards; the head
+    // leaf has low_key 0, so shard 0 is never empty and the loop always
+    // terminates with a candidate.
+    for (int s = shardFor(key); s >= 0; s--) {
+        auto &shard = shards_[s];
+        std::shared_lock<std::shared_mutex> lock(shard.mu);
+        auto it = shard.leaves.upper_bound(key);
+        if (it == shard.leaves.begin())
+            continue;
+        --it;
+        return it->second;
+    }
+    return head_leaf_;
+}
+
+uint64_t
+PacTree::lockLeaf(Leaf *leaf)
+{
+    while (true) {
+        uint64_t v = leaf->version.load(std::memory_order_acquire);
+        if (v & 1) {
+            cpuRelax();
+            continue;
+        }
+        if (leaf->version.compare_exchange_weak(
+                v, v + 1, std::memory_order_acq_rel))
+            return v;
+    }
+}
+
+void
+PacTree::unlockLeaf(Leaf *leaf)
+{
+    // odd -> even, bumping the version so concurrent optimistic readers
+    // notice the mutation and retry.
+    leaf->version.fetch_add(1, std::memory_order_release);
+}
+
+InsertResult
+PacTree::insertOrGet(uint64_t key, uint64_t handle)
+{
+    while (true) {
+        POff off = dirFind(key);
+        Leaf *leaf = leafAt(off);
+        lockLeaf(leaf);
+        // The directory can lag behind splits; chase the chain forward to
+        // the leaf that actually covers the key. low_key is immutable, so
+        // dirFind's lower bound stays valid.
+        while (true) {
+            const POff next = leaf->next.load(std::memory_order_acquire);
+            if (next == kNullOff || key < leafAt(next)->low_key)
+                break;
+            Leaf *next_leaf = leafAt(next);
+            unlockLeaf(leaf);
+            leaf = next_leaf;
+            off = next;
+            lockLeaf(leaf);
+        }
+        region_.chargeRead(pmem::kCacheLine);
+
+        uint64_t bm = leaf->bitmap.load(std::memory_order_acquire);
+        for (uint64_t probe = bm; probe != 0; probe &= probe - 1) {
+            const int i = std::countr_zero(probe);
+            if (leaf->slots[i].key == key) {
+                const uint64_t existing =
+                    leaf->slots[i].handle.load(std::memory_order_acquire);
+                unlockLeaf(leaf);
+                return {existing, false};
+            }
+        }
+
+        if (std::popcount(bm) == kLeafSlots) {
+            splitLeaf(leaf, off);
+            unlockLeaf(leaf);
+            continue;  // retry against the post-split directory
+        }
+
+        const int slot = std::countr_zero(~bm);
+        auto &s = leaf->slots[slot];
+        s.key = key;
+        s.handle.store(handle, std::memory_order_release);
+        // Crash ordering: slot contents must be durable before the
+        // validity bit that makes them reachable.
+        region_.persist(&s, sizeof(s));
+        leaf->bitmap.fetch_or(1ull << slot, std::memory_order_acq_rel);
+        region_.persist(&leaf->bitmap, sizeof(leaf->bitmap));
+        size_.fetch_add(1, std::memory_order_relaxed);
+        unlockLeaf(leaf);
+        return {handle, true};
+    }
+}
+
+std::optional<uint64_t>
+PacTree::lookup(uint64_t key) const
+{
+    POff off = dirFind(key);
+    const Leaf *leaf = leafAt(off);
+    region_.chargeRead(pmem::kCacheLine);
+    while (true) {
+        const uint64_t v1 = leaf->version.load(std::memory_order_acquire);
+        if (v1 & 1) {
+            cpuRelax();
+            continue;
+        }
+        const POff next = leaf->next.load(std::memory_order_acquire);
+        if (next != kNullOff && key >= leafAt(next)->low_key) {
+            leaf = leafAt(next);
+            continue;
+        }
+        const uint64_t bm = leaf->bitmap.load(std::memory_order_acquire);
+        std::optional<uint64_t> result;
+        for (uint64_t probe = bm; probe != 0; probe &= probe - 1) {
+            const int i = std::countr_zero(probe);
+            if (leaf->slots[i].key == key) {
+                result = leaf->slots[i].handle.load(
+                    std::memory_order_acquire);
+                break;
+            }
+        }
+        if (leaf->version.load(std::memory_order_acquire) != v1)
+            continue;  // raced with a writer; re-read this leaf
+        return result;
+    }
+}
+
+bool
+PacTree::remove(uint64_t key)
+{
+    while (true) {
+        POff off = dirFind(key);
+        Leaf *leaf = leafAt(off);
+        lockLeaf(leaf);
+        while (true) {
+            const POff next = leaf->next.load(std::memory_order_acquire);
+            if (next == kNullOff || key < leafAt(next)->low_key)
+                break;
+            Leaf *next_leaf = leafAt(next);
+            unlockLeaf(leaf);
+            leaf = next_leaf;
+            lockLeaf(leaf);
+        }
+        region_.chargeRead(pmem::kCacheLine);
+
+        const uint64_t bm = leaf->bitmap.load(std::memory_order_acquire);
+        for (uint64_t probe = bm; probe != 0; probe &= probe - 1) {
+            const int i = std::countr_zero(probe);
+            if (leaf->slots[i].key == key) {
+                leaf->bitmap.fetch_and(~(1ull << i),
+                                       std::memory_order_acq_rel);
+                region_.persist(&leaf->bitmap, sizeof(leaf->bitmap));
+                size_.fetch_sub(1, std::memory_order_relaxed);
+                unlockLeaf(leaf);
+                return true;
+            }
+        }
+        unlockLeaf(leaf);
+        return false;
+    }
+}
+
+size_t
+PacTree::scan(uint64_t start, size_t count,
+              std::vector<std::pair<uint64_t, uint64_t>> &out) const
+{
+    size_t appended = 0;
+    POff off = dirFind(start);
+    std::vector<std::pair<uint64_t, uint64_t>> batch;
+    while (off != kNullOff && appended < count) {
+        const Leaf *leaf = leafAt(off);
+        region_.chargeRead(pmem::kCacheLine);
+        POff next;
+        while (true) {
+            batch.clear();
+            const uint64_t v1 =
+                leaf->version.load(std::memory_order_acquire);
+            if (v1 & 1) {
+                cpuRelax();
+                continue;
+            }
+            next = leaf->next.load(std::memory_order_acquire);
+            const uint64_t bm = leaf->bitmap.load(std::memory_order_acquire);
+            for (uint64_t probe = bm; probe != 0; probe &= probe - 1) {
+                const int i = std::countr_zero(probe);
+                if (leaf->slots[i].key >= start) {
+                    batch.emplace_back(
+                        leaf->slots[i].key,
+                        leaf->slots[i].handle.load(
+                            std::memory_order_acquire));
+                }
+            }
+            if (leaf->version.load(std::memory_order_acquire) == v1)
+                break;
+        }
+        std::sort(batch.begin(), batch.end());
+        for (const auto &kv : batch) {
+            if (appended >= count)
+                break;
+            out.push_back(kv);
+            appended++;
+        }
+        off = next;
+    }
+    return appended;
+}
+
+void
+PacTree::forEach(const std::function<void(uint64_t, uint64_t)> &fn) const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> batch;
+    for (POff off = head_leaf_; off != kNullOff;) {
+        const Leaf *leaf = leafAt(off);
+        batch.clear();
+        const uint64_t bm = leaf->bitmap.load(std::memory_order_acquire);
+        for (uint64_t probe = bm; probe != 0; probe &= probe - 1) {
+            const int i = std::countr_zero(probe);
+            batch.emplace_back(leaf->slots[i].key,
+                               leaf->slots[i].handle.load(
+                                   std::memory_order_acquire));
+        }
+        std::sort(batch.begin(), batch.end());
+        for (const auto &kv : batch)
+            fn(kv.first, kv.second);
+        off = leaf->next.load(std::memory_order_acquire);
+    }
+}
+
+void
+PacTree::forEachParallel(
+    int threads, const std::function<void(uint64_t, uint64_t)> &fn) const
+{
+    // Collect the (immutable-under-quiescence) leaf chain, then carve it
+    // into per-thread stripes.
+    std::vector<POff> leaves;
+    for (POff off = head_leaf_; off != kNullOff;
+         off = leafAt(off)->next.load(std::memory_order_acquire)) {
+        leaves.push_back(off);
+    }
+    threads = std::max(1, threads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; t++) {
+        pool.emplace_back([&, t] {
+            for (size_t i = static_cast<size_t>(t); i < leaves.size();
+                 i += static_cast<size_t>(threads)) {
+                const Leaf *leaf = leafAt(leaves[i]);
+                const uint64_t bm =
+                    leaf->bitmap.load(std::memory_order_acquire);
+                for (uint64_t probe = bm; probe != 0;
+                     probe &= probe - 1) {
+                    const int s = std::countr_zero(probe);
+                    fn(leaf->slots[s].key,
+                       leaf->slots[s].handle.load(
+                           std::memory_order_acquire));
+                }
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+}
+
+void
+PacTree::splitLeaf(Leaf *leaf, POff leaf_off)
+{
+    // Caller holds the leaf lock. Gather and sort the live entries.
+    struct Entry {
+        uint64_t key;
+        uint64_t handle;
+        int slot;
+    };
+    Entry entries[kLeafSlots];
+    int n = 0;
+    const uint64_t bm = leaf->bitmap.load(std::memory_order_acquire);
+    for (uint64_t probe = bm; probe != 0; probe &= probe - 1) {
+        const int i = std::countr_zero(probe);
+        entries[n++] = {leaf->slots[i].key,
+                        leaf->slots[i].handle.load(
+                            std::memory_order_acquire),
+                        i};
+    }
+    PRISM_CHECK(n >= 2);
+    std::sort(entries, entries + n,
+              [](const Entry &a, const Entry &b) { return a.key < b.key; });
+
+    const int mid = n / 2;
+    const uint64_t split_key = entries[mid].key;
+
+    // 1) Build the new right sibling completely, then persist it.
+    const POff new_off = allocLeaf(split_key);
+    PRISM_CHECK(new_off != kNullOff && "NVM exhausted during split");
+    Leaf *right = leafAt(new_off);
+    uint64_t right_bm = 0;
+    uint64_t moved_mask = 0;
+    for (int i = mid; i < n; i++) {
+        const int dst = i - mid;
+        right->slots[dst].key = entries[i].key;
+        right->slots[dst].handle.store(entries[i].handle,
+                                       std::memory_order_relaxed);
+        right_bm |= 1ull << dst;
+        moved_mask |= 1ull << entries[i].slot;
+    }
+    right->bitmap.store(right_bm, std::memory_order_release);
+    right->next.store(leaf->next.load(std::memory_order_acquire),
+                      std::memory_order_release);
+    region_.persist(right, sizeof(*right));
+
+    // 2) Link the sibling into the chain (single pointer, crash-atomic).
+    leaf->next.store(new_off, std::memory_order_release);
+    region_.persist(&leaf->next, sizeof(leaf->next));
+
+    // 3) Retire the moved entries from the left leaf. If we crash between
+    //    (2) and (3), recovery prunes left-leaf entries >= the sibling's
+    //    low key (rebuildFromChain), so duplicates cannot survive.
+    leaf->bitmap.fetch_and(~moved_mask, std::memory_order_acq_rel);
+    region_.persist(&leaf->bitmap, sizeof(leaf->bitmap));
+
+    leaf_count_.fetch_add(1, std::memory_order_relaxed);
+    dirInsert(split_key, new_off);
+}
+
+void
+PacTree::rebuildFromChain()
+{
+    size_t total = 0;
+    uint64_t leaves = 0;
+    for (POff off = head_leaf_; off != kNullOff;) {
+        Leaf *leaf = leafAt(off);
+        leaf->version.store(0, std::memory_order_relaxed);
+        const POff next = leaf->next.load(std::memory_order_relaxed);
+        if (next != kNullOff) {
+            // Prune remnants of an interrupted split: entries that now
+            // belong to the right sibling.
+            const uint64_t bound = leafAt(next)->low_key;
+            uint64_t stale = 0;
+            uint64_t bm = leaf->bitmap.load(std::memory_order_relaxed);
+            for (uint64_t probe = bm; probe != 0; probe &= probe - 1) {
+                const int i = std::countr_zero(probe);
+                if (leaf->slots[i].key >= bound)
+                    stale |= 1ull << i;
+            }
+            if (stale != 0) {
+                leaf->bitmap.fetch_and(~stale, std::memory_order_relaxed);
+                region_.persist(&leaf->bitmap, sizeof(leaf->bitmap));
+            }
+        }
+        total += static_cast<size_t>(std::popcount(
+            leaf->bitmap.load(std::memory_order_relaxed)));
+        dirInsert(leaf->low_key, off);
+        leaves++;
+        off = next;
+    }
+    size_.store(total, std::memory_order_relaxed);
+    leaf_count_.store(leaves, std::memory_order_relaxed);
+}
+
+}  // namespace prism::index

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * PacTree — the Persistent Key Index (§4.1, §6 of the paper).
+ *
+ * A persistent concurrent range index in the PACTree/FPTree family:
+ *
+ *  - The *data layer* is a chain of fixed-size leaves on NVM. Leaves hold
+ *    packed (key, handle) slots guarded by a validity bitmap, so inserts
+ *    and deletes are single-bit crash-atomic flips ordered after slot
+ *    persistence — no logging.
+ *  - The *search layer* is volatile: a sharded ordered directory mapping
+ *    each leaf's low key to the leaf. It is rebuilt from the leaf chain
+ *    at recovery, which also prunes the remnants of interrupted splits.
+ *  - Concurrency follows optimistic lock coupling: readers are lock-free
+ *    (version-validated), writers lock only the affected leaf.
+ *
+ * This matches the paper's requirements for the component: NVM-resident,
+ * multicore-scalable, self-crash-consistent, supports scans, and is
+ * replaceable behind KeyIndex.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+
+#include "index/key_index.h"
+#include "pmem/pmem_allocator.h"
+#include "pmem/pmem_region.h"
+
+namespace prism::index {
+
+/** Persistent, concurrent B+-tree-style range index on NVM. */
+class PacTree : public KeyIndex {
+  public:
+    /** Slots per leaf. */
+    static constexpr int kLeafSlots = 64;
+
+    /**
+     * Create a fresh tree.
+     * @param region NVM region the tree lives in.
+     * @param alloc  allocator for leaf nodes.
+     * @return the new tree; rootOff() identifies it for later recovery.
+     */
+    static std::unique_ptr<PacTree> create(pmem::PmemRegion &region,
+                                           pmem::PmemAllocator &alloc);
+
+    /**
+     * Re-attach to an existing tree after a restart/crash; rebuilds the
+     * volatile search layer and prunes interrupted splits.
+     * @param root_off value previously returned by rootOff().
+     */
+    static std::unique_ptr<PacTree> recover(pmem::PmemRegion &region,
+                                            pmem::PmemAllocator &alloc,
+                                            pmem::POff root_off);
+
+    /** Persistent identity of this tree (store in your master root). */
+    pmem::POff rootOff() const { return root_off_; }
+
+    // KeyIndex interface.
+    InsertResult insertOrGet(uint64_t key, uint64_t handle) override;
+    std::optional<uint64_t> lookup(uint64_t key) const override;
+    bool remove(uint64_t key) override;
+    size_t scan(uint64_t start, size_t count,
+                std::vector<std::pair<uint64_t, uint64_t>> &out)
+        const override;
+    void forEach(const std::function<void(uint64_t, uint64_t)> &fn)
+        const override;
+
+    /**
+     * Visit every (key, handle) pair using @p threads worker threads,
+     * partitioned by leaves. @p fn must be thread-safe; iteration order
+     * is undefined. Used by Prism's parallel recovery (§5.5).
+     */
+    void forEachParallel(
+        int threads,
+        const std::function<void(uint64_t, uint64_t)> &fn) const;
+    size_t size() const override {
+        return size_.load(std::memory_order_relaxed);
+    }
+
+    /** NVM bytes consumed by leaves (for the §7.6 space experiment). */
+    uint64_t nvmBytes() const {
+        return leaf_count_.load(std::memory_order_relaxed) * sizeof(Leaf);
+    }
+
+  private:
+    /** On-NVM leaf node. */
+    struct Leaf {
+        /** OLC version/lock word: LSB = locked, rest = version counter.
+         *  Semantically volatile; recovery ignores it. */
+        std::atomic<uint64_t> version;
+        /** Bit i set => slots[i] holds a live entry. Crash-atomic. */
+        std::atomic<uint64_t> bitmap;
+        /** Next leaf in key order (persistent chain). */
+        std::atomic<uint64_t> next;
+        /** Smallest key this leaf may contain. */
+        uint64_t low_key;
+
+        struct Slot {
+            uint64_t key;
+            std::atomic<uint64_t> handle;
+        };
+        Slot slots[kLeafSlots];
+    };
+
+    /** On-NVM tree root record. */
+    struct TreeRoot {
+        uint64_t magic;
+        pmem::POff head_leaf;
+    };
+
+    static constexpr uint64_t kTreeMagic = 0x50414354524545ull;  // "PACTREE"
+    static constexpr int kDirShards = 256;
+
+    PacTree(pmem::PmemRegion &region, pmem::PmemAllocator &alloc,
+            pmem::POff root_off);
+
+    Leaf *leafAt(pmem::POff off) const {
+        return region_.as<Leaf>(off);
+    }
+
+    /** Allocate and zero-init a leaf. */
+    pmem::POff allocLeaf(uint64_t low_key);
+
+    /** Volatile search layer: low_key -> leaf offset, sharded by the top
+     *  byte of the key to avoid a single contended lock. */
+    struct alignas(64) DirShard {
+        mutable std::shared_mutex mu;
+        std::map<uint64_t, pmem::POff> leaves;
+    };
+
+    static int shardFor(uint64_t key) {
+        return static_cast<int>(key >> 56);
+    }
+
+    void dirInsert(uint64_t low_key, pmem::POff leaf);
+    void dirErase(uint64_t low_key);
+
+    /** Find the leaf whose range covers @p key (may be stale; callers
+     *  validate bounds and chase the chain). */
+    pmem::POff dirFind(uint64_t key) const;
+
+    /** Lock a leaf's OLC word. @return pre-lock version. */
+    uint64_t lockLeaf(Leaf *leaf);
+    void unlockLeaf(Leaf *leaf);
+
+    /** Split @p leaf (caller holds its lock; lock is retained). */
+    void splitLeaf(Leaf *leaf, pmem::POff leaf_off);
+
+    /** Rebuild the directory from the persistent leaf chain. */
+    void rebuildFromChain();
+
+    pmem::PmemRegion &region_;
+    pmem::PmemAllocator &alloc_;
+    pmem::POff root_off_;
+    pmem::POff head_leaf_;
+
+    std::unique_ptr<DirShard[]> shards_;
+    std::atomic<size_t> size_{0};
+    std::atomic<uint64_t> leaf_count_{0};
+};
+
+}  // namespace prism::index

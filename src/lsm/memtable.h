@@ -1,0 +1,90 @@
+/**
+ * @file
+ * In-memory write buffer for the LSM baselines: an ordered map guarded
+ * by a reader-writer lock. Once full it becomes immutable and a
+ * background thread flushes it to an L0 SSTable.
+ *
+ * (The SLM-DB configuration places this conceptually on NVM: its WAL is
+ * then unnecessary. We model that by pairing the memtable with an
+ * NVM-backed WAL, which matches the persistence cost of an NVM
+ * memtable without a separate implementation.)
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+
+#include "lsm/sstable.h"
+
+namespace prism::lsm {
+
+/** Sorted in-DRAM run of the freshest writes. */
+class MemTable {
+  public:
+    MemTable() = default;
+
+    /** Insert or overwrite; @return the table's new approximate size. */
+    uint64_t
+    add(uint64_t key, uint64_t seq, EntryType type, std::string_view value)
+    {
+        std::unique_lock<std::shared_mutex> lock(mu_);
+        auto &slot = map_[key];
+        bytes_ += value.size() + 32 -
+                  (slot.seq != 0 ? slot.value.size() + 32 : 0);
+        slot.key = key;
+        slot.seq = seq;
+        slot.type = type;
+        slot.value.assign(value.data(), value.size());
+        return bytes_;
+    }
+
+    /** @return the record, or nullopt if the key is not buffered. */
+    std::optional<Entry>
+    get(uint64_t key) const
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        auto it = map_.find(key);
+        if (it == map_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Collect records with key >= @p start, ascending, up to @p max. */
+    void
+    collectRange(uint64_t start, size_t max,
+                 std::vector<Entry> &out) const
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        for (auto it = map_.lower_bound(start);
+             it != map_.end() && out.size() < max; ++it) {
+            out.push_back(it->second);
+        }
+    }
+
+    /** Visit all records in key order (flush path; table is immutable). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        for (const auto &[key, e] : map_)
+            fn(e);
+    }
+
+    uint64_t sizeBytes() const {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        return bytes_;
+    }
+    size_t entryCount() const {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        return map_.size();
+    }
+
+  private:
+    mutable std::shared_mutex mu_;
+    std::map<uint64_t, Entry> map_;
+    uint64_t bytes_ = 0;
+};
+
+}  // namespace prism::lsm

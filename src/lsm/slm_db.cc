@@ -1,0 +1,241 @@
+#include "lsm/slm_db.h"
+
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace prism::lsm {
+
+SlmDb::SlmDb(const SlmDbOptions &opts,
+             std::shared_ptr<ExtentStore> table_store,
+             std::shared_ptr<ExtentStore> nvm_store)
+    : opts_(opts), table_store_(std::move(table_store)),
+      nvm_store_(std::move(nvm_store)), cache_(opts.block_cache_bytes),
+      mem_(std::make_shared<MemTable>())
+{
+    wal_ = std::make_unique<Wal>(*nvm_store_, opts_.wal_bytes);
+}
+
+Status
+SlmDb::put(uint64_t key, std::string_view value)
+{
+    if (opts_.sw_put_overhead_ns != 0)
+        spinFor(TimeScale::scaled(opts_.sw_put_overhead_ns));
+    const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    // Persist to the NVM log (standing in for the NVM memtable).
+    std::vector<uint8_t> rec(24 + value.size());
+    std::memcpy(rec.data(), &key, 8);
+    std::memcpy(rec.data() + 8, &seq, 8);
+    const auto len = static_cast<uint32_t>(value.size());
+    std::memcpy(rec.data() + 16, &len, 4);
+    std::memcpy(rec.data() + 24, value.data(), value.size());
+    Status st = wal_->append(rec.data(), static_cast<uint32_t>(rec.size()));
+    if (!st.isOk())
+        return st;
+    if (mem_->add(key, seq, EntryType::kPut, value) >=
+        opts_.memtable_bytes) {
+        flushMemtable();
+    }
+    return Status::ok();
+}
+
+Status
+SlmDb::del(uint64_t key)
+{
+    const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    uint8_t rec[16];
+    std::memcpy(rec, &key, 8);
+    std::memcpy(rec + 8, &seq, 8);
+    Status st = wal_->append(rec, sizeof(rec));
+    if (!st.isOk())
+        return st;
+    if (mem_->add(key, seq, EntryType::kDelete, {}) >=
+        opts_.memtable_bytes) {
+        flushMemtable();
+    }
+    return Status::ok();
+}
+
+Status
+SlmDb::get(uint64_t key, std::string *value)
+{
+    if (opts_.sw_get_overhead_ns != 0)
+        spinFor(TimeScale::scaled(opts_.sw_get_overhead_ns));
+    if (auto e = mem_->get(key)) {
+        if (e->type == EntryType::kDelete)
+            return Status::notFound();
+        *value = e->value;
+        return Status::ok();
+    }
+    const auto tid = global_index_.lookup(key);
+    if (!tid.has_value())
+        return Status::notFound();
+    auto it = tables_.find(*tid);
+    PRISM_CHECK(it != tables_.end());
+    auto e = it->second->get(key, &cache_);
+    if (!e.has_value() || e->type == EntryType::kDelete)
+        return Status::notFound();
+    *value = std::move(e->value);
+    return Status::ok();
+}
+
+Status
+SlmDb::scan(uint64_t start_key, size_t count,
+            std::vector<std::pair<uint64_t, std::string>> *out)
+{
+    out->clear();
+    // Candidates from the global index and the memtable, merged in key
+    // order. Values come back one random block read at a time — the
+    // single-level layout preserves no run-length locality, which is
+    // why SLM-DB scans trail Prism's (§7.4).
+    std::vector<std::pair<uint64_t, uint64_t>> idx_hits;
+    global_index_.scan(start_key, count, idx_hits);
+    std::vector<Entry> mem_hits;
+    mem_->collectRange(start_key, count, mem_hits);
+
+    size_t i = 0, j = 0;
+    while (out->size() < count &&
+           (i < idx_hits.size() || j < mem_hits.size())) {
+        const bool take_mem =
+            j < mem_hits.size() &&
+            (i >= idx_hits.size() || mem_hits[j].key <= idx_hits[i].first);
+        if (take_mem) {
+            if (i < idx_hits.size() && idx_hits[i].first == mem_hits[j].key)
+                i++;  // memtable shadows the table version
+            const auto &e = mem_hits[j++];
+            if (e.type != EntryType::kDelete)
+                out->emplace_back(e.key, e.value);
+            continue;
+        }
+        const auto [key, tid] = idx_hits[i++];
+        auto it = tables_.find(tid);
+        PRISM_CHECK(it != tables_.end());
+        auto e = it->second->get(key, &cache_);
+        if (e.has_value() && e->type != EntryType::kDelete)
+            out->emplace_back(key, std::move(e->value));
+    }
+    return Status::ok();
+}
+
+void
+SlmDb::flushMemtable()
+{
+    auto m = mem_;
+    mem_ = std::make_shared<MemTable>();
+    if (m->entryCount() == 0)
+        return;
+
+    auto builder = std::make_unique<TableBuilder>(
+        *table_store_, m->entryCount(), opts_.bloom_bits_per_key);
+    std::vector<std::shared_ptr<Table>> new_tables;
+    std::vector<std::pair<uint64_t, EntryType>> flushed;
+    m->forEach([&](const Entry &e) {
+        flushed.emplace_back(e.key, e.type);
+        if (e.type == EntryType::kDelete)
+            return;  // deletions live in the index, not the tables
+        builder->add(e);
+        if (builder->sizeBytes() >= opts_.table_bytes) {
+            // The memtable iterates in key order, so chunking the flush
+            // into several tables keeps each table sorted and disjoint.
+            auto t = builder->finish();
+            PRISM_CHECK(t != nullptr);
+            new_tables.push_back(std::move(t));
+            builder = std::make_unique<TableBuilder>(
+                *table_store_, m->entryCount(), opts_.bloom_bits_per_key);
+        }
+    });
+    if (builder->entryCount() > 0) {
+        auto t = builder->finish();
+        PRISM_CHECK(t != nullptr);
+        new_tables.push_back(std::move(t));
+    }
+    for (const auto &t : new_tables)
+        tables_[t->id()] = t;
+
+    // Update the global index; each update is an NVM B+-tree write.
+    size_t table_i = 0;
+    for (const auto &[key, type] : flushed) {
+        if (type == EntryType::kDelete) {
+            const auto old = global_index_.lookup(key);
+            if (old.has_value()) {
+                global_index_.remove(key);
+                auto it = tables_.find(*old);
+                if (it != tables_.end())
+                    it->second->noteDeadEntry();
+            }
+            continue;
+        }
+        while (table_i + 1 < new_tables.size() &&
+               key > new_tables[table_i]->maxKey())
+            table_i++;
+        const uint64_t tid = new_tables[table_i]->id();
+        const auto res = global_index_.insertOrGet(key, tid);
+        if (!res.inserted) {
+            // Overwrite: re-point the index and mark the old copy dead.
+            auto it = tables_.find(res.handle);
+            if (it != tables_.end())
+                it->second->noteDeadEntry();
+            global_index_.remove(key);
+            global_index_.insertOrGet(key, tid);
+        }
+    }
+    wal_->truncate();
+    maybeCompact();
+}
+
+void
+SlmDb::maybeCompact()
+{
+    // Selective compaction: rewrite tables whose garbage ratio is high.
+    std::vector<std::shared_ptr<Table>> victims;
+    for (const auto &[tid, table] : tables_) {
+        if (table->entryCount() == 0)
+            continue;
+        const double dead = static_cast<double>(table->deadEntries()) /
+                            static_cast<double>(table->entryCount());
+        if (dead >= opts_.compact_dead_ratio)
+            victims.push_back(table);
+    }
+    for (const auto &victim : victims) {
+        TableBuilder builder(*table_store_, victim->entryCount(),
+                             opts_.bloom_bits_per_key);
+        std::vector<uint64_t> live_keys;
+        Table::Iter iter(*victim, nullptr);
+        while (iter.valid()) {
+            const auto &e = iter.entry();
+            const auto cur = global_index_.lookup(e.key);
+            if (cur.has_value() && *cur == victim->id()) {
+                builder.add(e);
+                live_keys.push_back(e.key);
+            }
+            iter.next();
+        }
+        std::shared_ptr<Table> fresh;
+        if (builder.entryCount() > 0) {
+            fresh = builder.finish();
+            PRISM_CHECK(fresh != nullptr);
+            tables_[fresh->id()] = fresh;
+            for (const uint64_t key : live_keys) {
+                global_index_.remove(key);
+                global_index_.insertOrGet(key, fresh->id());
+            }
+        }
+        cache_.eraseTable(victim->id());
+        tables_.erase(victim->id());
+    }
+}
+
+void
+SlmDb::flushAll()
+{
+    flushMemtable();
+}
+
+size_t
+SlmDb::tableCount() const
+{
+    return tables_.size();
+}
+
+}  // namespace prism::lsm

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * SLM-DB baseline (Kaiyrakhmet et al., FAST'19): a single-level
+ * key-value store with an NVM memtable and a global persistent index.
+ *
+ * Model:
+ *  - Writes are logged to an NVM-backed WAL (standing in for SLM-DB's
+ *    NVM memtable persistence) and buffered in a memtable.
+ *  - Flushes emit SSTables into a *single* level on SSD; tables may
+ *    overlap, because point lookups go through a global key -> table
+ *    index instead of level search. Index updates are charged an NVM
+ *    write (SLM-DB keeps this index in a persistent B+-tree).
+ *  - Selective compaction: a table whose dead-entry ratio crosses a
+ *    threshold has its live keys rewritten, instead of leveled merges.
+ *
+ * As in the paper's evaluation (§7.4), this store is single-threaded
+ * friendly only — the open-source SLM-DB does not support
+ * multi-threading, and neither does this reproduction.
+ */
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "index/dram_index.h"
+#include "lsm/memtable.h"
+#include "lsm/sstable.h"
+#include "lsm/wal.h"
+
+namespace prism::lsm {
+
+/** Tunables for the SLM-DB baseline. */
+struct SlmDbOptions {
+    uint64_t memtable_bytes = 64ull * 1024 * 1024 / 16;  // 64 MB paper / 16
+    uint64_t table_bytes = 4ull * 1024 * 1024;
+    uint64_t block_cache_bytes = 64ull * 1024 * 1024;
+    uint64_t wal_bytes = 64ull * 1024 * 1024;
+    int bloom_bits_per_key = 10;
+    double compact_dead_ratio = 0.5;
+    /** Modelled per-op CPU cost of the (LevelDB-derived) software
+     *  stack, as in LsmOptions — SLM-DB is leaner than RocksDB, so the
+     *  defaults are lower. 0 disables. */
+    uint64_t sw_get_overhead_ns = 2000;
+    uint64_t sw_put_overhead_ns = 1500;
+};
+
+/** Single-level KV store with a global index. */
+class SlmDb {
+  public:
+    /**
+     * @param opts      tunables.
+     * @param table_store SSD-backed store for the single level.
+     * @param nvm_store NVM-backed store for the WAL / index persistence.
+     */
+    SlmDb(const SlmDbOptions &opts,
+          std::shared_ptr<ExtentStore> table_store,
+          std::shared_ptr<ExtentStore> nvm_store);
+
+    Status put(uint64_t key, std::string_view value);
+    Status get(uint64_t key, std::string *value);
+    Status del(uint64_t key);
+    Status scan(uint64_t start_key, size_t count,
+                std::vector<std::pair<uint64_t, std::string>> *out);
+
+    /** Flush the memtable and run pending selective compactions. */
+    void flushAll();
+
+    uint64_t ssdBytesWritten() const {
+        return table_store_->mediaBytesWritten();
+    }
+    size_t tableCount() const;
+
+  private:
+    void flushMemtable();
+    void maybeCompact();
+
+    SlmDbOptions opts_;
+    std::shared_ptr<ExtentStore> table_store_;
+    std::shared_ptr<ExtentStore> nvm_store_;
+    std::unique_ptr<Wal> wal_;
+    BlockCache cache_;
+
+    std::atomic<uint64_t> seq_{1};
+    std::shared_ptr<MemTable> mem_;
+
+    // Global index: key -> table id (SLM-DB's persistent B+-tree).
+    index::DramIndex global_index_;
+    std::unordered_map<uint64_t, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace prism::lsm

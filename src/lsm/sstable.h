@@ -1,0 +1,206 @@
+/**
+ * @file
+ * SSTables for the LSM baselines: immutable sorted runs of
+ * (key, sequence, type, value) records in 4 KB blocks, with a per-table
+ * bloom filter and block index, plus a shared DRAM block cache.
+ *
+ * Table data lives on an ExtentStore (SSD array, or NVM for the
+ * RocksDB-NVM/MatrixKV configurations). Block index and bloom filter
+ * are kept pinned in DRAM for the table's lifetime, the usual
+ * table-cache behaviour of LevelDB-family engines.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "lsm/bloom.h"
+#include "lsm/extent_store.h"
+
+namespace prism::lsm {
+
+/** Record type. */
+enum class EntryType : uint32_t { kPut = 0, kDelete = 1 };
+
+/** One logical record. */
+struct Entry {
+    uint64_t key;
+    uint64_t seq;
+    EntryType type;
+    std::string value;
+};
+
+/** Shared LRU cache of table blocks (key: table id + block index). */
+class BlockCache {
+  public:
+    explicit BlockCache(uint64_t capacity_bytes);
+
+    using Block = std::shared_ptr<std::vector<uint8_t>>;
+
+    /** @return the cached block or nullptr. */
+    Block get(uint64_t table_id, uint32_t block);
+
+    void put(uint64_t table_id, uint32_t block, Block data);
+
+    /** Drop all blocks of a deleted table (best effort). */
+    void eraseTable(uint64_t table_id);
+
+    uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    uint64_t misses() const {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    static uint64_t keyOf(uint64_t table_id, uint32_t block) {
+        return (table_id << 20) | block;
+    }
+
+    struct Slot {
+        uint64_t key;
+        Block data;
+    };
+
+    uint64_t capacity_;
+    std::mutex mu_;
+    std::list<Slot> lru_;  ///< front = most recent
+    std::unordered_map<uint64_t, std::list<Slot>::iterator> map_;
+    uint64_t used_ = 0;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+class Table;
+
+/** Builds one SSTable from records added in ascending key order. */
+class TableBuilder {
+  public:
+    static constexpr uint32_t kBlockBytes = 4096;
+
+    /**
+     * @param store        backing medium.
+     * @param expected_keys bloom sizing hint.
+     */
+    TableBuilder(ExtentStore &store, size_t expected_keys,
+                 int bloom_bits_per_key = 10);
+
+    /** Append a record; keys must arrive in strictly ascending order. */
+    void add(const Entry &e);
+
+    /** Current serialized size (for table-size targets). */
+    uint64_t sizeBytes() const {
+        return buf_.size() + static_cast<uint64_t>(block_fill_);
+    }
+
+    size_t entryCount() const { return count_; }
+
+    /**
+     * Write the table to storage.
+     * @return the opened table, or nullptr when the store is full.
+     */
+    std::shared_ptr<Table> finish();
+
+  private:
+    void sealBlock();
+
+    ExtentStore &store_;
+    BloomFilter bloom_;
+    std::vector<uint8_t> buf_;       ///< sealed blocks
+    std::vector<uint8_t> block_;     ///< block under construction
+    uint32_t block_fill_ = 0;
+    std::vector<uint64_t> first_keys_;
+    uint64_t min_key_ = 0;
+    uint64_t max_key_ = 0;
+    size_t count_ = 0;
+    bool any_ = false;
+};
+
+/** An immutable on-storage sorted table. */
+class Table {
+  public:
+    ~Table();
+
+    uint64_t id() const { return id_; }
+    uint64_t minKey() const { return min_key_; }
+    uint64_t maxKey() const { return max_key_; }
+    size_t entryCount() const { return count_; }
+    uint64_t sizeBytes() const { return len_; }
+    uint32_t blockCount() const {
+        return static_cast<uint32_t>(first_keys_.size());
+    }
+
+    /** @return true when [minKey, maxKey] intersects [lo, hi]. */
+    bool
+    overlaps(uint64_t lo, uint64_t hi) const
+    {
+        return min_key_ <= hi && lo <= max_key_;
+    }
+
+    /**
+     * Point lookup.
+     * @return the record, or nullopt when the key is not in this table.
+     */
+    std::optional<Entry> get(uint64_t key, BlockCache *cache) const;
+
+    /** Sequential reader over the table's records. */
+    class Iter {
+      public:
+        Iter(const Table &table, BlockCache *cache);
+
+        /** Position at the first record with key >= @p key. */
+        void seek(uint64_t key);
+
+        bool valid() const { return valid_; }
+        const Entry &entry() const { return entry_; }
+        void next();
+
+      private:
+        bool loadBlock(uint32_t index);
+        void parseBlock();
+
+        const Table &table_;
+        BlockCache *cache_;
+        uint32_t block_index_ = 0;
+        std::vector<Entry> block_entries_;
+        size_t pos_ = 0;
+        Entry entry_;
+        bool valid_ = false;
+    };
+
+    /** Garbage accounting for SLM-DB-style selective compaction. */
+    void noteDeadEntry() {
+        dead_entries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    size_t deadEntries() const {
+        return dead_entries_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class TableBuilder;
+
+    Table(ExtentStore &store, uint64_t id, uint64_t offset, uint64_t len,
+          std::vector<uint64_t> first_keys, BloomFilter bloom,
+          uint64_t min_key, uint64_t max_key, size_t count);
+
+    BlockCache::Block readBlock(uint32_t index, BlockCache *cache) const;
+
+    ExtentStore &store_;
+    uint64_t id_;
+    uint64_t offset_;
+    uint64_t len_;
+    std::vector<uint64_t> first_keys_;
+    BloomFilter bloom_;
+    uint64_t min_key_;
+    uint64_t max_key_;
+    size_t count_;
+    std::atomic<size_t> dead_entries_{0};
+};
+
+}  // namespace prism::lsm

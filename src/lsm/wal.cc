@@ -1,0 +1,40 @@
+#include "lsm/wal.h"
+
+#include "common/logging.h"
+
+namespace prism::lsm {
+
+Wal::Wal(ExtentStore &store, uint64_t bytes)
+    : store_(store), base_(store.alloc(bytes)), capacity_(bytes)
+{
+    PRISM_CHECK(base_ != UINT64_MAX && "no space for WAL");
+}
+
+Wal::~Wal()
+{
+    store_.free(base_, capacity_);
+}
+
+Status
+Wal::append(const void *data, uint32_t len)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t pos = head_;
+    if (pos + len > capacity_)
+        pos = 0;  // wrap; earlier contents were already flushed
+    const Status st = store_.write(base_ + pos, data, len);
+    if (!st.isOk())
+        return st;
+    head_ = pos + len;
+    total_ += len;
+    return Status::ok();
+}
+
+void
+Wal::truncate()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    head_ = 0;
+}
+
+}  // namespace prism::lsm

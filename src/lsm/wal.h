@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Write-ahead log for the LSM baselines.
+ *
+ * Every put/delete is serialized and synced before it is applied to the
+ * memtable, as in RocksDB with WAL fsync enabled. The log is a circular
+ * region on an ExtentStore, truncated after each memtable flush. An
+ * NVM-backed ExtentStore turns this into the RocksDB-NVM / MatrixKV /
+ * SLM-DB persistence model, where logging costs ~100 ns instead of an
+ * SSD write.
+ *
+ * The log content is not replayed in this codebase (the baselines are
+ * evaluated on performance, not on recovery), but every byte is really
+ * written and synced so the cost is fully modelled.
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "lsm/extent_store.h"
+
+namespace prism::lsm {
+
+/** Synchronous write-ahead log. */
+class Wal {
+  public:
+    /**
+     * @param store backing medium.
+     * @param bytes log capacity (allocated as one extent).
+     */
+    Wal(ExtentStore &store, uint64_t bytes);
+    ~Wal();
+
+    /** Append and sync one record of @p len bytes. Thread-safe. */
+    Status append(const void *data, uint32_t len);
+
+    /** Drop everything logged so far (after a memtable flush). */
+    void truncate();
+
+    uint64_t bytesLogged() const { return total_; }
+
+  private:
+    ExtentStore &store_;
+    uint64_t base_;
+    uint64_t capacity_;
+    std::mutex mu_;
+    uint64_t head_ = 0;
+    uint64_t total_ = 0;
+};
+
+}  // namespace prism::lsm

@@ -1,0 +1,82 @@
+#include "pmem/pmem_allocator.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace prism::pmem {
+
+PmemAllocator::PmemAllocator(PmemRegion &region) : region_(region) {}
+
+int
+PmemAllocator::classFor(size_t size)
+{
+    if (size == 0)
+        size = 1;
+    if (size > kMaxClass)
+        return -1;
+    const size_t rounded = std::bit_ceil(std::max(size, kMinClass));
+    const int cls = std::countr_zero(rounded) -
+                    std::countr_zero(kMinClass);
+    PRISM_DCHECK(cls >= 0 && cls < kNumClasses);
+    return cls;
+}
+
+POff
+PmemAllocator::alloc(size_t size)
+{
+    const int cls = classFor(size);
+    if (cls < 0) {
+        // Oversized: take a raw extent.
+        return allocRaw(size);
+    }
+    const size_t bytes = classSize(cls);
+    auto &sc = classes_[static_cast<size_t>(cls)];
+    std::lock_guard<std::mutex> lock(sc.mu);
+    if (!sc.free_list.empty()) {
+        const POff off = sc.free_list.back();
+        sc.free_list.pop_back();
+        allocated_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        return off;
+    }
+    if (sc.slab_cursor == kNullOff || sc.slab_cursor + bytes > sc.slab_end) {
+        // Refill the class slab from the persistent bump frontier. The
+        // slab tail is leaked on crash; recovery's reachability walk makes
+        // that safe (see file comment).
+        const uint64_t slab_bytes =
+            std::max<uint64_t>(256 * 1024, bytes * 16);
+        const POff slab = region_.advanceHighWater(slab_bytes);
+        if (slab == kNullOff)
+            return kNullOff;
+        sc.slab_cursor = slab;
+        sc.slab_end = slab + slab_bytes;
+    }
+    const POff off = sc.slab_cursor;
+    sc.slab_cursor += bytes;
+    allocated_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return off;
+}
+
+void
+PmemAllocator::free(POff off, size_t size)
+{
+    PRISM_DCHECK(off != kNullOff);
+    const int cls = classFor(size);
+    if (cls < 0)
+        return;  // raw extents are not recycled
+    auto &sc = classes_[static_cast<size_t>(cls)];
+    std::lock_guard<std::mutex> lock(sc.mu);
+    sc.free_list.push_back(off);
+    allocated_bytes_.fetch_sub(classSize(cls), std::memory_order_relaxed);
+}
+
+POff
+PmemAllocator::allocRaw(uint64_t bytes)
+{
+    const POff off = region_.advanceHighWater(bytes);
+    if (off != kNullOff)
+        allocated_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return off;
+}
+
+}  // namespace prism::pmem

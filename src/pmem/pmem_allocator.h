@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Segregated-fit allocator for persistent memory.
+ *
+ * Serves node allocations for the persistent key index and the fixed
+ * structures Prism keeps on NVM. Allocation metadata is deliberately
+ * volatile: the persistent state is only the region's bump frontier.
+ * After a crash, free-list contents are lost and any allocation that is
+ * not reachable from a persistent root is leaked (bounded by what was
+ * live at the crash); this mirrors the post-crash garbage-collection
+ * strategy of PACTree/PMDK-style systems, where recovery walks the
+ * reachable structure rather than logging every allocation.
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "pmem/pmem_region.h"
+
+namespace prism::pmem {
+
+/** Size-class allocator over a PmemRegion. Thread-safe. */
+class PmemAllocator {
+  public:
+    /** Smallest size class, bytes (one cache line). */
+    static constexpr size_t kMinClass = 64;
+    /** Largest size class, bytes. */
+    static constexpr size_t kMaxClass = 64 * 1024;
+    static constexpr int kNumClasses = 11;  // 64B << 10 == 64KB
+
+    explicit PmemAllocator(PmemRegion &region);
+
+    PmemAllocator(const PmemAllocator &) = delete;
+    PmemAllocator &operator=(const PmemAllocator &) = delete;
+
+    /**
+     * Allocate @p size bytes (rounded up to a size class).
+     * @return region offset, or kNullOff when the region is exhausted.
+     */
+    POff alloc(size_t size);
+
+    /** Return an allocation of @p size bytes to its size-class pool. */
+    void free(POff off, size_t size);
+
+    /**
+     * Allocate a large raw extent directly from the bump frontier,
+     * bypassing size classes (used for PWB slabs and the HSIT array).
+     */
+    POff allocRaw(uint64_t bytes);
+
+    /** Bytes handed out (live + freed-to-pool), for space accounting. */
+    uint64_t allocatedBytes() const {
+        return allocated_bytes_.load(std::memory_order_relaxed);
+    }
+
+    PmemRegion &region() { return region_; }
+
+    /** @return the size class index for @p size; -1 if too large. */
+    static int classFor(size_t size);
+
+    /** @return the byte size of size class @p cls. */
+    static size_t classSize(int cls) { return kMinClass << cls; }
+
+  private:
+    struct SizeClass {
+        std::mutex mu;
+        std::vector<POff> free_list;
+        POff slab_cursor = kNullOff;
+        POff slab_end = kNullOff;
+    };
+
+    PmemRegion &region_;
+    std::array<SizeClass, kNumClasses> classes_;
+    std::atomic<uint64_t> allocated_bytes_{0};
+};
+
+}  // namespace prism::pmem

@@ -1,0 +1,133 @@
+#include "pmem/pmem_region.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/thread_util.h"
+
+namespace prism::pmem {
+
+PmemRegion::PmemRegion(std::shared_ptr<sim::NvmDevice> device, bool format)
+    : device_(std::move(device)),
+      base_(device_->raw()),
+      staged_(ThreadId::kMaxThreads)
+{
+    PRISM_CHECK(device_->capacity() > sizeof(RegionHeader));
+    if (format) {
+        auto *h = header();
+        h->magic = kMagic;
+        h->version = 1;
+        h->root = kNullOff;
+        // The frontier starts past the header, cache-line aligned.
+        h->high_water =
+            (sizeof(RegionHeader) + kCacheLine - 1) & ~(kCacheLine - 1);
+        device_->chargeWrite(sizeof(RegionHeader));
+    } else {
+        PRISM_CHECK(header()->magic == kMagic && "attach to unformatted region");
+    }
+}
+
+bool
+PmemRegion::isFormatted(const sim::NvmDevice &device)
+{
+    RegionHeader h;
+    std::memcpy(&h, device.raw(), sizeof(h));
+    return h.magic == kMagic;
+}
+
+void
+PmemRegion::flush(const void *addr, size_t len)
+{
+    flush_count_.fetch_add(1, std::memory_order_relaxed);
+    if (!tracking_.load(std::memory_order_acquire)) {
+        // Fast mode: model the clwb write-back cost only.
+        device_->chargeWrite(len);
+        return;
+    }
+    const auto off = offsetOf(addr);
+    const uint64_t first = off / kCacheLine;
+    const uint64_t last = (off + len - 1) / kCacheLine;
+    staged_[static_cast<size_t>(ThreadId::self())].ranges.push_back(
+        {first, last - first + 1});
+}
+
+void
+PmemRegion::fence()
+{
+    fence_count_.fetch_add(1, std::memory_order_relaxed);
+    if (!tracking_.load(std::memory_order_acquire))
+        return;
+    auto &mine = staged_[static_cast<size_t>(ThreadId::self())].ranges;
+    if (mine.empty())
+        return;
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    for (const auto &r : mine)
+        commitLines(r);
+    mine.clear();
+}
+
+void
+PmemRegion::commitLines(const LineRange &r)
+{
+    const uint64_t start = r.first_line * kCacheLine;
+    const uint64_t len = r.line_count * kCacheLine;
+    PRISM_DCHECK(start + len <= capacity());
+    std::memcpy(shadow_.get() + start, base_ + start, len);
+}
+
+void
+PmemRegion::setRoot(POff off)
+{
+    auto *h = header();
+    h->root = off;
+    persist(&h->root, sizeof(h->root));
+}
+
+POff
+PmemRegion::advanceHighWater(uint64_t bytes)
+{
+    bytes = (bytes + kCacheLine - 1) & ~(kCacheLine - 1);
+    std::lock_guard<std::mutex> lock(high_water_mu_);
+    auto *h = header();
+    const uint64_t start = h->high_water;
+    if (start + bytes > capacity())
+        return kNullOff;
+    h->high_water = start + bytes;
+    persist(&h->high_water, sizeof(h->high_water));
+    return start;
+}
+
+void
+PmemRegion::enableTracking()
+{
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    if (tracking_.load(std::memory_order_acquire))
+        return;
+    shadow_.reset(new uint8_t[capacity()]);
+    // Everything present at enable time is considered durable.
+    std::memcpy(shadow_.get(), base_, capacity());
+    tracking_.store(true, std::memory_order_release);
+}
+
+void
+PmemRegion::snapshotDurableTo(std::vector<uint8_t> &out)
+{
+    PRISM_CHECK(tracking_.load(std::memory_order_acquire) &&
+                "snapshotDurableTo requires tracking mode");
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    out.assign(shadow_.get(), shadow_.get() + capacity());
+}
+
+void
+PmemRegion::simulateCrash()
+{
+    PRISM_CHECK(tracking_.load(std::memory_order_acquire) &&
+                "simulateCrash requires tracking mode");
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    // Unfenced staged lines die with the crash.
+    for (auto &s : staged_)
+        s.ranges.clear();
+    std::memcpy(base_, shadow_.get(), capacity());
+}
+
+}  // namespace prism::pmem

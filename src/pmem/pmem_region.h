@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Persistent-memory region: typed access, flush/fence primitives, and a
+ * cache-line-granular crash-injection model.
+ *
+ * The region wraps a sim::NvmDevice and plays the role PMDK's libpmem
+ * plays over real Optane. Pointers inside the region are stored as
+ * offsets (POff) so that a re-attached region remains valid.
+ *
+ * Persistence model (tracking mode, used by crash tests):
+ *  - Ordinary stores modify the working image only; they are *not*
+ *    durable.
+ *  - flush(addr, len) stages the covered 64-byte cache lines (clwb
+ *    analogue). Staged lines are still not durable.
+ *  - fence() makes the calling thread's staged lines durable by copying
+ *    them to a shadow "media" image (sfence analogue).
+ *  - simulateCrash() discards all non-durable state: the working image is
+ *    overwritten with the shadow image. Unflushed and unfenced stores
+ *    vanish — the adversarial Optane failure model, which is exactly what
+ *    Prism's backward-pointer/dirty-bit protocols must survive.
+ *
+ * In fast mode (benchmarks), flush/fence only charge DCPMM write timing.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/nvm_device.h"
+
+namespace prism::pmem {
+
+/** Offset-based persistent pointer; 0 is the null value. */
+using POff = uint64_t;
+inline constexpr POff kNullOff = 0;
+
+/** Cache-line size assumed by the persistence model. */
+inline constexpr size_t kCacheLine = 64;
+
+/** On-media region header stored at offset 0. */
+struct RegionHeader {
+    uint64_t magic;
+    uint64_t version;
+    POff root;                ///< application root object
+    uint64_t high_water;      ///< bump-allocation frontier
+};
+
+/**
+ * A persistent memory pool over one NVM device.
+ *
+ * Thread safety: translate/flush/fence/persist are safe from any thread.
+ * simulateCrash must be called while application threads are quiesced
+ * (the crash-test harness stops them first).
+ */
+class PmemRegion {
+  public:
+    static constexpr uint64_t kMagic = 0x5052491534D52ull;
+
+    /**
+     * Create or attach to a region on @p device.
+     * @param format when true the region is initialized from scratch;
+     *               when false an existing header is validated.
+     */
+    PmemRegion(std::shared_ptr<sim::NvmDevice> device, bool format);
+
+    PmemRegion(const PmemRegion &) = delete;
+    PmemRegion &operator=(const PmemRegion &) = delete;
+
+    /** @return true when an already-formatted region lives on @p device. */
+    static bool isFormatted(const sim::NvmDevice &device);
+
+    uint64_t capacity() const { return device_->capacity(); }
+    sim::NvmDevice &device() { return *device_; }
+
+    /** Translate a persistent offset to a live pointer (null-safe). */
+    void *
+    translate(POff off)
+    {
+        return off == kNullOff ? nullptr : base_ + off;
+    }
+
+    const void *
+    translate(POff off) const
+    {
+        return off == kNullOff ? nullptr : base_ + off;
+    }
+
+    /** Typed translate. */
+    template <typename T>
+    T *as(POff off) { return static_cast<T *>(translate(off)); }
+
+    template <typename T>
+    const T *as(POff off) const {
+        return static_cast<const T *>(translate(off));
+    }
+
+    /** Offset of a pointer inside the region. */
+    POff
+    offsetOf(const void *p) const
+    {
+        if (p == nullptr)
+            return kNullOff;
+        return static_cast<POff>(static_cast<const uint8_t *>(p) - base_);
+    }
+
+    /** @name Persistence primitives (clwb/sfence analogues) */
+    ///@{
+    /** Stage the cache lines covering [addr, addr+len) for persistence. */
+    void flush(const void *addr, size_t len);
+
+    /** Make the calling thread's staged lines durable. */
+    void fence();
+
+    /** flush + fence. */
+    void
+    persist(const void *addr, size_t len)
+    {
+        flush(addr, len);
+        fence();
+    }
+    ///@}
+
+    /** Charge NVM read timing for a load of @p bytes (semantic reads). */
+    void chargeRead(uint64_t bytes) { device_->chargeRead(bytes); }
+
+    /** @name Root object management */
+    ///@{
+    POff root() const { return header()->root; }
+    void setRoot(POff off);
+    ///@}
+
+    /** @name Bump allocation frontier (used by PmemAllocator) */
+    ///@{
+    uint64_t highWater() const { return header()->high_water; }
+
+    /**
+     * Atomically advance the frontier by @p bytes (crash-safely persisted).
+     * @return starting offset, or kNullOff when the region is full.
+     */
+    POff advanceHighWater(uint64_t bytes);
+    ///@}
+
+    /** @name Crash-injection model */
+    ///@{
+    /** Switch to tracking mode. Must precede any stores being tested. */
+    void enableTracking();
+
+    bool trackingEnabled() const {
+        return tracking_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Simulated power failure: revert every non-durable cache line.
+     * Caller must have stopped all mutator threads.
+     */
+    void simulateCrash();
+
+    /**
+     * Capture the *durable* image (the shadow) at this instant — the
+     * state a crash right now would leave behind. Safe against
+     * concurrent mutators: fences serialize with the copy, so the image
+     * is a consistent power-failure snapshot taken mid-workload.
+     */
+    void snapshotDurableTo(std::vector<uint8_t> &out);
+    ///@}
+
+    /** Flush/fence counters (CPU-efficiency accounting in benches). */
+    uint64_t flushCount() const {
+        return flush_count_.load(std::memory_order_relaxed);
+    }
+    uint64_t fenceCount() const {
+        return fence_count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct LineRange {
+        uint64_t first_line;
+        uint64_t line_count;
+    };
+
+    RegionHeader *header() { return reinterpret_cast<RegionHeader *>(base_); }
+    const RegionHeader *header() const {
+        return reinterpret_cast<const RegionHeader *>(base_);
+    }
+
+    /** Apply one staged line range to the shadow image. */
+    void commitLines(const LineRange &r);
+
+    std::shared_ptr<sim::NvmDevice> device_;
+    uint8_t *base_;
+
+    std::atomic<bool> tracking_{false};
+    std::unique_ptr<uint8_t[]> shadow_;   ///< durable "media" image
+    std::mutex shadow_mu_;
+
+    std::atomic<uint64_t> flush_count_{0};
+    std::atomic<uint64_t> fence_count_{0};
+
+    // Staged-but-unfenced lines, per thread (indexed by ThreadId).
+    struct alignas(64) Staged {
+        std::vector<LineRange> ranges;
+    };
+    std::vector<Staged> staged_;
+
+    std::mutex high_water_mu_;
+};
+
+}  // namespace prism::pmem

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Performance profiles for the storage media in Figure 1 of the paper.
+ *
+ * | Type      | Model              | rBW    | wBW    | rLat   | wLat  | $/TB |
+ * | DRAM      | SK Hynix DDR4      | 15 GB/s| 15 GB/s| 0.08us | 0.08us| 5427 |
+ * | NVM       | Optane DCPMM       | 6.8    | 1.9    | 0.30   | 0.09  | 4096 |
+ * | NVM SSD   | Optane 905P        | 2.6    | 2.2    | 10     | 10    | 1024 |
+ * | Flash SSD | Samsung 980 Pro    | 7      | 5      | 50     | 20    |  150 |
+ * | Flash SSD | Samsung 980        | 3.5    | 3      | 60     | 20    |  100 |
+ *
+ * These numbers drive the simulated devices; a process-wide TimeScale can
+ * compress them uniformly (common/clock.h).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace prism::sim {
+
+/** Static performance/cost description of one storage medium. */
+struct DeviceProfile {
+    const char *name;
+    double read_bw_bytes_per_sec;
+    double write_bw_bytes_per_sec;
+    uint64_t read_latency_ns;
+    uint64_t write_latency_ns;
+    double dollars_per_tb;
+    /** Number of internally parallel service units (flash channels). */
+    int internal_parallelism;
+};
+
+constexpr double kGB = 1e9;
+
+/** SK Hynix DDR4 DRAM. */
+inline constexpr DeviceProfile kDramProfile = {
+    "dram-ddr4", 15 * kGB, 15 * kGB, 80, 80, 5427.0, 16,
+};
+
+/** Intel Optane DCPMM (the paper's NVM). */
+inline constexpr DeviceProfile kOptaneDcpmmProfile = {
+    "nvm-optane-dcpmm", 6.8 * kGB, 1.9 * kGB, 300, 90, 4096.0, 8,
+};
+
+/** Intel Optane 905P SSD (ultra-low-latency NVM SSD). */
+inline constexpr DeviceProfile kOptaneSsdProfile = {
+    "nvmssd-optane-905p", 2.6 * kGB, 2.2 * kGB, 10000, 10000, 1024.0, 8,
+};
+
+/** Samsung 980 Pro (PCIe Gen4 flash SSD — the paper's Value Storage). */
+inline constexpr DeviceProfile kSamsung980ProProfile = {
+    "ssd-980pro", 7 * kGB, 5 * kGB, 50000, 20000, 150.0, 32,
+};
+
+/** Samsung 980 (PCIe Gen3 flash SSD). */
+inline constexpr DeviceProfile kSamsung980Profile = {
+    "ssd-980", 3.5 * kGB, 3 * kGB, 60000, 20000, 100.0, 32,
+};
+
+/**
+ * Prospective CXL-attached (battery-backed) persistent memory, per the
+ * paper's §8 discussion of emerging media: byte-addressable and
+ * non-volatile like DCPMM, but behind a CXL link — roughly 2-3x the
+ * load latency, with DRAM-class bandwidth. Used by the extension bench
+ * to ask how Prism's design carries over to post-Optane NVM.
+ */
+inline constexpr DeviceProfile kCxlNvmProfile = {
+    "nvm-cxl", 12 * kGB, 10 * kGB, 750, 400, 2048.0, 16,
+};
+
+}  // namespace prism::sim

@@ -1,0 +1,56 @@
+#include "sim/nvm_device.h"
+
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace prism::sim {
+
+NvmDevice::NvmDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
+                     bool model_timing)
+    : capacity_(capacity_bytes),
+      profile_(profile),
+      model_timing_(model_timing),
+      base_(new uint8_t[capacity_bytes])
+{
+    PRISM_CHECK(capacity_bytes > 0);
+    std::memset(base_.get(), 0, capacity_bytes);
+}
+
+NvmDevice::~NvmDevice() = default;
+
+void
+NvmDevice::loadImage(const uint8_t *image, uint64_t bytes)
+{
+    PRISM_CHECK(bytes <= capacity_);
+    std::memcpy(base_.get(), image, bytes);
+}
+
+void
+NvmDevice::chargeRead(uint64_t bytes)
+{
+    stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+    stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
+    if (!model_timing_.load(std::memory_order_relaxed))
+        return;
+    // Media latency plus transfer time at device read bandwidth. DCPMM
+    // accesses are 256 B granular internally; small reads pay full latency.
+    const auto transfer_ns = static_cast<uint64_t>(
+        static_cast<double>(bytes) / profile_.read_bw_bytes_per_sec * 1e9);
+    spinFor(TimeScale::scaled(profile_.read_latency_ns + transfer_ns));
+}
+
+void
+NvmDevice::chargeWrite(uint64_t bytes)
+{
+    stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+    stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
+    if (!model_timing_.load(std::memory_order_relaxed))
+        return;
+    const auto transfer_ns = static_cast<uint64_t>(
+        static_cast<double>(bytes) / profile_.write_bw_bytes_per_sec * 1e9);
+    spinFor(TimeScale::scaled(profile_.write_latency_ns + transfer_ns));
+}
+
+}  // namespace prism::sim

@@ -1,0 +1,88 @@
+#include "sim/ssd_array.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace prism::sim {
+
+SsdArray::SsdArray(std::vector<std::shared_ptr<SsdDevice>> devices,
+                   uint64_t stripe_bytes)
+    : devices_(std::move(devices)), stripe_bytes_(stripe_bytes)
+{
+    PRISM_CHECK(!devices_.empty());
+    PRISM_CHECK(stripe_bytes_ > 0);
+    uint64_t min_cap = UINT64_MAX;
+    for (const auto &d : devices_)
+        min_cap = std::min(min_cap, d->capacity());
+    capacity_ = min_cap * devices_.size();
+}
+
+void
+SsdArray::mapOffset(uint64_t logical, size_t &dev, uint64_t &dev_off) const
+{
+    const uint64_t stripe = logical / stripe_bytes_;
+    const uint64_t in_stripe = logical % stripe_bytes_;
+    dev = static_cast<size_t>(stripe % devices_.size());
+    dev_off = (stripe / devices_.size()) * stripe_bytes_ + in_stripe;
+}
+
+Status
+SsdArray::readSync(uint64_t offset, void *buf, uint32_t length)
+{
+    auto *d = static_cast<uint8_t *>(buf);
+    while (length > 0) {
+        size_t dev;
+        uint64_t dev_off;
+        mapOffset(offset, dev, dev_off);
+        const auto n = static_cast<uint32_t>(std::min<uint64_t>(
+            length, stripe_bytes_ - offset % stripe_bytes_));
+        Status s = devices_[dev]->readSync(dev_off, d, n);
+        if (!s.isOk())
+            return s;
+        offset += n;
+        d += n;
+        length -= n;
+    }
+    return Status::ok();
+}
+
+Status
+SsdArray::writeSync(uint64_t offset, const void *src, uint32_t length)
+{
+    const auto *s = static_cast<const uint8_t *>(src);
+    while (length > 0) {
+        size_t dev;
+        uint64_t dev_off;
+        mapOffset(offset, dev, dev_off);
+        const auto n = static_cast<uint32_t>(std::min<uint64_t>(
+            length, stripe_bytes_ - offset % stripe_bytes_));
+        Status st = devices_[dev]->writeSync(dev_off, s, n);
+        if (!st.isOk())
+            return st;
+        offset += n;
+        s += n;
+        length -= n;
+    }
+    return Status::ok();
+}
+
+uint64_t
+SsdArray::totalBytesWritten() const
+{
+    uint64_t total = 0;
+    for (const auto &d : devices_)
+        total += d->stats().bytes_written.load(std::memory_order_relaxed);
+    return total;
+}
+
+uint64_t
+SsdArray::totalBytesRead() const
+{
+    uint64_t total = 0;
+    for (const auto &d : devices_)
+        total += d->stats().bytes_read.load(std::memory_order_relaxed);
+    return total;
+}
+
+}  // namespace prism::sim

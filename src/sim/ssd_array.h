@@ -1,0 +1,57 @@
+/**
+ * @file
+ * RAID-0 striping over multiple simulated SSDs.
+ *
+ * The paper gives competitors the same hardware as Prism by striping the
+ * eight SSDs with mdadm/dm-stripe; SsdArray plays that role for the LSM
+ * baselines. Prism itself addresses the member devices individually (one
+ * Value Storage per SSD), so it does not use this class.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/ssd_device.h"
+
+namespace prism::sim {
+
+/** A striped (RAID-0) volume over N member SSDs. */
+class SsdArray {
+  public:
+    /**
+     * @param devices      member devices (shared; all must be same size).
+     * @param stripe_bytes stripe unit (dm-stripe chunk), default 64 KB.
+     */
+    explicit SsdArray(std::vector<std::shared_ptr<SsdDevice>> devices,
+                      uint64_t stripe_bytes = 64 * 1024);
+
+    uint64_t capacity() const { return capacity_; }
+    size_t deviceCount() const { return devices_.size(); }
+
+    /** Blocking read across the stripe. */
+    Status readSync(uint64_t offset, void *buf, uint32_t length);
+
+    /** Blocking write across the stripe. */
+    Status writeSync(uint64_t offset, const void *src, uint32_t length);
+
+    /** Sum of member-device write bytes (for WAF accounting). */
+    uint64_t totalBytesWritten() const;
+
+    /** Sum of member-device read bytes. */
+    uint64_t totalBytesRead() const;
+
+    SsdDevice &device(size_t i) { return *devices_[i]; }
+
+  private:
+    /** Map a logical offset to (device, device offset). */
+    void mapOffset(uint64_t logical, size_t &dev, uint64_t &dev_off) const;
+
+    std::vector<std::shared_ptr<SsdDevice>> devices_;
+    uint64_t stripe_bytes_;
+    uint64_t capacity_;
+};
+
+}  // namespace prism::sim

@@ -1,0 +1,332 @@
+#include "sim/ssd_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace prism::sim {
+
+SsdDevice::SsdDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
+                     bool model_timing)
+    : capacity_((capacity_bytes + kBlockSize - 1) & ~(kBlockSize - 1)),
+      profile_(profile),
+      model_timing_(model_timing),
+      pages_((capacity_ + kPageSize - 1) / kPageSize),
+      channel_free_at_(static_cast<size_t>(profile.internal_parallelism), 0)
+{
+    PRISM_CHECK(capacity_bytes > 0);
+    for (auto &p : pages_)
+        p.store(nullptr, std::memory_order_relaxed);
+    // Token-bucket rates are fixed at construction; benches set TimeScale
+    // before creating devices. A scale < 1 compresses time, which shows up
+    // here as proportionally higher effective bandwidth.
+    const double scale = std::max(TimeScale::get(), 1e-6);
+    read_bw_ = std::make_unique<TokenBucket>(
+        profile.read_bw_bytes_per_sec / scale, 8 * 1024 * 1024);
+    write_bw_ = std::make_unique<TokenBucket>(
+        profile.write_bw_bytes_per_sec / scale, 8 * 1024 * 1024);
+    worker_ = std::thread([this] { workerLoop(); });
+}
+
+SsdDevice::~SsdDevice()
+{
+    {
+        std::lock_guard<std::mutex> lock(sq_mu_);
+        stop_.store(true, std::memory_order_release);
+    }
+    sq_cv_.notify_all();
+    worker_.join();
+    for (auto &p : pages_) {
+        uint8_t *ptr = p.load(std::memory_order_relaxed);
+        delete[] ptr;
+    }
+}
+
+uint8_t *
+SsdDevice::pageFor(uint64_t page_index, bool allocate)
+{
+    auto &slot = pages_[page_index];
+    uint8_t *p = slot.load(std::memory_order_acquire);
+    if (p != nullptr || !allocate)
+        return p;
+    std::lock_guard<std::mutex> lock(page_alloc_mu_);
+    p = slot.load(std::memory_order_acquire);
+    if (p == nullptr) {
+        p = new uint8_t[kPageSize];
+        std::memset(p, 0, kPageSize);
+        slot.store(p, std::memory_order_release);
+    }
+    return p;
+}
+
+void
+SsdDevice::copyIn(uint64_t offset, const void *src, uint32_t len)
+{
+    const auto *s = static_cast<const uint8_t *>(src);
+    while (len > 0) {
+        const uint64_t page = offset / kPageSize;
+        const uint64_t in_page = offset % kPageSize;
+        const auto n = static_cast<uint32_t>(
+            std::min<uint64_t>(len, kPageSize - in_page));
+        std::memcpy(pageFor(page, true) + in_page, s, n);
+        offset += n;
+        s += n;
+        len -= n;
+    }
+}
+
+void
+SsdDevice::copyOut(uint64_t offset, void *dst, uint32_t len)
+{
+    auto *d = static_cast<uint8_t *>(dst);
+    while (len > 0) {
+        const uint64_t page = offset / kPageSize;
+        const uint64_t in_page = offset % kPageSize;
+        const auto n = static_cast<uint32_t>(
+            std::min<uint64_t>(len, kPageSize - in_page));
+        const uint8_t *p = pageFor(page, false);
+        if (p == nullptr) {
+            std::memset(d, 0, n);  // never-written blocks read as zero
+        } else {
+            std::memcpy(d, p + in_page, n);
+        }
+        offset += n;
+        d += n;
+        len -= n;
+    }
+}
+
+uint64_t
+SsdDevice::serviceTimeNs(const SsdIoRequest &req, uint64_t now)
+{
+    const bool is_read = req.op == SsdIoRequest::Op::kRead;
+    const double bw = is_read ? profile_.read_bw_bytes_per_sec
+                              : profile_.write_bw_bytes_per_sec;
+    const uint64_t media_lat = is_read ? profile_.read_latency_ns
+                                       : profile_.write_latency_ns;
+    const auto transfer_ns = static_cast<uint64_t>(
+        static_cast<double>(req.length) / bw * 1e9);
+    // Aggregate-bandwidth back-pressure: the bucket tells us how far the
+    // device is oversubscribed; that delay queues ahead of the media time.
+    const uint64_t bw_delay =
+        (is_read ? read_bw_ : write_bw_)->acquire(req.length);
+    return TimeScale::scaled(media_lat + transfer_ns) + bw_delay;
+}
+
+Status
+SsdDevice::submit(std::span<const SsdIoRequest> batch)
+{
+    if (model_timing_.load(std::memory_order_relaxed))
+        spinFor(TimeScale::scaled(kSubmitOverheadNs));
+    for (const auto &req : batch) {
+        if (req.offset + req.length > capacity_)
+            return Status::invalidArgument("I/O beyond device capacity");
+        if (req.length == 0)
+            return Status::invalidArgument("zero-length I/O");
+    }
+
+    // Transfer data at submission; the completion only carries timing.
+    // (Writes become durable at completion; an in-flight write lost to a
+    // crash may thus survive in the backing store, which is benign: the
+    // client treats it as unreferenced garbage, exactly as a completed-
+    // but-unacknowledged write on real hardware.)
+    for (const auto &req : batch) {
+        if (req.op == SsdIoRequest::Op::kWrite) {
+            PRISM_DCHECK(req.src != nullptr);
+            copyIn(req.offset, req.src, req.length);
+            stats_.bytes_written.fetch_add(req.length,
+                                           std::memory_order_relaxed);
+            stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            PRISM_DCHECK(req.buf != nullptr);
+            copyOut(req.offset, req.buf, req.length);
+            stats_.bytes_read.fetch_add(req.length,
+                                        std::memory_order_relaxed);
+            stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    const uint64_t now = nowNs();
+    const uint64_t depth =
+        inflight_.fetch_add(batch.size(), std::memory_order_acq_rel) +
+        batch.size();
+    uint64_t prev_max = stats_.max_queue_depth.load(
+        std::memory_order_relaxed);
+    while (depth > prev_max &&
+           !stats_.max_queue_depth.compare_exchange_weak(
+               prev_max, depth, std::memory_order_relaxed)) {
+    }
+
+    if (!model_timing_.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(cq_mu_);
+        for (const auto &req : batch)
+            cq_.push_back({req.user_data, Status::ok(), 0});
+        inflight_.fetch_sub(batch.size(), std::memory_order_acq_rel);
+        cq_cv_.notify_all();
+        return Status::ok();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(sq_mu_);
+        for (const auto &req : batch) {
+            const uint64_t service = serviceTimeNs(req, now);
+            // Earliest-free internal channel serves the request.
+            auto it = std::min_element(channel_free_at_.begin(),
+                                       channel_free_at_.end());
+            const uint64_t start = std::max(now, *it);
+            const uint64_t due = start + service;
+            *it = due;
+            pending_.push({due, now, {req.user_data, Status::ok(), 0}});
+        }
+    }
+    sq_cv_.notify_one();
+    return Status::ok();
+}
+
+void
+SsdDevice::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(sq_mu_);
+    while (true) {
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        if (pending_.empty()) {
+            sq_cv_.wait(lock, [this] {
+                return stop_.load(std::memory_order_acquire) ||
+                       !pending_.empty();
+            });
+            continue;
+        }
+        const uint64_t due = pending_.top().due_ns;
+        const uint64_t now = nowNs();
+        if (now < due) {
+            sq_cv_.wait_for(lock, std::chrono::nanoseconds(due - now));
+            continue;
+        }
+        // Deliver everything that has come due.
+        std::vector<Pending> ready;
+        while (!pending_.empty() && pending_.top().due_ns <= now) {
+            ready.push_back(pending_.top());
+            pending_.pop();
+        }
+        lock.unlock();
+        {
+            std::lock_guard<std::mutex> cq_lock(cq_mu_);
+            for (auto &p : ready) {
+                p.completion.latency_ns = now - p.submit_ns;
+                cq_.push_back(p.completion);
+            }
+        }
+        inflight_.fetch_sub(ready.size(), std::memory_order_acq_rel);
+        cq_cv_.notify_all();
+        lock.lock();
+    }
+}
+
+size_t
+SsdDevice::pollCompletions(std::vector<SsdCompletion> &out, size_t max)
+{
+    std::lock_guard<std::mutex> lock(cq_mu_);
+    const size_t n = std::min(max, cq_.size());
+    out.insert(out.end(), cq_.begin(), cq_.begin() + static_cast<long>(n));
+    cq_.erase(cq_.begin(), cq_.begin() + static_cast<long>(n));
+    return n;
+}
+
+size_t
+SsdDevice::waitCompletions(std::vector<SsdCompletion> &out, size_t max,
+                           uint64_t timeout_us)
+{
+    std::unique_lock<std::mutex> lock(cq_mu_);
+    cq_cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                    [this] { return !cq_.empty(); });
+    const size_t n = std::min(max, cq_.size());
+    out.insert(out.end(), cq_.begin(), cq_.begin() + static_cast<long>(n));
+    cq_.erase(cq_.begin(), cq_.begin() + static_cast<long>(n));
+    return n;
+}
+
+Status
+SsdDevice::readSync(uint64_t offset, void *buf, uint32_t length)
+{
+    if (offset + length > capacity_)
+        return Status::invalidArgument("I/O beyond device capacity");
+    // Synchronous path: model the blocking pread an O_DIRECT caller sees.
+    copyOut(offset, buf, length);
+    stats_.bytes_read.fetch_add(length, std::memory_order_relaxed);
+    stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
+    if (model_timing_.load(std::memory_order_relaxed)) {
+        SsdIoRequest req;
+        req.op = SsdIoRequest::Op::kRead;
+        req.length = length;
+        delayFor(serviceTimeNs(req, nowNs()));
+    }
+    return Status::ok();
+}
+
+Status
+SsdDevice::writeSync(uint64_t offset, const void *src, uint32_t length)
+{
+    if (offset + length > capacity_)
+        return Status::invalidArgument("I/O beyond device capacity");
+    copyIn(offset, src, length);
+    stats_.bytes_written.fetch_add(length, std::memory_order_relaxed);
+    stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
+    if (model_timing_.load(std::memory_order_relaxed)) {
+        SsdIoRequest req;
+        req.op = SsdIoRequest::Op::kWrite;
+        req.length = length;
+        delayFor(serviceTimeNs(req, nowNs()));
+    }
+    return Status::ok();
+}
+
+void
+SsdDevice::simulateCrash()
+{
+    std::lock_guard<std::mutex> sq_lock(sq_mu_);
+    std::lock_guard<std::mutex> cq_lock(cq_mu_);
+    size_t dropped = pending_.size();
+    while (!pending_.empty())
+        pending_.pop();
+    dropped += cq_.size();
+    cq_.clear();
+    inflight_.fetch_sub(dropped, std::memory_order_acq_rel);
+    std::fill(channel_free_at_.begin(), channel_free_at_.end(), 0);
+}
+
+void
+SsdDevice::snapshotTo(std::vector<uint8_t> &out)
+{
+    out.resize(capacity_);
+    constexpr uint64_t kStep = 1ull << 30;
+    for (uint64_t off = 0; off < capacity_; off += kStep) {
+        copyOut(off, out.data() + off, static_cast<uint32_t>(
+            std::min(kStep, capacity_ - off)));
+    }
+}
+
+void
+SsdDevice::loadFrom(const std::vector<uint8_t> &image)
+{
+    PRISM_CHECK(image.size() <= capacity_);
+    constexpr uint64_t kStep = 1ull << 30;
+    for (uint64_t off = 0; off < image.size(); off += kStep) {
+        copyIn(off, image.data() + off, static_cast<uint32_t>(
+            std::min(kStep, image.size() - off)));
+    }
+}
+
+void
+SsdDevice::eraseAll()
+{
+    std::lock_guard<std::mutex> lock(page_alloc_mu_);
+    for (auto &p : pages_) {
+        uint8_t *ptr = p.exchange(nullptr, std::memory_order_acq_rel);
+        delete[] ptr;
+    }
+}
+
+}  // namespace prism::sim

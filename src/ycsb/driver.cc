@@ -1,0 +1,143 @@
+#include "ycsb/driver.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace prism::ycsb {
+
+RunResult
+loadPhase(KvStore &store, const WorkloadSpec &spec, int threads)
+{
+    RunResult result;
+    std::vector<Histogram> hists(static_cast<size_t>(threads));
+    std::vector<std::thread> pool;
+    const uint64_t per_thread =
+        (spec.record_count + threads - 1) / static_cast<uint64_t>(threads);
+
+    const uint64_t t0 = nowNs();
+    for (int t = 0; t < threads; t++) {
+        pool.emplace_back([&, t] {
+            const uint64_t lo = static_cast<uint64_t>(t) * per_thread;
+            const uint64_t hi =
+                std::min<uint64_t>(lo + per_thread, spec.record_count);
+            std::string value;
+            for (uint64_t i = lo; i < hi; i++) {
+                const uint64_t key = OpGenerator::keyOf(i);
+                OpGenerator::fillValue(key, spec.value_bytes, &value);
+                const uint64_t s = nowNs();
+                const Status st = store.put(key, value);
+                hists[static_cast<size_t>(t)].record(nowNs() - s);
+                PRISM_CHECK(st.isOk());
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    result.duration_ns = nowNs() - t0;
+    result.ops = spec.record_count;
+    for (const auto &h : hists) {
+        result.overall.merge(h);
+        result.writes.merge(h);
+    }
+    return result;
+}
+
+RunResult
+runPhase(KvStore &store, const WorkloadSpec &spec, int threads,
+         uint64_t timeline_window_ms)
+{
+    RunResult result;
+    struct ThreadState {
+        Histogram overall, reads, writes, scans;
+    };
+    std::vector<ThreadState> states(static_cast<size_t>(threads));
+    std::atomic<uint64_t> completed{0};
+    std::atomic<bool> done{false};
+
+    std::thread sampler;
+    if (timeline_window_ms != 0) {
+        sampler = std::thread([&] {
+            const uint64_t start = nowNs();
+            uint64_t last_ops = 0;
+            uint64_t last_t = start;
+            while (!done.load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(timeline_window_ms));
+                const uint64_t now = nowNs();
+                const uint64_t ops = completed.load(
+                    std::memory_order_relaxed);
+                const double window_s =
+                    static_cast<double>(now - last_t) / 1e9;
+                result.timeline.emplace_back(
+                    static_cast<double>(now - start) / 1e9,
+                    static_cast<double>(ops - last_ops) / window_s);
+                last_ops = ops;
+                last_t = now;
+            }
+        });
+    }
+
+    std::vector<std::thread> pool;
+    const uint64_t per_thread = spec.operation_count /
+                                static_cast<uint64_t>(threads);
+    const uint64_t t0 = nowNs();
+    for (int t = 0; t < threads; t++) {
+        pool.emplace_back([&, t] {
+            OpGenerator gen(spec, static_cast<uint64_t>(t));
+            ThreadState &st = states[static_cast<size_t>(t)];
+            std::string value;
+            std::vector<std::pair<uint64_t, std::string>> scan_out;
+            for (uint64_t i = 0; i < per_thread; i++) {
+                const Op op = gen.next();
+                const uint64_t s = nowNs();
+                switch (op.type) {
+                  case OpType::kInsert:
+                  case OpType::kUpdate: {
+                    OpGenerator::fillValue(op.key, spec.value_bytes,
+                                           &value);
+                    store.put(op.key, value);
+                    const uint64_t d = nowNs() - s;
+                    st.overall.record(d);
+                    st.writes.record(d);
+                    break;
+                  }
+                  case OpType::kRead: {
+                    store.get(op.key, &value);
+                    const uint64_t d = nowNs() - s;
+                    st.overall.record(d);
+                    st.reads.record(d);
+                    break;
+                  }
+                  case OpType::kScan: {
+                    store.scan(op.key, op.scan_len, &scan_out);
+                    const uint64_t d = nowNs() - s;
+                    st.overall.record(d);
+                    st.scans.record(d);
+                    break;
+                  }
+                }
+                completed.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    result.duration_ns = nowNs() - t0;
+    done.store(true, std::memory_order_release);
+    if (sampler.joinable())
+        sampler.join();
+
+    for (const auto &st : states) {
+        result.overall.merge(st.overall);
+        result.reads.merge(st.reads);
+        result.writes.merge(st.writes);
+        result.scans.merge(st.scans);
+    }
+    result.ops = result.overall.count();
+    return result;
+}
+
+}  // namespace prism::ycsb

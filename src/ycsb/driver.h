@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Threaded YCSB driver: load phase, timed run phase, latency capture,
+ * and an optional throughput timeline (for the GC-impact figure).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "ycsb/kv_interface.h"
+#include "ycsb/workload.h"
+
+namespace prism::ycsb {
+
+/** Outcome of one driver phase. */
+struct RunResult {
+    uint64_t ops = 0;
+    uint64_t duration_ns = 0;
+    Histogram overall;   ///< latency of every operation (ns)
+    Histogram reads;
+    Histogram writes;
+    Histogram scans;
+    /** (seconds since start, ops/s in that window); when sampled. */
+    std::vector<std::pair<double, double>> timeline;
+
+    double
+    throughput() const
+    {
+        return duration_ns == 0
+                   ? 0.0
+                   : static_cast<double>(ops) * 1e9 /
+                         static_cast<double>(duration_ns);
+    }
+};
+
+/** Insert spec.record_count items across @p threads threads. */
+RunResult loadPhase(KvStore &store, const WorkloadSpec &spec, int threads);
+
+/**
+ * Execute spec.operation_count requests across @p threads threads.
+ * @param timeline_window_ms when non-zero, sample a throughput timeline
+ *        at this granularity.
+ */
+RunResult runPhase(KvStore &store, const WorkloadSpec &spec, int threads,
+                   uint64_t timeline_window_ms = 0);
+
+}  // namespace prism::ycsb

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Uniform key-value store interface the YCSB driver runs against.
+ * Adapters wrap PrismDb and every baseline behind it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prism::ycsb {
+
+/** Minimal KV API common to all evaluated stores. */
+class KvStore {
+  public:
+    virtual ~KvStore() = default;
+
+    virtual std::string name() const = 0;
+    virtual Status put(uint64_t key, std::string_view value) = 0;
+    virtual Status get(uint64_t key, std::string *value) = 0;
+    virtual Status del(uint64_t key) = 0;
+    virtual Status scan(uint64_t start_key, size_t count,
+                        std::vector<std::pair<uint64_t, std::string>> *out)
+        = 0;
+
+    /** Quiesce background work (between load and run phases). */
+    virtual void flushAll() {}
+
+    /** Bytes physically written to SSD media (WAF numerator). */
+    virtual uint64_t ssdBytesWritten() const { return 0; }
+
+    /** Bytes of user values written (WAF denominator). */
+    virtual uint64_t userBytesWritten() const { return 0; }
+};
+
+}  // namespace prism::ycsb

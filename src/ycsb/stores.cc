@@ -1,0 +1,172 @@
+#include "ycsb/stores.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/device_profile.h"
+
+namespace prism::ycsb {
+
+namespace {
+
+std::vector<std::shared_ptr<sim::SsdDevice>>
+makeSsds(const FixtureOptions &fx)
+{
+    std::vector<std::shared_ptr<sim::SsdDevice>> ssds;
+    for (int i = 0; i < fx.num_ssds; i++) {
+        ssds.push_back(std::make_shared<sim::SsdDevice>(
+            fx.ssd_bytes, fx.ssd_profile, fx.model_timing));
+    }
+    return ssds;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Prism
+
+PrismStore::PrismStore(const FixtureOptions &fx, core::PrismOptions opts)
+{
+    // NVM budget (Table 1): the write buffer fraction, split into
+    // per-thread PWBs, plus index/HSIT headroom.
+    const uint64_t pwb_total =
+        std::max<uint64_t>(fx.dataset_bytes * 16 / 100, 16 << 20);
+    if (fx.derive_prism_budgets) {
+        opts.pwb_size_bytes = std::max<uint64_t>(
+            pwb_total /
+                static_cast<uint64_t>(std::max(1, fx.expected_threads)),
+            2 << 20);
+        opts.svc_capacity_bytes =
+            std::max<uint64_t>(fx.dataset_bytes * 20 / 100, 16 << 20);
+    }
+
+    // Region must also hold the key index and HSIT; size generously.
+    const uint64_t nvm_bytes = std::max(pwb_total,
+                                        opts.pwb_size_bytes *
+                                            static_cast<uint64_t>(
+                                                fx.expected_threads)) +
+                               opts.pwb_size_bytes * 4 +
+                               opts.hsit_capacity * 32 +
+                               std::max<uint64_t>(fx.dataset_bytes / 4,
+                                                  128 << 20);
+    nvm_ = std::make_shared<sim::NvmDevice>(
+        nvm_bytes, sim::kOptaneDcpmmProfile, fx.model_timing);
+    region_ = std::make_shared<pmem::PmemRegion>(nvm_, /*format=*/true);
+    ssds_ = makeSsds(fx);
+    db_ = core::PrismDb::open(opts, region_, ssds_);
+}
+
+uint64_t
+PrismStore::crashAndRecover(const core::PrismOptions &opts)
+{
+    db_.reset();  // abrupt-enough teardown; NVM + SSD contents persist
+    db_ = core::PrismDb::recover(opts, region_, ssds_);
+    return db_->recoveryTimeNs();
+}
+
+// ---------------------------------------------------------------------------
+// KVell
+
+KvellStore::KvellStore(const FixtureOptions &fx, kvell::KvellOptions opts)
+{
+    opts.page_cache_bytes =
+        std::max<uint64_t>(fx.dataset_bytes * 32 / 100, 16 << 20);
+    ssds_ = makeSsds(fx);
+    db_ = std::make_unique<kvell::Kvell>(opts, ssds_);
+}
+
+// ---------------------------------------------------------------------------
+// LSM flavors
+
+LsmStore::LsmStore(const FixtureOptions &fx, LsmFlavor flavor,
+                   lsm::LsmOptions opts)
+    : flavor_(flavor)
+{
+    opts.block_cache_bytes =
+        std::max<uint64_t>(fx.dataset_bytes * 26 / 100, 16 << 20);
+    // Keep the LSM's structural sizes proportional to the (scaled-down)
+    // dataset so flush/compaction pressure matches the paper's ratios:
+    // a RocksDB memtable is ~0.1% of a 100 GB dataset, not 10%.
+    opts.memtable_bytes = std::clamp<uint64_t>(fx.dataset_bytes / 128,
+                                               1 << 20, 8 << 20);
+    opts.level1_bytes = std::clamp<uint64_t>(fx.dataset_bytes / 8,
+                                             8 << 20, 256 << 20);
+    opts.table_bytes = 2 << 20;
+    opts.wal_bytes = opts.memtable_bytes * 8;
+
+    std::shared_ptr<lsm::ExtentStore> table_store;
+    std::shared_ptr<lsm::ExtentStore> l0_store;
+    std::shared_ptr<lsm::ExtentStore> wal_store;
+
+    switch (flavor) {
+      case LsmFlavor::kRocksDbSsd: {
+        ssds_ = makeSsds(fx);
+        array_ = std::make_shared<sim::SsdArray>(ssds_);
+        table_store = std::make_shared<lsm::ExtentStore>(array_);
+        l0_store = table_store;
+        wal_store = table_store;
+        break;
+      }
+      case LsmFlavor::kRocksDbNvm: {
+        // Everything on NVM: the reference point of §7.1 whose storage
+        // cost far exceeds Prism's.
+        nvm_ = std::make_shared<sim::NvmDevice>(
+            std::max<uint64_t>(4 * fx.dataset_bytes, 512 << 20),
+            sim::kOptaneDcpmmProfile, fx.model_timing);
+        table_store = std::make_shared<lsm::ExtentStore>(nvm_);
+        l0_store = table_store;
+        wal_store = table_store;
+        break;
+      }
+      case LsmFlavor::kMatrixKv: {
+        ssds_ = makeSsds(fx);
+        array_ = std::make_shared<sim::SsdArray>(ssds_);
+        table_store = std::make_shared<lsm::ExtentStore>(array_);
+        // NVM L0 ("matrix container") + WAL: 8% of dataset (Table 1),
+        // plus room for the WAL and in-flight flushes.
+        opts.l0_partitions = 16;  // matrix container columns
+        opts.l0_limit = static_cast<int>(std::clamp<uint64_t>(
+            fx.dataset_bytes * 8 / 100 / opts.memtable_bytes, 4, 32));
+        opts.l0_stall_limit = opts.l0_limit * 3 / 2;
+        const uint64_t l0_budget =
+            static_cast<uint64_t>(opts.l0_stall_limit + 4) *
+                opts.memtable_bytes + opts.wal_bytes;
+        nvm_ = std::make_shared<sim::NvmDevice>(
+            std::max<uint64_t>(fx.dataset_bytes * 8 / 100, l0_budget * 2),
+            sim::kOptaneDcpmmProfile, fx.model_timing);
+        l0_store = std::make_shared<lsm::ExtentStore>(nvm_);
+        wal_store = l0_store;
+        break;
+      }
+    }
+    db_ = std::make_unique<lsm::LsmTree>(opts, table_store, l0_store,
+                                         wal_store);
+}
+
+std::string
+LsmStore::name() const
+{
+    switch (flavor_) {
+      case LsmFlavor::kRocksDbSsd: return "RocksDB";
+      case LsmFlavor::kRocksDbNvm: return "RocksDB-NVM";
+      case LsmFlavor::kMatrixKv: return "MatrixKV";
+    }
+    return "LSM";
+}
+
+// ---------------------------------------------------------------------------
+// SLM-DB
+
+SlmDbStore::SlmDbStore(const FixtureOptions &fx, lsm::SlmDbOptions opts)
+{
+    ssds_ = makeSsds(fx);
+    array_ = std::make_shared<sim::SsdArray>(ssds_);
+    auto table_store = std::make_shared<lsm::ExtentStore>(array_);
+    nvm_ = std::make_shared<sim::NvmDevice>(
+        std::max<uint64_t>(fx.dataset_bytes / 8, 128 << 20),
+        sim::kOptaneDcpmmProfile, fx.model_timing);
+    auto nvm_store = std::make_shared<lsm::ExtentStore>(nvm_);
+    db_ = std::make_unique<lsm::SlmDb>(opts, table_store, nvm_store);
+}
+
+}  // namespace prism::ycsb

@@ -1,0 +1,201 @@
+#include "ycsb/trace.h"
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace prism::ycsb {
+
+namespace {
+
+constexpr uint64_t kTraceMagic = 0x5052534D54524345ull;  // "PRSMTRCE"
+
+struct TraceHeader {
+    uint64_t magic;
+    uint64_t count;
+    uint32_t value_bytes;
+    uint32_t pad;
+};
+
+struct TraceRecord {
+    uint32_t type;
+    uint32_t scan_len;
+    uint64_t key;
+};
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string &path, uint32_t value_bytes)
+    : file_(std::fopen(path.c_str(), "wb")), value_bytes_(value_bytes)
+{
+    if (file_ == nullptr)
+        return;
+    TraceHeader hdr{kTraceMagic, 0, value_bytes_, 0};
+    std::fwrite(&hdr, sizeof(hdr), 1, file_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    (void)close();
+}
+
+void
+TraceWriter::append(const Op &op)
+{
+    PRISM_DCHECK(file_ != nullptr);
+    const TraceRecord rec{static_cast<uint32_t>(op.type), op.scan_len,
+                          op.key};
+    std::fwrite(&rec, sizeof(rec), 1, file_);
+    count_++;
+}
+
+Status
+TraceWriter::close()
+{
+    if (file_ == nullptr)
+        return Status::ok();
+    // Patch the record count into the header.
+    TraceHeader hdr{kTraceMagic, count_, value_bytes_, 0};
+    std::fseek(file_, 0, SEEK_SET);
+    std::fwrite(&hdr, sizeof(hdr), 1, file_);
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    return rc == 0 ? Status::ok() : Status::ioError("trace close");
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (file_ == nullptr)
+        return;
+    TraceHeader hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, file_) != 1 ||
+        hdr.magic != kTraceMagic) {
+        std::fclose(file_);
+        file_ = nullptr;
+        return;
+    }
+    count_ = hdr.count;
+    value_bytes_ = hdr.value_bytes;
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(Op *op)
+{
+    if (file_ == nullptr || read_ >= count_)
+        return false;
+    TraceRecord rec{};
+    if (std::fread(&rec, sizeof(rec), 1, file_) != 1)
+        return false;
+    op->type = static_cast<OpType>(rec.type);
+    op->scan_len = rec.scan_len;
+    op->key = rec.key;
+    read_++;
+    return true;
+}
+
+void
+TraceReader::reset()
+{
+    if (file_ == nullptr)
+        return;
+    std::fseek(file_, sizeof(TraceHeader), SEEK_SET);
+    read_ = 0;
+}
+
+uint64_t
+generateTrace(const WorkloadSpec &spec, uint64_t seed,
+              const std::string &path)
+{
+    TraceWriter writer(path, spec.value_bytes);
+    if (!writer.ok())
+        return 0;
+    OpGenerator gen(spec, seed);
+    for (uint64_t i = 0; i < spec.operation_count; i++)
+        writer.append(gen.next());
+    const uint64_t n = writer.count();
+    return writer.close().isOk() ? n : 0;
+}
+
+RunResult
+replayTrace(KvStore &store, const std::string &path, int threads)
+{
+    RunResult result;
+    TraceReader reader(path);
+    if (!reader.ok())
+        return result;
+
+    // Materialize and stripe the records across the replay threads.
+    std::vector<Op> ops;
+    ops.reserve(reader.count());
+    Op op;
+    while (reader.next(&op))
+        ops.push_back(op);
+
+    struct ThreadState {
+        Histogram overall, reads, writes, scans;
+    };
+    std::vector<ThreadState> states(static_cast<size_t>(threads));
+    std::vector<std::thread> pool;
+    const uint32_t value_bytes = reader.valueBytes();
+
+    const uint64_t t0 = nowNs();
+    for (int t = 0; t < threads; t++) {
+        pool.emplace_back([&, t] {
+            ThreadState &st = states[static_cast<size_t>(t)];
+            std::string value;
+            std::vector<std::pair<uint64_t, std::string>> scan_out;
+            for (size_t i = static_cast<size_t>(t); i < ops.size();
+                 i += static_cast<size_t>(threads)) {
+                const Op &o = ops[i];
+                const uint64_t s = nowNs();
+                switch (o.type) {
+                  case OpType::kInsert:
+                  case OpType::kUpdate: {
+                    OpGenerator::fillValue(o.key, value_bytes, &value);
+                    store.put(o.key, value);
+                    const uint64_t d = nowNs() - s;
+                    st.overall.record(d);
+                    st.writes.record(d);
+                    break;
+                  }
+                  case OpType::kRead: {
+                    store.get(o.key, &value);
+                    const uint64_t d = nowNs() - s;
+                    st.overall.record(d);
+                    st.reads.record(d);
+                    break;
+                  }
+                  case OpType::kScan: {
+                    store.scan(o.key, o.scan_len, &scan_out);
+                    const uint64_t d = nowNs() - s;
+                    st.overall.record(d);
+                    st.scans.record(d);
+                    break;
+                  }
+                }
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    result.duration_ns = nowNs() - t0;
+    for (const auto &st : states) {
+        result.overall.merge(st.overall);
+        result.reads.merge(st.reads);
+        result.writes.merge(st.writes);
+        result.scans.merge(st.scans);
+    }
+    result.ops = result.overall.count();
+    return result;
+}
+
+}  // namespace prism::ycsb

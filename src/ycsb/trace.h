@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Workload trace capture and replay.
+ *
+ * The paper evaluates on proprietary Nutanix production traces (§7.5);
+ * this module provides the equivalent machinery for a reproduction:
+ * synthesize a trace once from a WorkloadSpec (or capture one from any
+ * generator), persist it to a compact binary file, and replay it
+ * deterministically against any KvStore. Replaying the same file
+ * across stores removes generator randomness from comparisons.
+ *
+ * File format (little-endian):
+ *   header: magic u64, record count u64, value_bytes u32, pad u32
+ *   records: { type u32, scan_len u32, key u64 } x count
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "ycsb/driver.h"
+#include "ycsb/kv_interface.h"
+#include "ycsb/workload.h"
+
+namespace prism::ycsb {
+
+/** Streams operations into a trace file. */
+class TraceWriter {
+  public:
+    /** Creates/truncates @p path. Check ok() before use. */
+    explicit TraceWriter(const std::string &path, uint32_t value_bytes);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    bool ok() const { return file_ != nullptr; }
+
+    /** Append one operation. */
+    void append(const Op &op);
+
+    /** Finalize the header and close. Called by the destructor too. */
+    Status close();
+
+    uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_;
+    uint64_t count_ = 0;
+    uint32_t value_bytes_;
+};
+
+/** Reads a trace file sequentially. */
+class TraceReader {
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool ok() const { return file_ != nullptr; }
+    uint64_t count() const { return count_; }
+    uint32_t valueBytes() const { return value_bytes_; }
+
+    /** @return false at end of trace. */
+    bool next(Op *op);
+
+    /** Rewind to the first record. */
+    void reset();
+
+  private:
+    std::FILE *file_;
+    uint64_t count_ = 0;
+    uint64_t read_ = 0;
+    uint32_t value_bytes_ = 0;
+};
+
+/**
+ * Synthesize a trace file of spec.operation_count operations.
+ * @return number of records written (0 on I/O failure).
+ */
+uint64_t generateTrace(const WorkloadSpec &spec, uint64_t seed,
+                       const std::string &path);
+
+/**
+ * Replay a trace against @p store with @p threads threads (records are
+ * distributed round-robin). Values are synthesized deterministically
+ * from the key, like the live driver does.
+ */
+RunResult replayTrace(KvStore &store, const std::string &path,
+                      int threads);
+
+}  // namespace prism::ycsb

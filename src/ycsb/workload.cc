@@ -1,0 +1,137 @@
+#include "ycsb/workload.h"
+
+#include "common/logging.h"
+
+namespace prism::ycsb {
+
+const char *
+mixName(Mix mix)
+{
+    switch (mix) {
+      case Mix::kLoad: return "LOAD";
+      case Mix::kA: return "YCSB-A";
+      case Mix::kB: return "YCSB-B";
+      case Mix::kC: return "YCSB-C";
+      case Mix::kD: return "YCSB-D";
+      case Mix::kE: return "YCSB-E";
+      case Mix::kNutanix: return "Nutanix";
+      case Mix::kUpdateOnly: return "UPDATE";
+    }
+    return "?";
+}
+
+WorkloadSpec
+WorkloadSpec::forMix(Mix mix, uint64_t records, uint64_t ops, double theta)
+{
+    WorkloadSpec spec;
+    spec.mix = mix;
+    spec.record_count = records;
+    spec.operation_count = ops;
+    spec.zipf_theta = theta;
+    if (mix == Mix::kD)
+        spec.dist = Dist::kLatest;
+    return spec;
+}
+
+OpGenerator::OpGenerator(const WorkloadSpec &spec, uint64_t seed)
+    : spec_(spec), rng_(seed * 0x9e3779b97f4a7c15ull + 1),
+      // Fresh inserts (LOAD tail / workload D) use a per-thread id range
+      // so concurrent generators never collide.
+      insert_cursor_(spec.record_count + seed * (1ull << 40))
+{
+    PRISM_CHECK(spec.record_count > 0);
+    if (spec_.dist == Dist::kZipfian) {
+        zipf_ = std::make_unique<ScrambledZipfian>(
+            spec.record_count, spec.zipf_theta, seed + 7);
+    } else if (spec_.dist == Dist::kLatest) {
+        latest_ = std::make_unique<LatestGenerator>(
+            spec.record_count, spec.zipf_theta, seed + 7);
+    }
+}
+
+uint64_t
+OpGenerator::pickItem()
+{
+    switch (spec_.dist) {
+      case Dist::kZipfian: return zipf_->next();
+      case Dist::kLatest: return latest_->next();
+      case Dist::kUniform: return rng_.nextUniform(spec_.record_count);
+    }
+    return 0;
+}
+
+Op
+OpGenerator::next()
+{
+    Op op{};
+    op.scan_len = 0;
+    const double p = rng_.nextDouble();
+
+    switch (spec_.mix) {
+      case Mix::kLoad:
+        op.type = OpType::kInsert;
+        op.key = keyOf(insert_cursor_++);
+        return op;
+      case Mix::kA:
+        op.type = p < 0.5 ? OpType::kUpdate : OpType::kRead;
+        break;
+      case Mix::kB:
+        op.type = p < 0.05 ? OpType::kUpdate : OpType::kRead;
+        break;
+      case Mix::kC:
+        op.type = OpType::kRead;
+        break;
+      case Mix::kUpdateOnly:
+        op.type = OpType::kUpdate;
+        break;
+      case Mix::kD:
+        if (p < 0.05) {
+            op.type = OpType::kInsert;
+            op.key = keyOf(insert_cursor_++);
+            if (latest_)
+                latest_->advance();
+            return op;
+        }
+        op.type = OpType::kRead;
+        break;
+      case Mix::kE:
+        if (p < 0.05) {
+            op.type = OpType::kUpdate;
+        } else {
+            op.type = OpType::kScan;
+            // Uniform 1..2*avg-1, as in the YCSB reference generator.
+            op.scan_len = static_cast<uint32_t>(
+                1 + rng_.nextUniform(2 * spec_.scan_len_avg - 1));
+        }
+        break;
+      case Mix::kNutanix:
+        if (p < 0.57) {
+            op.type = OpType::kUpdate;
+        } else if (p < 0.98) {
+            op.type = OpType::kRead;
+        } else {
+            op.type = OpType::kScan;
+            op.scan_len = static_cast<uint32_t>(
+                1 + rng_.nextUniform(2 * spec_.scan_len_avg - 1));
+        }
+        break;
+    }
+    op.key = keyOf(pickItem());
+    return op;
+}
+
+void
+OpGenerator::fillValue(uint64_t key, uint32_t bytes, std::string *buf)
+{
+    buf->resize(bytes);
+    // Cheap deterministic pattern; verifiable and incompressible enough.
+    uint64_t x = hash64(key);
+    for (uint32_t i = 0; i < bytes; i += 8) {
+        x = hash64(x);
+        const uint32_t n = std::min<uint32_t>(8, bytes - i);
+        for (uint32_t b = 0; b < n; b++)
+            (*buf)[i + b] = static_cast<char>(x >> (b * 8));
+    }
+}
+
+}  // namespace prism::ycsb

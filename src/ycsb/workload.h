@@ -1,0 +1,90 @@
+/**
+ * @file
+ * YCSB workload generation (Table 2 of the paper) plus the synthetic
+ * Nutanix production mix of §7.5.
+ *
+ * Key space: logical item i maps to store key hash64(i), matching
+ * YCSB's hashed user keys — the load phase therefore inserts in random
+ * key order, and scans traverse the hashed key space. Request
+ * popularity uses the standard YCSB generators (scrambled Zipfian,
+ * latest, uniform).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rand.h"
+
+namespace prism::ycsb {
+
+/** Operation kinds issued by the driver. */
+enum class OpType : uint8_t { kInsert, kUpdate, kRead, kScan };
+
+/** One generated request. */
+struct Op {
+    OpType type;
+    uint64_t key;
+    uint32_t scan_len;
+};
+
+/** Named workload mixes. */
+enum class Mix {
+    kLoad,    ///< 100% inserts
+    kA,       ///< 50% update / 50% read
+    kB,       ///< 5% update / 95% read
+    kC,       ///< 100% read
+    kD,       ///<  5% insert / 95% read-latest
+    kE,       ///<  5% update / 95% scan (avg length 50)
+    kNutanix, ///< 57% update / 41% read / 2% scan (§7.5)
+    kUpdateOnly, ///< 100% updates (the WAF experiment, Fig. 12)
+};
+
+const char *mixName(Mix mix);
+
+/** Distribution of request popularity. */
+enum class Dist { kZipfian, kUniform, kLatest };
+
+/** Full workload description. */
+struct WorkloadSpec {
+    Mix mix = Mix::kC;
+    uint64_t record_count = 1000000;   ///< loaded before the run
+    uint64_t operation_count = 1000000;
+    double zipf_theta = 0.99;
+    Dist dist = Dist::kZipfian;
+    uint32_t value_bytes = 1024;
+    uint32_t scan_len_avg = 50;        ///< YCSB-E average
+
+    static WorkloadSpec forMix(Mix mix, uint64_t records, uint64_t ops,
+                               double theta = 0.99);
+};
+
+/**
+ * Per-thread request generator. Not thread-safe; create one per driver
+ * thread with a distinct seed.
+ */
+class OpGenerator {
+  public:
+    OpGenerator(const WorkloadSpec &spec, uint64_t seed);
+
+    /** @return the next request. */
+    Op next();
+
+    /** Store key of logical item @p i. */
+    static uint64_t keyOf(uint64_t i) { return hash64(i); }
+
+    /** Fill @p buf with @p bytes of deterministic value payload. */
+    static void fillValue(uint64_t key, uint32_t bytes, std::string *buf);
+
+  private:
+    uint64_t pickItem();
+
+    const WorkloadSpec spec_;
+    Xorshift rng_;
+    std::unique_ptr<ScrambledZipfian> zipf_;
+    std::unique_ptr<LatestGenerator> latest_;
+    uint64_t insert_cursor_;  ///< next fresh item id (D / LOAD)
+};
+
+}  // namespace prism::ycsb

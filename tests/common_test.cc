@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit tests for the common substrate: status, RNG distributions,
+ * histogram, token bucket, locks, dense thread ids and epoch-based
+ * reclamation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/epoch.h"
+#include "common/histogram.h"
+#include "common/rand.h"
+#include "common/spinlock.h"
+#include "common/status.h"
+#include "common/thread_util.h"
+#include "common/token_bucket.h"
+#include "common/waiter.h"
+
+namespace prism {
+namespace {
+
+TEST(StatusTest, CodesAndMessages)
+{
+    EXPECT_TRUE(Status::ok().isOk());
+    EXPECT_TRUE(Status::notFound().isNotFound());
+    EXPECT_FALSE(Status::ioError("disk").isOk());
+    EXPECT_EQ(Status::corruption("bad").toString(), "CORRUPTION: bad");
+    EXPECT_EQ(Status::ok().toString(), "OK");
+    EXPECT_EQ(Status::aborted().code(), StatusCode::kAborted);
+}
+
+TEST(XorshiftTest, DeterministicAndUniform)
+{
+    Xorshift a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+
+    Xorshift rng(1);
+    std::vector<int> buckets(10, 0);
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; i++)
+        buckets[rng.nextUniform(10)]++;
+    for (const int c : buckets)
+        EXPECT_NEAR(c, kN / 10, kN / 50);
+}
+
+TEST(XorshiftTest, NextDoubleInUnitInterval)
+{
+    Xorshift rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(ZipfianTest, RankPopularityOrder)
+{
+    ZipfianGenerator zipf(100, 0.99, 9);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 200000; i++)
+        counts[zipf.next()]++;
+    // Popularity must decay with rank (allow noise at the tail).
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[5]);
+    EXPECT_GT(counts[5], counts[50]);
+    // Head mass sanity: rank 0 of Zipf(0.99, 100) holds ~19% of mass.
+    EXPECT_NEAR(static_cast<double>(counts[0]) / 200000, 0.19, 0.03);
+}
+
+TEST(ZipfianTest, ScrambledCoversSpace)
+{
+    ScrambledZipfian zipf(1000, 0.99, 4);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 20000; i++) {
+        const uint64_t v = zipf.next();
+        ASSERT_LT(v, 1000u);
+        seen.insert(v);
+    }
+    // Hot ranks are hashed across the space, so coverage is broad.
+    EXPECT_GT(seen.size(), 300u);
+}
+
+TEST(LatestTest, PrefersRecentItems)
+{
+    LatestGenerator latest(1000, 0.99, 5);
+    uint64_t newer = 0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; i++) {
+        if (latest.next() >= 900)
+            newer++;
+    }
+    // The newest 10% of items should receive the bulk of accesses.
+    EXPECT_GT(newer, static_cast<uint64_t>(kN) / 2);
+}
+
+TEST(HistogramTest, PercentilesOnKnownData)
+{
+    Histogram h;
+    for (uint64_t v = 1; v <= 1000; v++)
+        h.record(v);
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_NEAR(h.mean(), 500.5, 0.01);
+    // Log bucketing gives < ~4% relative error.
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 500, 25);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.99)), 990, 40);
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording)
+{
+    Histogram a, b, combined;
+    Xorshift rng(6);
+    for (int i = 0; i < 5000; i++) {
+        const uint64_t v = rng.nextUniform(1 << 20);
+        (i % 2 ? a : b).record(v);
+        combined.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_EQ(a.percentile(0.9), combined.percentile(0.9));
+}
+
+TEST(HistogramTest, ResetClears)
+{
+    Histogram h;
+    h.record(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(TokenBucketTest, UnderloadIsFree)
+{
+    TokenBucket tb(1e9, 1 << 20);  // 1 GB/s, 1 MB burst
+    EXPECT_EQ(tb.acquire(1024), 0u);
+    EXPECT_EQ(tb.acquire(1024), 0u);
+}
+
+TEST(TokenBucketTest, OverloadProducesDelay)
+{
+    TokenBucket tb(1e9, 64 * 1024);
+    // Demand 10 MB instantly at 1 GB/s: ~10 ms of repayment.
+    uint64_t max_delay = 0;
+    for (int i = 0; i < 10; i++)
+        max_delay = std::max(max_delay, tb.acquire(1 << 20));
+    EXPECT_GT(max_delay, 5 * 1000 * 1000u);
+    EXPECT_LT(max_delay, 50 * 1000 * 1000u);
+}
+
+TEST(SpinLockTest, MutualExclusion)
+{
+    SpinLock mu;
+    int counter = 0;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 20000; i++) {
+                std::lock_guard<SpinLock> lock(mu);
+                counter++;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(counter, 80000);
+}
+
+TEST(TicketLockTest, MutualExclusion)
+{
+    TicketLock mu;
+    int counter = 0;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 20000; i++) {
+                std::lock_guard<TicketLock> lock(mu);
+                counter++;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(counter, 80000);
+}
+
+TEST(ThreadIdTest, DenseAndRecycled)
+{
+    const int mine = ThreadId::self();
+    EXPECT_EQ(mine, ThreadId::self());  // stable within a thread
+
+    int other = -1;
+    std::thread t([&] { other = ThreadId::self(); });
+    t.join();
+    EXPECT_NE(other, -1);
+    EXPECT_NE(other, mine);
+
+    // The exited thread's id must be reusable: spawn many short-lived
+    // threads; ids must not grow without bound.
+    std::set<int> ids;
+    for (int i = 0; i < 600; i++) {
+        std::thread s([&] {
+            const int id = ThreadId::self();
+            EXPECT_LT(id, ThreadId::kMaxThreads);
+            ids.insert(id);
+        });
+        s.join();
+    }
+    EXPECT_LT(ids.size(), 16u);  // heavy reuse expected
+}
+
+TEST(EpochTest, RetireeFreedOnlyAfterTwoEpochs)
+{
+    EpochManager mgr;
+    bool freed = false;
+    mgr.retire([&] { freed = true; });
+    EXPECT_EQ(mgr.pendingCount(), 1u);
+    mgr.tryAdvance();
+    EXPECT_FALSE(freed);  // one epoch is not enough
+    mgr.tryAdvance();
+    EXPECT_TRUE(freed);
+    EXPECT_EQ(mgr.pendingCount(), 0u);
+}
+
+TEST(EpochTest, ActiveReaderBlocksAdvance)
+{
+    EpochManager mgr;
+    bool freed = false;
+
+    std::atomic<bool> pinned{false};
+    std::atomic<bool> release{false};
+    std::thread reader([&] {
+        EpochGuard guard(mgr);
+        pinned.store(true);
+        while (!release.load())
+            std::this_thread::yield();
+    });
+    while (!pinned.load())
+        std::this_thread::yield();
+
+    mgr.retire([&] { freed = true; });
+    for (int i = 0; i < 10; i++)
+        mgr.tryAdvance();
+    // The pinned reader entered before the retire; the object must not
+    // be freed while it is still inside its critical section.
+    EXPECT_FALSE(freed);
+
+    release.store(true);
+    reader.join();
+    mgr.drain();
+    EXPECT_TRUE(freed);
+}
+
+TEST(EpochTest, ManyManagersCoexist)
+{
+    std::vector<std::unique_ptr<EpochManager>> managers;
+    for (int i = 0; i < 32; i++)
+        managers.push_back(std::make_unique<EpochManager>());
+    int freed = 0;
+    for (auto &m : managers) {
+        EpochGuard g(*m);
+        m->retire([&] { freed++; });
+    }
+    for (auto &m : managers)
+        m->drain();
+    EXPECT_EQ(freed, 32);
+}
+
+TEST(EpochTest, DestructorRunsPendingDeleters)
+{
+    bool freed = false;
+    {
+        EpochManager mgr;
+        mgr.retire([&] { freed = true; });
+    }
+    EXPECT_TRUE(freed);
+}
+
+TEST(WaiterTest, SignalWakesWaiter)
+{
+    Waiter w;
+    std::thread t([&] {
+        delayFor(2 * 1000 * 1000);
+        w.signal(7);
+    });
+    EXPECT_EQ(w.wait(), 7u);
+    t.join();
+}
+
+TEST(ClockTest, MonotonicAndSpin)
+{
+    const uint64_t t0 = nowNs();
+    spinFor(100 * 1000);  // 100 us
+    const uint64_t dt = nowNs() - t0;
+    EXPECT_GE(dt, 100 * 1000u);
+    EXPECT_LT(dt, 10 * 1000 * 1000u);
+}
+
+TEST(ClockTest, TimeScaleScales)
+{
+    TimeScale::set(0.5);
+    EXPECT_EQ(TimeScale::scaled(1000), 500u);
+    TimeScale::set(1.0);
+    EXPECT_EQ(TimeScale::scaled(1000), 1000u);
+}
+
+}  // namespace
+}  // namespace prism

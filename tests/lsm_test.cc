@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Unit tests for the LSM baseline substrate: bloom filters, the extent
+ * store, SSTables + block cache, the LSM tree engine (including the
+ * MatrixKV matrix-container mode), and SLM-DB's single-level design.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rand.h"
+#include "lsm/bloom.h"
+#include "lsm/extent_store.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/slm_db.h"
+#include "lsm/sstable.h"
+#include "sim/device_profile.h"
+
+namespace prism::lsm {
+namespace {
+
+std::shared_ptr<ExtentStore>
+makeSsdStore(int devices = 2, uint64_t bytes_each = 64 << 20)
+{
+    std::vector<std::shared_ptr<sim::SsdDevice>> ssds;
+    for (int i = 0; i < devices; i++) {
+        ssds.push_back(std::make_shared<sim::SsdDevice>(
+            bytes_each, sim::kSamsung980ProProfile, /*timing=*/false));
+    }
+    return std::make_shared<ExtentStore>(
+        std::make_shared<sim::SsdArray>(ssds));
+}
+
+std::shared_ptr<ExtentStore>
+makeNvmStore(uint64_t bytes = 64 << 20)
+{
+    return std::make_shared<ExtentStore>(std::make_shared<sim::NvmDevice>(
+        bytes, sim::kOptaneDcpmmProfile, /*timing=*/false));
+}
+
+TEST(BloomFilterTest, NoFalseNegativesLowFalsePositives)
+{
+    BloomFilter bloom(10000, 10);
+    for (uint64_t i = 0; i < 10000; i++)
+        bloom.add(hash64(i));
+    for (uint64_t i = 0; i < 10000; i++)
+        ASSERT_TRUE(bloom.mayContain(hash64(i)));
+    int fp = 0;
+    for (uint64_t i = 10000; i < 30000; i++)
+        fp += bloom.mayContain(hash64(i));
+    EXPECT_LT(fp, 20000 * 0.03);  // ~1% expected at 10 bits/key
+}
+
+TEST(ExtentStoreTest, AllocFreeCoalesce)
+{
+    auto store = makeNvmStore(1 << 20);
+    const uint64_t a = store->alloc(8192);
+    const uint64_t b = store->alloc(8192);
+    const uint64_t c = store->alloc(8192);
+    ASSERT_NE(a, UINT64_MAX);
+    ASSERT_NE(b, UINT64_MAX);
+    EXPECT_NE(a, b);
+    store->free(b, 8192);
+    store->free(a, 8192);
+    // Freed neighbors coalesce: a 16 KB request fits where a+b were.
+    const uint64_t d = store->alloc(16384);
+    EXPECT_EQ(d, a);
+    (void)c;
+}
+
+TEST(ExtentStoreTest, ExhaustionAndReuse)
+{
+    auto store = makeNvmStore(1 << 20);
+    std::vector<uint64_t> offs;
+    uint64_t off;
+    while ((off = store->alloc(64 * 1024)) != UINT64_MAX)
+        offs.push_back(off);
+    EXPECT_GE(offs.size(), 15u);
+    for (const uint64_t o : offs)
+        store->free(o, 64 * 1024);
+    EXPECT_EQ(store->usedBytes(), 0u);
+    EXPECT_NE(store->alloc(512 * 1024), UINT64_MAX);
+}
+
+TEST(ExtentStoreTest, ReadWriteBothBackends)
+{
+    for (auto store : {makeNvmStore(), makeSsdStore()}) {
+        const uint64_t off = store->alloc(8192);
+        std::string data = "extent data";
+        ASSERT_TRUE(store->write(off, data.data(),
+                                 static_cast<uint32_t>(data.size()))
+                        .isOk());
+        std::string back(data.size(), 0);
+        ASSERT_TRUE(store->read(off, back.data(),
+                                static_cast<uint32_t>(back.size()))
+                        .isOk());
+        EXPECT_EQ(back, data);
+        EXPECT_GT(store->mediaBytesWritten(), 0u);
+    }
+}
+
+TEST(SsTableTest, BuildGetIterate)
+{
+    auto store = makeNvmStore();
+    TableBuilder builder(*store, 1000);
+    std::map<uint64_t, std::string> ref;
+    for (uint64_t i = 0; i < 1000; i++) {
+        Entry e{i * 3, i + 1, EntryType::kPut,
+                "val" + std::to_string(i)};
+        builder.add(e);
+        ref[e.key] = e.value;
+    }
+    auto table = builder.finish();
+    ASSERT_NE(table, nullptr);
+    EXPECT_EQ(table->entryCount(), 1000u);
+    EXPECT_EQ(table->minKey(), 0u);
+    EXPECT_EQ(table->maxKey(), 999u * 3);
+
+    BlockCache cache(1 << 20);
+    for (uint64_t i = 0; i < 1000; i += 13) {
+        const auto e = table->get(i * 3, &cache);
+        ASSERT_TRUE(e.has_value()) << i;
+        EXPECT_EQ(e->value, ref[i * 3]);
+        EXPECT_FALSE(table->get(i * 3 + 1, &cache).has_value());
+    }
+    EXPECT_GT(cache.hits() + cache.misses(), 0u);
+
+    // Full iteration must reproduce the reference in order.
+    Table::Iter iter(*table, &cache);
+    auto it = ref.begin();
+    while (iter.valid()) {
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(iter.entry().key, it->first);
+        EXPECT_EQ(iter.entry().value, it->second);
+        ++it;
+        iter.next();
+    }
+    EXPECT_EQ(it, ref.end());
+
+    // Seek lands on the first key >= target.
+    Table::Iter seeker(*table, &cache);
+    seeker.seek(500);
+    ASSERT_TRUE(seeker.valid());
+    EXPECT_EQ(seeker.entry().key, 501u);  // 500 not divisible by 3
+}
+
+TEST(BlockCacheTest, LruEvictionUnderCapacity)
+{
+    BlockCache cache(8 * 4096);
+    for (uint32_t b = 0; b < 16; b++) {
+        cache.put(1, b,
+                  std::make_shared<std::vector<uint8_t>>(4096, b));
+    }
+    // The earliest blocks must have been evicted.
+    EXPECT_EQ(cache.get(1, 0), nullptr);
+    EXPECT_NE(cache.get(1, 15), nullptr);
+    cache.eraseTable(1);
+    EXPECT_EQ(cache.get(1, 15), nullptr);
+}
+
+LsmOptions
+smallLsmOptions()
+{
+    LsmOptions opts;
+    opts.memtable_bytes = 64 * 1024;
+    opts.l0_limit = 2;
+    opts.l0_stall_limit = 8;
+    opts.level1_bytes = 512 * 1024;
+    opts.table_bytes = 128 * 1024;
+    opts.wal_bytes = 1 << 20;
+    opts.sw_get_overhead_ns = 0;
+    opts.sw_put_overhead_ns = 0;
+    return opts;
+}
+
+TEST(LsmTreeTest, ChurnThroughCompactionsKeepsLatest)
+{
+    auto store = makeSsdStore();
+    LsmTree tree(smallLsmOptions(), store, store, store);
+    std::map<uint64_t, std::string> ref;
+    Xorshift rng(3);
+    for (int i = 0; i < 30000; i++) {
+        const uint64_t key = rng.nextUniform(2000);
+        const std::string value =
+            "v" + std::to_string(i) + std::string(100, 'x');
+        ASSERT_TRUE(tree.put(key, value).isOk());
+        ref[key] = value;
+    }
+    tree.flushAll();
+    EXPECT_GT(tree.stats().compactions.load(), 0u);
+    std::string v;
+    for (const auto &[key, expected] : ref) {
+        ASSERT_TRUE(tree.get(key, &v).isOk()) << key;
+        ASSERT_EQ(v, expected) << key;
+    }
+}
+
+TEST(LsmTreeTest, TombstonesShadowOlderVersions)
+{
+    auto store = makeSsdStore();
+    LsmTree tree(smallLsmOptions(), store, store, store);
+    std::string big(500, 'd');
+    for (uint64_t k = 0; k < 2000; k++)
+        ASSERT_TRUE(tree.put(k, big).isOk());
+    tree.flushAll();  // versions now deep in the tree
+    for (uint64_t k = 0; k < 2000; k += 2)
+        ASSERT_TRUE(tree.del(k).isOk());
+    tree.flushAll();
+    std::string v;
+    EXPECT_TRUE(tree.get(0, &v).isNotFound());
+    EXPECT_TRUE(tree.get(1, &v).isOk());
+
+    std::vector<std::pair<uint64_t, std::string>> out;
+    ASSERT_TRUE(tree.scan(0, 10, &out).isOk());
+    ASSERT_EQ(out.size(), 10u);
+    for (const auto &[k, val] : out)
+        EXPECT_EQ(k % 2, 1u) << "deleted key leaked into scan";
+}
+
+TEST(LsmTreeTest, MatrixModePartitionsL0AndCompactsColumns)
+{
+    auto ssd = makeSsdStore();
+    auto nvm = makeNvmStore();
+    LsmOptions opts = smallLsmOptions();
+    opts.l0_partitions = 8;
+    LsmTree tree(opts, ssd, /*l0=*/nvm, /*wal=*/nvm);
+    std::map<uint64_t, std::string> ref;
+    Xorshift rng(5);
+    for (int i = 0; i < 20000; i++) {
+        const uint64_t key = hash64(rng.nextUniform(1500));
+        const std::string value =
+            "m" + std::to_string(i) + std::string(120, 'p');
+        ASSERT_TRUE(tree.put(key, value).isOk());
+        ref[key] = value;
+    }
+    tree.flushAll();
+    std::string v;
+    for (const auto &[key, expected] : ref) {
+        ASSERT_TRUE(tree.get(key, &v).isOk());
+        ASSERT_EQ(v, expected);
+    }
+    // L0 lived on NVM; L1+ on SSD.
+    EXPECT_GT(nvm->mediaBytesWritten(), 0u);
+    EXPECT_GT(ssd->mediaBytesWritten(), 0u);
+}
+
+TEST(LsmTreeTest, ScanMergesAllSources)
+{
+    auto store = makeSsdStore();
+    LsmTree tree(smallLsmOptions(), store, store, store);
+    // Old versions into the tree, fresh ones in the memtable.
+    for (uint64_t k = 0; k < 500; k++)
+        ASSERT_TRUE(tree.put(k, "old").isOk());
+    tree.flushAll();
+    for (uint64_t k = 0; k < 500; k += 5)
+        ASSERT_TRUE(tree.put(k, "new").isOk());
+    std::vector<std::pair<uint64_t, std::string>> out;
+    ASSERT_TRUE(tree.scan(0, 20, &out).isOk());
+    ASSERT_EQ(out.size(), 20u);
+    for (const auto &[k, v] : out)
+        EXPECT_EQ(v, k % 5 == 0 ? "new" : "old") << k;
+}
+
+TEST(LsmTreeTest, WriteStallsAreAccounted)
+{
+    auto store = makeSsdStore();
+    LsmOptions opts = smallLsmOptions();
+    opts.l0_stall_limit = 3;
+    LsmTree tree(opts, store, store, store);
+    std::string big(900, 's');
+    for (uint64_t k = 0; k < 4000; k++)
+        ASSERT_TRUE(tree.put(hash64(k), big).isOk());
+    // With a 3-memtable stall limit and constant inflow, some stall
+    // time must have accumulated.
+    EXPECT_GT(tree.stats().stall_ns.load(), 0u);
+}
+
+TEST(SlmDbTest, BasicAndOverwrite)
+{
+    SlmDbOptions opts;
+    opts.memtable_bytes = 32 * 1024;
+    auto ssd = makeSsdStore();
+    auto nvm = makeNvmStore();
+    SlmDb db(opts, ssd, nvm);
+    std::map<uint64_t, std::string> ref;
+    for (int round = 0; round < 4; round++) {
+        for (uint64_t k = 0; k < 1500; k++) {
+            const std::string value =
+                "r" + std::to_string(round) + "k" + std::to_string(k);
+            ASSERT_TRUE(db.put(k, value).isOk());
+            ref[k] = value;
+        }
+    }
+    db.flushAll();
+    std::string v;
+    for (const auto &[k, expected] : ref) {
+        ASSERT_TRUE(db.get(k, &v).isOk()) << k;
+        ASSERT_EQ(v, expected);
+    }
+}
+
+TEST(SlmDbTest, SelectiveCompactionShrinksTables)
+{
+    SlmDbOptions opts;
+    opts.memtable_bytes = 32 * 1024;
+    opts.compact_dead_ratio = 0.3;
+    auto ssd = makeSsdStore();
+    auto nvm = makeNvmStore();
+    SlmDb db(opts, ssd, nvm);
+    std::string value(200, 'u');
+    // Repeated overwrites generate dead entries in old tables.
+    for (int round = 0; round < 10; round++) {
+        for (uint64_t k = 0; k < 600; k++)
+            ASSERT_TRUE(db.put(k, value).isOk());
+        db.flushAll();
+    }
+    // Selective compaction must keep the table count bounded well below
+    // one-table-per-flush.
+    EXPECT_LT(db.tableCount(), 20u);
+    std::string v;
+    for (uint64_t k = 0; k < 600; k += 17)
+        ASSERT_TRUE(db.get(k, &v).isOk());
+}
+
+TEST(SlmDbTest, DeleteAndScan)
+{
+    SlmDbOptions opts;
+    opts.memtable_bytes = 32 * 1024;
+    auto ssd = makeSsdStore();
+    auto nvm = makeNvmStore();
+    SlmDb db(opts, ssd, nvm);
+    for (uint64_t k = 0; k < 1000; k++)
+        ASSERT_TRUE(db.put(k * 2, "s" + std::to_string(k)).isOk());
+    db.flushAll();
+    for (uint64_t k = 0; k < 1000; k += 4)
+        ASSERT_TRUE(db.del(k * 2).isOk());
+    db.flushAll();
+    std::vector<std::pair<uint64_t, std::string>> out;
+    ASSERT_TRUE(db.scan(0, 30, &out).isOk());
+    ASSERT_EQ(out.size(), 30u);
+    for (const auto &[k, v] : out) {
+        EXPECT_NE(k % 8, 0u) << "deleted key in scan";
+        EXPECT_EQ(v, "s" + std::to_string(k / 2));
+    }
+}
+
+}  // namespace
+}  // namespace prism::lsm

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the persistent-memory toolkit: region lifecycle, the
+ * cache-line persistence model (flush/fence/crash), and the allocator.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "pmem/pmem_allocator.h"
+#include "pmem/pmem_region.h"
+#include "sim/device_profile.h"
+
+namespace prism::pmem {
+namespace {
+
+std::shared_ptr<sim::NvmDevice>
+makeNvm(uint64_t bytes = 16 << 20)
+{
+    return std::make_shared<sim::NvmDevice>(
+        bytes, sim::kOptaneDcpmmProfile, /*timing=*/false);
+}
+
+TEST(PmemRegionTest, FormatAndAttach)
+{
+    auto nvm = makeNvm();
+    EXPECT_FALSE(PmemRegion::isFormatted(*nvm));
+    {
+        PmemRegion region(nvm, /*format=*/true);
+        region.setRoot(4096);
+    }
+    EXPECT_TRUE(PmemRegion::isFormatted(*nvm));
+    PmemRegion attached(nvm, /*format=*/false);
+    EXPECT_EQ(attached.root(), 4096u);
+}
+
+TEST(PmemRegionTest, OffsetTranslationRoundtrip)
+{
+    auto nvm = makeNvm();
+    PmemRegion region(nvm, true);
+    void *p = region.translate(512);
+    EXPECT_EQ(region.offsetOf(p), 512u);
+    EXPECT_EQ(region.translate(kNullOff), nullptr);
+    EXPECT_EQ(region.offsetOf(nullptr), kNullOff);
+}
+
+TEST(PmemRegionTest, HighWaterAdvancesAndPersists)
+{
+    auto nvm = makeNvm();
+    PmemRegion region(nvm, true);
+    const POff a = region.advanceHighWater(100);
+    const POff b = region.advanceHighWater(100);
+    EXPECT_NE(a, kNullOff);
+    EXPECT_GE(b, a + 128);  // cache-line rounded
+
+    PmemRegion attached(nvm, false);
+    EXPECT_EQ(attached.highWater(), region.highWater());
+}
+
+TEST(PmemRegionTest, HighWaterExhaustionReturnsNull)
+{
+    auto nvm = makeNvm(1 << 20);
+    PmemRegion region(nvm, true);
+    EXPECT_EQ(region.advanceHighWater(2 << 20), kNullOff);
+}
+
+TEST(PersistenceModelTest, UnfencedStoreDiesInCrash)
+{
+    auto nvm = makeNvm();
+    PmemRegion region(nvm, true);
+    region.enableTracking();
+    auto *p = region.as<uint64_t>(region.advanceHighWater(64));
+
+    *p = 0xDEAD;                      // store, no flush
+    region.simulateCrash();
+    EXPECT_EQ(*p, 0u);                // reverted
+
+    *p = 0xBEEF;
+    region.flush(p, 8);               // staged, not fenced
+    region.simulateCrash();
+    EXPECT_EQ(*p, 0u);                // still reverted
+
+    *p = 0xC0DE;
+    region.persist(p, 8);             // flush + fence
+    region.simulateCrash();
+    EXPECT_EQ(*p, 0xC0DEu);           // durable
+}
+
+TEST(PersistenceModelTest, CrashRevertsToLastFencedValue)
+{
+    auto nvm = makeNvm();
+    PmemRegion region(nvm, true);
+    region.enableTracking();
+    auto *p = region.as<uint64_t>(region.advanceHighWater(64));
+    *p = 1;
+    region.persist(p, 8);
+    *p = 2;  // newer value never persisted
+    region.simulateCrash();
+    EXPECT_EQ(*p, 1u);
+}
+
+TEST(PersistenceModelTest, WholeCacheLineCoPersists)
+{
+    // Two fields share a 64 B line: flushing one persists its neighbor
+    // too — exactly the over-persistence real hardware exhibits.
+    auto nvm = makeNvm();
+    PmemRegion region(nvm, true);
+    region.enableTracking();
+    auto *line = region.as<uint64_t>(region.advanceHighWater(64));
+    line[0] = 11;
+    line[1] = 22;
+    region.persist(&line[0], 8);  // flush only the first field
+    region.simulateCrash();
+    EXPECT_EQ(line[0], 11u);
+    EXPECT_EQ(line[1], 22u);
+}
+
+TEST(PersistenceModelTest, FencesArePerThread)
+{
+    auto nvm = makeNvm();
+    PmemRegion region(nvm, true);
+    region.enableTracking();
+    auto *a = region.as<uint64_t>(region.advanceHighWater(64));
+    auto *b = region.as<uint64_t>(region.advanceHighWater(64));
+
+    // Thread 2 stages a flush but never fences; thread 1's fence must
+    // not commit it.
+    std::thread t2([&] {
+        *b = 99;
+        region.flush(b, 8);
+    });
+    t2.join();
+    *a = 1;
+    region.persist(a, 8);
+    region.simulateCrash();
+    EXPECT_EQ(*a, 1u);
+    EXPECT_EQ(*b, 0u);
+}
+
+TEST(PersistenceModelTest, SnapshotMatchesCrashState)
+{
+    auto nvm = makeNvm();
+    PmemRegion region(nvm, true);
+    region.enableTracking();
+    auto *p = region.as<uint64_t>(region.advanceHighWater(64));
+    *p = 7;
+    region.persist(p, 8);
+    *p = 8;  // unfenced
+
+    std::vector<uint8_t> image;
+    region.snapshotDurableTo(image);
+    uint64_t snap_val;
+    std::memcpy(&snap_val, image.data() + region.offsetOf(p), 8);
+    EXPECT_EQ(snap_val, 7u);
+}
+
+TEST(PmemAllocatorTest, ClassRoundingAndReuse)
+{
+    auto nvm = makeNvm();
+    PmemRegion region(nvm, true);
+    PmemAllocator alloc(region);
+
+    EXPECT_EQ(PmemAllocator::classFor(1), 0);
+    EXPECT_EQ(PmemAllocator::classFor(64), 0);
+    EXPECT_EQ(PmemAllocator::classFor(65), 1);
+    EXPECT_EQ(PmemAllocator::classFor(64 * 1024), 10);
+    EXPECT_EQ(PmemAllocator::classFor(64 * 1024 + 1), -1);
+
+    const POff a = alloc.alloc(100);
+    ASSERT_NE(a, kNullOff);
+    alloc.free(a, 100);
+    const POff b = alloc.alloc(100);
+    EXPECT_EQ(b, a);  // free-list reuse
+}
+
+TEST(PmemAllocatorTest, DistinctLiveAllocations)
+{
+    auto nvm = makeNvm();
+    PmemRegion region(nvm, true);
+    PmemAllocator alloc(region);
+    std::set<POff> offs;
+    for (int i = 0; i < 1000; i++) {
+        const POff off = alloc.alloc(128);
+        ASSERT_NE(off, kNullOff);
+        ASSERT_TRUE(offs.insert(off).second) << "duplicate allocation";
+    }
+    EXPECT_GE(alloc.allocatedBytes(), 1000u * 128);
+}
+
+TEST(PmemAllocatorTest, RawExtents)
+{
+    auto nvm = makeNvm();
+    PmemRegion region(nvm, true);
+    PmemAllocator alloc(region);
+    const POff big = alloc.allocRaw(4 << 20);
+    ASSERT_NE(big, kNullOff);
+    // Raw extents are carved directly from the frontier; a subsequent
+    // class allocation must not overlap.
+    const POff small = alloc.alloc(64);
+    EXPECT_GE(small, big + (4 << 20));
+}
+
+TEST(PmemAllocatorTest, ExhaustionReturnsNull)
+{
+    auto nvm = makeNvm(1 << 20);
+    PmemRegion region(nvm, true);
+    PmemAllocator alloc(region);
+    POff off;
+    int count = 0;
+    while ((off = alloc.alloc(32 * 1024)) != kNullOff)
+        count++;
+    EXPECT_GT(count, 10);
+    EXPECT_EQ(alloc.alloc(32 * 1024), kNullOff);
+}
+
+TEST(PmemAllocatorTest, ConcurrentAllocationsDisjoint)
+{
+    auto nvm = makeNvm(64 << 20);
+    PmemRegion region(nvm, true);
+    PmemAllocator alloc(region);
+    std::vector<std::vector<POff>> per_thread(4);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 2000; i++)
+                per_thread[t].push_back(alloc.alloc(256));
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    std::set<POff> all;
+    for (const auto &v : per_thread) {
+        for (const POff off : v) {
+            ASSERT_NE(off, kNullOff);
+            ASSERT_TRUE(all.insert(off).second);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace prism::pmem

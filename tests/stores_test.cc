@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Cross-store conformance tests: every evaluated system must behave as
+ * a correct KV store under the same small workloads (the YCSB driver
+ * depends on this contract).
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ycsb/driver.h"
+#include "ycsb/stores.h"
+
+namespace prism::ycsb {
+namespace {
+
+FixtureOptions
+smallFixture()
+{
+    FixtureOptions fx;
+    fx.num_ssds = 2;
+    fx.ssd_bytes = 256ull * 1024 * 1024;
+    fx.dataset_bytes = 16ull * 1024 * 1024;
+    fx.model_timing = false;
+    fx.expected_threads = 2;
+    return fx;
+}
+
+std::unique_ptr<KvStore>
+makeStore(const std::string &which)
+{
+    const FixtureOptions fx = smallFixture();
+    if (which == "prism") {
+        core::PrismOptions opts;
+        opts.hsit_capacity = 256 * 1024;
+        opts.chunk_bytes = 128 * 1024;
+        return std::make_unique<PrismStore>(fx, opts);
+    }
+    if (which == "kvell")
+        return std::make_unique<KvellStore>(fx, kvell::KvellOptions{});
+    if (which == "rocksdb")
+        return std::make_unique<LsmStore>(fx, LsmFlavor::kRocksDbSsd,
+                                          lsm::LsmOptions{});
+    if (which == "rocksdb-nvm")
+        return std::make_unique<LsmStore>(fx, LsmFlavor::kRocksDbNvm,
+                                          lsm::LsmOptions{});
+    if (which == "matrixkv")
+        return std::make_unique<LsmStore>(fx, LsmFlavor::kMatrixKv,
+                                          lsm::LsmOptions{});
+    if (which == "slmdb")
+        return std::make_unique<SlmDbStore>(fx, lsm::SlmDbOptions{});
+    return nullptr;
+}
+
+class StoreConformanceTest
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(StoreConformanceTest, PutGetDelete)
+{
+    auto store = makeStore(GetParam());
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->put(10, "ten").isOk());
+    ASSERT_TRUE(store->put(20, "twenty").isOk());
+    std::string v;
+    ASSERT_TRUE(store->get(10, &v).isOk());
+    EXPECT_EQ(v, "ten");
+    EXPECT_TRUE(store->get(30, &v).isNotFound());
+    ASSERT_TRUE(store->del(10).isOk());
+    EXPECT_TRUE(store->get(10, &v).isNotFound());
+    ASSERT_TRUE(store->get(20, &v).isOk());
+    EXPECT_EQ(v, "twenty");
+}
+
+TEST_P(StoreConformanceTest, OverwriteKeepsLatest)
+{
+    auto store = makeStore(GetParam());
+    for (int round = 0; round < 5; round++) {
+        for (uint64_t k = 0; k < 300; k++) {
+            ASSERT_TRUE(
+                store->put(k, std::to_string(k * 1000 + round)).isOk());
+        }
+    }
+    store->flushAll();
+    std::string v;
+    for (uint64_t k = 0; k < 300; k++) {
+        ASSERT_TRUE(store->get(k, &v).isOk()) << k;
+        EXPECT_EQ(v, std::to_string(k * 1000 + 4)) << k;
+    }
+}
+
+TEST_P(StoreConformanceTest, ManyKeysThroughFlush)
+{
+    auto store = makeStore(GetParam());
+    const bool single_threaded = std::string(GetParam()) == "slmdb";
+    const uint64_t keys = single_threaded ? 3000 : 8000;
+    std::string value(256, 'x');
+    for (uint64_t k = 0; k < keys; k++) {
+        value[0] = static_cast<char>('a' + k % 26);
+        ASSERT_TRUE(store->put(k * 7, value).isOk()) << k;
+    }
+    store->flushAll();
+    std::string v;
+    for (uint64_t k = 0; k < keys; k += 11) {
+        ASSERT_TRUE(store->get(k * 7, &v).isOk()) << k;
+        EXPECT_EQ(v[0], static_cast<char>('a' + k % 26)) << k;
+        EXPECT_EQ(v.size(), 256u);
+    }
+}
+
+TEST_P(StoreConformanceTest, ScanIsSortedAndComplete)
+{
+    auto store = makeStore(GetParam());
+    for (uint64_t k = 0; k < 2000; k++)
+        ASSERT_TRUE(store->put(k * 3, std::to_string(k)).isOk());
+    store->flushAll();
+    std::vector<std::pair<uint64_t, std::string>> out;
+    ASSERT_TRUE(store->scan(300, 25, &out).isOk());
+    ASSERT_EQ(out.size(), 25u);
+    EXPECT_EQ(out[0].first, 300u);
+    for (size_t i = 0; i < out.size(); i++) {
+        EXPECT_EQ(out[i].first, 300 + 3 * i);
+        EXPECT_EQ(out[i].second, std::to_string(100 + i));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, StoreConformanceTest,
+                         ::testing::Values("prism", "kvell", "rocksdb",
+                                           "rocksdb-nvm", "matrixkv",
+                                           "slmdb"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(YcsbDriverTest, LoadAndRunEachMix)
+{
+    auto store = makeStore("prism");
+    WorkloadSpec spec = WorkloadSpec::forMix(Mix::kA, 5000, 4000);
+    spec.value_bytes = 128;
+    const RunResult load = loadPhase(*store, spec, 2);
+    EXPECT_EQ(load.ops, 5000u);
+    EXPECT_GT(load.throughput(), 0.0);
+
+    for (const Mix mix : {Mix::kA, Mix::kB, Mix::kC, Mix::kD, Mix::kE,
+                          Mix::kNutanix}) {
+        WorkloadSpec run_spec = WorkloadSpec::forMix(mix, 5000, 2000);
+        run_spec.value_bytes = 128;
+        const RunResult r = runPhase(*store, run_spec, 2);
+        EXPECT_GT(r.ops, 0u) << mixName(mix);
+        EXPECT_GT(r.throughput(), 0.0) << mixName(mix);
+    }
+}
+
+TEST(YcsbDriverTest, TimelineSampling)
+{
+    auto store = makeStore("prism");
+    WorkloadSpec spec = WorkloadSpec::forMix(Mix::kC, 2000, 50000);
+    spec.value_bytes = 64;
+    loadPhase(*store, spec, 2);
+    const RunResult r = runPhase(*store, spec, 2, /*timeline ms=*/20);
+    EXPECT_GE(r.timeline.size(), 1u);
+}
+
+TEST(WorkloadGenTest, MixRatios)
+{
+    WorkloadSpec spec = WorkloadSpec::forMix(Mix::kA, 10000, 0);
+    OpGenerator gen(spec, 1);
+    int writes = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; i++) {
+        if (gen.next().type == OpType::kUpdate)
+            writes++;
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / kN, 0.5, 0.02);
+}
+
+TEST(WorkloadGenTest, ZipfianIsSkewed)
+{
+    ZipfianGenerator zipf(1000, 0.99, 42);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 100000; i++)
+        counts[zipf.next()]++;
+    // Rank 0 must dominate; the head must hold a large share.
+    EXPECT_GT(counts[0], counts[10]);
+    int head = 0;
+    for (int i = 0; i < 10; i++)
+        head += counts[i];
+    EXPECT_GT(head, 100000 / 5);
+}
+
+TEST(WorkloadGenTest, ScanLengthAveragesOut)
+{
+    WorkloadSpec spec = WorkloadSpec::forMix(Mix::kE, 10000, 0);
+    OpGenerator gen(spec, 3);
+    uint64_t total = 0;
+    int scans = 0;
+    for (int i = 0; i < 20000; i++) {
+        const Op op = gen.next();
+        if (op.type == OpType::kScan) {
+            total += op.scan_len;
+            scans++;
+        }
+    }
+    ASSERT_GT(scans, 0);
+    EXPECT_NEAR(static_cast<double>(total) / scans, 50.0, 5.0);
+}
+
+}  // namespace
+}  // namespace prism::ycsb
