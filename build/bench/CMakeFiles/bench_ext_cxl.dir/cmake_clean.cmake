@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cxl.dir/bench_ext_cxl.cc.o"
+  "CMakeFiles/bench_ext_cxl.dir/bench_ext_cxl.cc.o.d"
+  "bench_ext_cxl"
+  "bench_ext_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

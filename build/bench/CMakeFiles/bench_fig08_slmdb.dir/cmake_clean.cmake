@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_slmdb.dir/bench_fig08_slmdb.cc.o"
+  "CMakeFiles/bench_fig08_slmdb.dir/bench_fig08_slmdb.cc.o.d"
+  "bench_fig08_slmdb"
+  "bench_fig08_slmdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_slmdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_large_and_nutanix.dir/bench_fig10_large_and_nutanix.cc.o"
+  "CMakeFiles/bench_fig10_large_and_nutanix.dir/bench_fig10_large_and_nutanix.cc.o.d"
+  "bench_fig10_large_and_nutanix"
+  "bench_fig10_large_and_nutanix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_large_and_nutanix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

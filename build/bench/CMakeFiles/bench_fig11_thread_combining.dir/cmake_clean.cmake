@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_thread_combining.dir/bench_fig11_thread_combining.cc.o"
+  "CMakeFiles/bench_fig11_thread_combining.dir/bench_fig11_thread_combining.cc.o.d"
+  "bench_fig11_thread_combining"
+  "bench_fig11_thread_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_thread_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_waf.dir/bench_fig12_waf.cc.o"
+  "CMakeFiles/bench_fig12_waf.dir/bench_fig12_waf.cc.o.d"
+  "bench_fig12_waf"
+  "bench_fig12_waf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_waf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_num_ssds.dir/bench_fig13_num_ssds.cc.o"
+  "CMakeFiles/bench_fig13_num_ssds.dir/bench_fig13_num_ssds.cc.o.d"
+  "bench_fig13_num_ssds"
+  "bench_fig13_num_ssds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_num_ssds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_nvm_space.cc" "bench/CMakeFiles/bench_nvm_space.dir/bench_nvm_space.cc.o" "gcc" "bench/CMakeFiles/bench_nvm_space.dir/bench_nvm_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ycsb/CMakeFiles/prism_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prism_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/prism_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvell/CMakeFiles/prism_kvell.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/prism_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/prism_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prism_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prism_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

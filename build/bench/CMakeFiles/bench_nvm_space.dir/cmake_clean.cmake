@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nvm_space.dir/bench_nvm_space.cc.o"
+  "CMakeFiles/bench_nvm_space.dir/bench_nvm_space.cc.o.d"
+  "bench_nvm_space"
+  "bench_nvm_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nvm_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

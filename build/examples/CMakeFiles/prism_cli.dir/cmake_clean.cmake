@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_cli.dir/prism_cli.cpp.o"
+  "CMakeFiles/prism_cli.dir/prism_cli.cpp.o.d"
+  "prism_cli"
+  "prism_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

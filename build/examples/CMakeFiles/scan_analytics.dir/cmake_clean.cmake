@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_analytics.dir/scan_analytics.cpp.o"
+  "CMakeFiles/scan_analytics.dir/scan_analytics.cpp.o.d"
+  "scan_analytics"
+  "scan_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

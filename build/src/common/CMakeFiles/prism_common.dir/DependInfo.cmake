@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cc" "src/common/CMakeFiles/prism_common.dir/clock.cc.o" "gcc" "src/common/CMakeFiles/prism_common.dir/clock.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/common/CMakeFiles/prism_common.dir/crc32.cc.o" "gcc" "src/common/CMakeFiles/prism_common.dir/crc32.cc.o.d"
+  "/root/repo/src/common/epoch.cc" "src/common/CMakeFiles/prism_common.dir/epoch.cc.o" "gcc" "src/common/CMakeFiles/prism_common.dir/epoch.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/prism_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/prism_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/rand.cc" "src/common/CMakeFiles/prism_common.dir/rand.cc.o" "gcc" "src/common/CMakeFiles/prism_common.dir/rand.cc.o.d"
+  "/root/repo/src/common/thread_util.cc" "src/common/CMakeFiles/prism_common.dir/thread_util.cc.o" "gcc" "src/common/CMakeFiles/prism_common.dir/thread_util.cc.o.d"
+  "/root/repo/src/common/token_bucket.cc" "src/common/CMakeFiles/prism_common.dir/token_bucket.cc.o" "gcc" "src/common/CMakeFiles/prism_common.dir/token_bucket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

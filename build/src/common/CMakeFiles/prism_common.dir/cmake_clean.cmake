@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_common.dir/clock.cc.o"
+  "CMakeFiles/prism_common.dir/clock.cc.o.d"
+  "CMakeFiles/prism_common.dir/crc32.cc.o"
+  "CMakeFiles/prism_common.dir/crc32.cc.o.d"
+  "CMakeFiles/prism_common.dir/epoch.cc.o"
+  "CMakeFiles/prism_common.dir/epoch.cc.o.d"
+  "CMakeFiles/prism_common.dir/histogram.cc.o"
+  "CMakeFiles/prism_common.dir/histogram.cc.o.d"
+  "CMakeFiles/prism_common.dir/rand.cc.o"
+  "CMakeFiles/prism_common.dir/rand.cc.o.d"
+  "CMakeFiles/prism_common.dir/thread_util.cc.o"
+  "CMakeFiles/prism_common.dir/thread_util.cc.o.d"
+  "CMakeFiles/prism_common.dir/token_bucket.cc.o"
+  "CMakeFiles/prism_common.dir/token_bucket.cc.o.d"
+  "libprism_common.a"
+  "libprism_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

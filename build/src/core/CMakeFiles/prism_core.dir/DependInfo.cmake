@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/addr.cc" "src/core/CMakeFiles/prism_core.dir/addr.cc.o" "gcc" "src/core/CMakeFiles/prism_core.dir/addr.cc.o.d"
+  "/root/repo/src/core/chunk_writer.cc" "src/core/CMakeFiles/prism_core.dir/chunk_writer.cc.o" "gcc" "src/core/CMakeFiles/prism_core.dir/chunk_writer.cc.o.d"
+  "/root/repo/src/core/hsit.cc" "src/core/CMakeFiles/prism_core.dir/hsit.cc.o" "gcc" "src/core/CMakeFiles/prism_core.dir/hsit.cc.o.d"
+  "/root/repo/src/core/prism_db.cc" "src/core/CMakeFiles/prism_core.dir/prism_db.cc.o" "gcc" "src/core/CMakeFiles/prism_core.dir/prism_db.cc.o.d"
+  "/root/repo/src/core/pwb.cc" "src/core/CMakeFiles/prism_core.dir/pwb.cc.o" "gcc" "src/core/CMakeFiles/prism_core.dir/pwb.cc.o.d"
+  "/root/repo/src/core/read_batcher.cc" "src/core/CMakeFiles/prism_core.dir/read_batcher.cc.o" "gcc" "src/core/CMakeFiles/prism_core.dir/read_batcher.cc.o.d"
+  "/root/repo/src/core/svc.cc" "src/core/CMakeFiles/prism_core.dir/svc.cc.o" "gcc" "src/core/CMakeFiles/prism_core.dir/svc.cc.o.d"
+  "/root/repo/src/core/value_storage.cc" "src/core/CMakeFiles/prism_core.dir/value_storage.cc.o" "gcc" "src/core/CMakeFiles/prism_core.dir/value_storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prism_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/prism_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prism_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/prism_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

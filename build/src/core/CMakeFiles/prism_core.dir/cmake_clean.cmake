@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_core.dir/addr.cc.o"
+  "CMakeFiles/prism_core.dir/addr.cc.o.d"
+  "CMakeFiles/prism_core.dir/chunk_writer.cc.o"
+  "CMakeFiles/prism_core.dir/chunk_writer.cc.o.d"
+  "CMakeFiles/prism_core.dir/hsit.cc.o"
+  "CMakeFiles/prism_core.dir/hsit.cc.o.d"
+  "CMakeFiles/prism_core.dir/prism_db.cc.o"
+  "CMakeFiles/prism_core.dir/prism_db.cc.o.d"
+  "CMakeFiles/prism_core.dir/pwb.cc.o"
+  "CMakeFiles/prism_core.dir/pwb.cc.o.d"
+  "CMakeFiles/prism_core.dir/read_batcher.cc.o"
+  "CMakeFiles/prism_core.dir/read_batcher.cc.o.d"
+  "CMakeFiles/prism_core.dir/svc.cc.o"
+  "CMakeFiles/prism_core.dir/svc.cc.o.d"
+  "CMakeFiles/prism_core.dir/value_storage.cc.o"
+  "CMakeFiles/prism_core.dir/value_storage.cc.o.d"
+  "libprism_core.a"
+  "libprism_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_index.dir/pactree.cc.o"
+  "CMakeFiles/prism_index.dir/pactree.cc.o.d"
+  "libprism_index.a"
+  "libprism_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_kvell.dir/kvell.cc.o"
+  "CMakeFiles/prism_kvell.dir/kvell.cc.o.d"
+  "libprism_kvell.a"
+  "libprism_kvell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_kvell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prism_kvell.
+# This may be replaced when dependencies are built.

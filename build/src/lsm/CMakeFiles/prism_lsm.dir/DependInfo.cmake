@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/extent_store.cc" "src/lsm/CMakeFiles/prism_lsm.dir/extent_store.cc.o" "gcc" "src/lsm/CMakeFiles/prism_lsm.dir/extent_store.cc.o.d"
+  "/root/repo/src/lsm/lsm_tree.cc" "src/lsm/CMakeFiles/prism_lsm.dir/lsm_tree.cc.o" "gcc" "src/lsm/CMakeFiles/prism_lsm.dir/lsm_tree.cc.o.d"
+  "/root/repo/src/lsm/slm_db.cc" "src/lsm/CMakeFiles/prism_lsm.dir/slm_db.cc.o" "gcc" "src/lsm/CMakeFiles/prism_lsm.dir/slm_db.cc.o.d"
+  "/root/repo/src/lsm/sstable.cc" "src/lsm/CMakeFiles/prism_lsm.dir/sstable.cc.o" "gcc" "src/lsm/CMakeFiles/prism_lsm.dir/sstable.cc.o.d"
+  "/root/repo/src/lsm/wal.cc" "src/lsm/CMakeFiles/prism_lsm.dir/wal.cc.o" "gcc" "src/lsm/CMakeFiles/prism_lsm.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prism_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prism_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/prism_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/prism_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_lsm.dir/extent_store.cc.o"
+  "CMakeFiles/prism_lsm.dir/extent_store.cc.o.d"
+  "CMakeFiles/prism_lsm.dir/lsm_tree.cc.o"
+  "CMakeFiles/prism_lsm.dir/lsm_tree.cc.o.d"
+  "CMakeFiles/prism_lsm.dir/slm_db.cc.o"
+  "CMakeFiles/prism_lsm.dir/slm_db.cc.o.d"
+  "CMakeFiles/prism_lsm.dir/sstable.cc.o"
+  "CMakeFiles/prism_lsm.dir/sstable.cc.o.d"
+  "CMakeFiles/prism_lsm.dir/wal.cc.o"
+  "CMakeFiles/prism_lsm.dir/wal.cc.o.d"
+  "libprism_lsm.a"
+  "libprism_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_pmem.dir/pmem_allocator.cc.o"
+  "CMakeFiles/prism_pmem.dir/pmem_allocator.cc.o.d"
+  "CMakeFiles/prism_pmem.dir/pmem_region.cc.o"
+  "CMakeFiles/prism_pmem.dir/pmem_region.cc.o.d"
+  "libprism_pmem.a"
+  "libprism_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_sim.dir/nvm_device.cc.o"
+  "CMakeFiles/prism_sim.dir/nvm_device.cc.o.d"
+  "CMakeFiles/prism_sim.dir/ssd_array.cc.o"
+  "CMakeFiles/prism_sim.dir/ssd_array.cc.o.d"
+  "CMakeFiles/prism_sim.dir/ssd_device.cc.o"
+  "CMakeFiles/prism_sim.dir/ssd_device.cc.o.d"
+  "libprism_sim.a"
+  "libprism_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_ycsb.dir/driver.cc.o"
+  "CMakeFiles/prism_ycsb.dir/driver.cc.o.d"
+  "CMakeFiles/prism_ycsb.dir/stores.cc.o"
+  "CMakeFiles/prism_ycsb.dir/stores.cc.o.d"
+  "CMakeFiles/prism_ycsb.dir/trace.cc.o"
+  "CMakeFiles/prism_ycsb.dir/trace.cc.o.d"
+  "CMakeFiles/prism_ycsb.dir/workload.cc.o"
+  "CMakeFiles/prism_ycsb.dir/workload.cc.o.d"
+  "libprism_ycsb.a"
+  "libprism_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pactree_test.dir/pactree_test.cc.o"
+  "CMakeFiles/pactree_test.dir/pactree_test.cc.o.d"
+  "pactree_test"
+  "pactree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pactree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_db_test.dir/prism_db_test.cc.o"
+  "CMakeFiles/prism_db_test.dir/prism_db_test.cc.o.d"
+  "prism_db_test"
+  "prism_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

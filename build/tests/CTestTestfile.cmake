@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(prism_db_test "/root/repo/build/tests/prism_db_test")
+set_tests_properties(prism_db_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stores_test "/root/repo/build/tests/stores_test")
+set_tests_properties(stores_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crash_test "/root/repo/build/tests/crash_test")
+set_tests_properties(crash_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pmem_test "/root/repo/build/tests/pmem_test")
+set_tests_properties(pmem_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pactree_test "/root/repo/build/tests/pactree_test")
+set_tests_properties(pactree_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_units_test "/root/repo/build/tests/core_units_test")
+set_tests_properties(core_units_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lsm_test "/root/repo/build/tests/lsm_test")
+set_tests_properties(lsm_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(kvell_test "/root/repo/build/tests/kvell_test")
+set_tests_properties(kvell_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(svc_test "/root/repo/build/tests/svc_test")
+set_tests_properties(svc_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(driver_test "/root/repo/build/tests/driver_test")
+set_tests_properties(driver_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;24;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;25;prism_add_test;/root/repo/tests/CMakeLists.txt;0;")
