@@ -26,8 +26,9 @@ struct Variant {
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    maybeDumpStatsAtExit(argc, argv);
     BenchScale s;
     s.ops = envOr("PRISM_BENCH_OPS", 40000) / 2;
     printScale(s);

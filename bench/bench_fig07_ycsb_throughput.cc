@@ -9,8 +9,9 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    maybeDumpStatsAtExit(argc, argv);
     BenchScale s;
     // The paper runs as many operations as there are records.
     s.ops = envOr("PRISM_BENCH_OPS", s.records);

@@ -11,8 +11,9 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    maybeDumpStatsAtExit(argc, argv);
     BenchScale s;
     s.records = envOr("PRISM_BENCH_RECORDS", 100000) / 2;
     s.ops = envOr("PRISM_BENCH_OPS", 40000) / 2;

@@ -13,8 +13,9 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    maybeDumpStatsAtExit(argc, argv);
     BenchScale s;
     s.ops = envOr("PRISM_BENCH_OPS", 40000) / 2;
     printScale(s);

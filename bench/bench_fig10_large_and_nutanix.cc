@@ -10,8 +10,9 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    maybeDumpStatsAtExit(argc, argv);
     BenchScale s;
     s.records = envOr("PRISM_BENCH_RECORDS", 100000) * 4;  // "1B" scale-up
     printScale(s);

@@ -42,8 +42,9 @@ runSide(const char *label, core::ReadBatchMode mode, const BenchScale &s)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    maybeDumpStatsAtExit(argc, argv);
     BenchScale s;
     s.records = envOr("PRISM_BENCH_RECORDS", 100000) / 2;
     s.ops = envOr("PRISM_BENCH_OPS", 40000) / 2;

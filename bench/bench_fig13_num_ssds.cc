@@ -31,8 +31,9 @@ scaledSsdProfile()
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    maybeDumpStatsAtExit(argc, argv);
     BenchScale base;
     printScale(base);
     std::printf("== Figure 13: throughput vs #SSDs ==\n");

@@ -32,8 +32,9 @@ scaledSsdProfile()
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    maybeDumpStatsAtExit(argc, argv);
     BenchScale base;
     printScale(base);
     std::printf("== Figure 14: YCSB-C latency vs #SSDs ==\n");

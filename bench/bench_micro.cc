@@ -7,6 +7,10 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/histogram.h"
 #include "common/rand.h"
 #include "core/hsit.h"
@@ -147,4 +151,23 @@ BENCHMARK(BM_HistogramRecord);
 }  // namespace
 }  // namespace prism
 
-BENCHMARK_MAIN();
+// Custom main (vs BENCHMARK_MAIN()): peel off --stats/--stats=json
+// before google-benchmark rejects them as unrecognized flags.
+int
+main(int argc, char **argv)
+{
+    prism::bench::maybeDumpStatsAtExit(argc, argv);
+    std::vector<char *> args;
+    for (int i = 0; i < argc; i++) {
+        const std::string_view a = argv[i];
+        if (a != "--stats" && a != "--stats=json")
+            args.push_back(argv[i]);
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -10,8 +10,9 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    maybeDumpStatsAtExit(argc, argv);
     std::printf("== NVM space of Key Index + HSIT ==\n");
     for (const uint64_t keys : {50000ull, 100000ull, 200000ull,
                                 400000ull}) {

@@ -11,8 +11,9 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    maybeDumpStatsAtExit(argc, argv);
     BenchScale s;
     printScale(s);
     std::printf("== Recovery time after crash ==\n");

@@ -9,8 +9,9 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    maybeDumpStatsAtExit(argc, argv);
     BenchScale s;
     printScale(s);
     std::printf("== Table 3: latency (us) for YCSB A / C / E ==\n");

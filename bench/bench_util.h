@@ -19,7 +19,9 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 
+#include "common/stats.h"
 #include "ycsb/driver.h"
 #include "ycsb/stores.h"
 
@@ -37,6 +39,68 @@ envOr(const char *name, uint64_t def)
     const char *v = std::getenv(name);
     return v == nullptr ? def : std::strtoull(v, nullptr, 10);
 }
+
+/**
+ * @name --stats support (docs/OBSERVABILITY.md)
+ *
+ * Every bench accepts `--stats` (text) or `--stats=json` to dump the
+ * process-wide metrics registry when it exits; PRISM_BENCH_STATS=1 or
+ * =json does the same without a flag. The dump goes to stderr so it
+ * never mixes with a bench's tabular stdout.
+ * @{
+ */
+
+struct StatsFlag {
+    bool enabled = false;
+    bool json = false;
+};
+
+inline StatsFlag
+parseStatsFlag(int argc, char **argv)
+{
+    StatsFlag f;
+    for (int i = 1; i < argc; i++) {
+        const std::string_view a = argv[i];
+        if (a == "--stats")
+            f.enabled = true;
+        else if (a == "--stats=json")
+            f.enabled = f.json = true;
+    }
+    if (const char *env = std::getenv("PRISM_BENCH_STATS")) {
+        f.enabled = true;
+        if (std::string_view(env) == "json")
+            f.json = true;
+    }
+    return f;
+}
+
+inline void
+dumpStats(const StatsFlag &f)
+{
+    if (!f.enabled)
+        return;
+    const auto snap = stats::StatsRegistry::global().snapshot();
+    if (f.json)
+        std::fprintf(stderr, "%s\n", snap.toJson().c_str());
+    else
+        std::fprintf(stderr, "---- prism stats ----\n%s",
+                     snap.toString().c_str());
+}
+
+namespace detail {
+inline StatsFlag g_stats_flag;
+}  // namespace detail
+
+/** Call first thing in main(); dumps at normal process exit. */
+inline void
+maybeDumpStatsAtExit(int argc, char **argv)
+{
+    detail::g_stats_flag = parseStatsFlag(argc, argv);
+    if (detail::g_stats_flag.enabled)
+        std::atexit([] { dumpStats(detail::g_stats_flag); });
+}
+
+/** @} */
 
 /** Common bench scale. */
 struct BenchScale {

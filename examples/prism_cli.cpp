@@ -17,14 +17,17 @@
  *   prism> replay /tmp/a.trace            # replay it against the store
  *   prism> quit
  *
- * Commands: put, get, del, scan, fill, flush, gc, stats, tracegen,
- * replay, help, quit.
+ * Commands: put, get, del, scan, fill, flush, gc, stats, metrics,
+ * json, tracegen, replay, help, quit. Run with --stats to dump the
+ * metrics registry on exit (see docs/OBSERVABILITY.md).
  */
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "common/stats.h"
 #include "core/prism_db.h"
 #include "sim/device_profile.h"
 #include "ycsb/stores.h"
@@ -38,7 +41,7 @@ void
 printStats(ycsb::PrismStore &store)
 {
     auto &db = store.db();
-    const auto &st = db.stats();
+    const auto &st = db.opStats();
     const auto &svc = db.svcStats();
     std::printf("keys            %zu\n", db.size());
     std::printf("puts/gets/dels  %llu / %llu / %llu   scans %llu\n",
@@ -107,6 +110,8 @@ help()
         "  flush                      drain PWBs to Value Storage\n"
         "  gc                         force garbage collection\n"
         "  stats                      show store statistics\n"
+        "  metrics                    dump the metrics registry (text)\n"
+        "  json                       dump the metrics registry (JSON)\n"
         "  tracegen <mix> <n> <file>  synthesize a YCSB trace "
         "(mix: load|a|b|c|d|e|nutanix)\n"
         "  replay <file>              replay a trace file\n"
@@ -116,8 +121,16 @@ help()
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool dump_stats = false, dump_json = false;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--stats") == 0)
+            dump_stats = true;
+        else if (std::strcmp(argv[i], "--stats=json") == 0)
+            dump_stats = dump_json = true;
+    }
+
     ycsb::FixtureOptions fx;
     fx.num_ssds = 2;
     fx.ssd_bytes = 1ull << 30;
@@ -211,6 +224,10 @@ main()
             std::printf("OK\n");
         } else if (cmd == "stats") {
             printStats(store);
+        } else if (cmd == "metrics") {
+            std::printf("%s", store.db().stats().toString().c_str());
+        } else if (cmd == "json") {
+            std::printf("%s\n", store.db().stats().toJson().c_str());
         } else if (cmd == "tracegen") {
             std::string mix, file;
             uint64_t n;
@@ -241,6 +258,14 @@ main()
             std::printf("unknown command '%s' (try 'help')\n",
                         cmd.c_str());
         }
+    }
+    if (dump_stats) {
+        const auto snap = stats::StatsRegistry::global().snapshot();
+        if (dump_json)
+            std::fprintf(stderr, "%s\n", snap.toJson().c_str());
+        else
+            std::fprintf(stderr, "---- prism stats ----\n%s",
+                         snap.toString().c_str());
     }
     return 0;
 }

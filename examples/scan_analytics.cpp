@@ -56,7 +56,7 @@ main()
     std::vector<std::pair<uint64_t, std::string>> window;
     uint64_t values_read = 0;
     const uint64_t ssd_reads_before =
-        db->stats().vs_reads.load(std::memory_order_relaxed);
+        db->opStats().vs_reads.load(std::memory_order_relaxed);
     for (int query = 0; query < 400; query++) {
         const uint32_t series = static_cast<uint32_t>(
             rng.nextUniform(4));  // 4 hot series out of 64
@@ -80,6 +80,6 @@ main()
                     svc.reorged_values.load()));
     std::printf("SSD value reads: %llu\n",
                 static_cast<unsigned long long>(
-                    db->stats().vs_reads.load() - ssd_reads_before));
+                    db->opStats().vs_reads.load() - ssd_reads_before));
     return 0;
 }

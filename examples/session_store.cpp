@@ -87,7 +87,7 @@ main()
         t.join();
     sweeper.join();
 
-    const auto &st = db->stats();
+    const auto &st = db->opStats();
     std::printf("sessions live:      %zu\n", db->size());
     std::printf("client reads:       %llu (SVC hits %llu, PWB hits %llu, "
                 "SSD reads %llu)\n",

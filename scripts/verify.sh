@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run every test suite, then a
+# smoke run of the microbenchmarks with the --stats registry dump.
+# CI calls exactly this script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# Smoke: one fast microbench iteration must exit cleanly and the
+# registry dump must mention known metrics (BM_PwbAppend1K touches the
+# pmem layer and the PWB, so sim.nvm.*, pmem.* and prism.pwb.* appear).
+./build/bench/bench_micro --stats \
+    --benchmark_filter=BM_PwbAppend1K \
+    --benchmark_min_time=0.01 2> /tmp/prism_stats_smoke.txt
+grep -q "prism\.pwb\.appends" /tmp/prism_stats_smoke.txt || {
+    echo "verify.sh: --stats dump missing registry metrics" >&2
+    exit 1
+}
+echo "verify.sh: OK"

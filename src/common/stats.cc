@@ -1,0 +1,233 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace prism::stats {
+
+StatsRegistry &
+StatsRegistry::global()
+{
+    static StatsRegistry *registry = new StatsRegistry();  // never torn down
+    return *registry;
+}
+
+Counter &
+StatsRegistry::counter(std::string_view name, std::string_view unit)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        Entry e;
+        e.type = MetricType::kCounter;
+        e.unit = std::string(unit);
+        e.c = std::make_unique<Counter>();
+        it = metrics_.emplace(std::string(name), std::move(e)).first;
+    }
+    PRISM_CHECK(it->second.type == MetricType::kCounter &&
+                "metric re-registered with a different type");
+    return *it->second.c;
+}
+
+Gauge &
+StatsRegistry::gauge(std::string_view name, std::string_view unit)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        Entry e;
+        e.type = MetricType::kGauge;
+        e.unit = std::string(unit);
+        e.g = std::make_unique<Gauge>();
+        it = metrics_.emplace(std::string(name), std::move(e)).first;
+    }
+    PRISM_CHECK(it->second.type == MetricType::kGauge &&
+                "metric re-registered with a different type");
+    return *it->second.g;
+}
+
+LatencyStat &
+StatsRegistry::histogram(std::string_view name, std::string_view unit)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        Entry e;
+        e.type = MetricType::kHistogram;
+        e.unit = std::string(unit);
+        e.h = std::make_unique<LatencyStat>();
+        it = metrics_.emplace(std::string(name), std::move(e)).first;
+    }
+    PRISM_CHECK(it->second.type == MetricType::kHistogram &&
+                "metric re-registered with a different type");
+    return *it->second.h;
+}
+
+StatsSnapshot
+StatsRegistry::snapshot() const
+{
+    StatsSnapshot out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.metrics.reserve(metrics_.size());
+    for (const auto &[name, e] : metrics_) {
+        MetricSnapshot m;
+        m.name = name;
+        m.type = e.type;
+        m.unit = e.unit;
+        switch (e.type) {
+          case MetricType::kCounter:
+            m.counter = e.c->value();
+            break;
+          case MetricType::kGauge:
+            m.gauge = e.g->value();
+            break;
+          case MetricType::kHistogram: {
+            const Histogram h = e.h->merged();
+            m.count = h.count();
+            m.mean = h.mean();
+            m.p50 = h.percentile(0.5);
+            m.p99 = h.percentile(0.99);
+            m.max = h.max();
+            break;
+          }
+        }
+        out.metrics.push_back(std::move(m));
+    }
+    return out;  // std::map iteration is already name-sorted
+}
+
+size_t
+StatsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return metrics_.size();
+}
+
+namespace {
+
+const MetricSnapshot *
+find(const std::vector<MetricSnapshot> &metrics, std::string_view name)
+{
+    const auto it = std::lower_bound(
+        metrics.begin(), metrics.end(), name,
+        [](const MetricSnapshot &m, std::string_view n) {
+            return m.name < n;
+        });
+    if (it == metrics.end() || it->name != name)
+        return nullptr;
+    return &*it;
+}
+
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+}
+
+}  // namespace
+
+uint64_t
+StatsSnapshot::counter(std::string_view name) const
+{
+    const MetricSnapshot *m = find(metrics, name);
+    return (m != nullptr && m->type == MetricType::kCounter) ? m->counter
+                                                             : 0;
+}
+
+int64_t
+StatsSnapshot::gauge(std::string_view name) const
+{
+    const MetricSnapshot *m = find(metrics, name);
+    return (m != nullptr && m->type == MetricType::kGauge) ? m->gauge : 0;
+}
+
+const MetricSnapshot *
+StatsSnapshot::histogram(std::string_view name) const
+{
+    const MetricSnapshot *m = find(metrics, name);
+    return (m != nullptr && m->type == MetricType::kHistogram) ? m
+                                                               : nullptr;
+}
+
+uint64_t
+StatsSnapshot::counterDelta(const StatsSnapshot &earlier,
+                            std::string_view name) const
+{
+    const uint64_t now = counter(name);
+    const uint64_t before = earlier.counter(name);
+    return now >= before ? now - before : 0;
+}
+
+std::string
+StatsSnapshot::toString() const
+{
+    std::string out;
+    char line[256];
+    for (const auto &m : metrics) {
+        switch (m.type) {
+          case MetricType::kCounter:
+            std::snprintf(line, sizeof(line), "%-44s %14" PRIu64 " %s\n",
+                          m.name.c_str(), m.counter, m.unit.c_str());
+            break;
+          case MetricType::kGauge:
+            std::snprintf(line, sizeof(line), "%-44s %14" PRId64 " %s\n",
+                          m.name.c_str(), m.gauge, m.unit.c_str());
+            break;
+          case MetricType::kHistogram:
+            std::snprintf(line, sizeof(line),
+                          "%-44s count=%" PRIu64 " mean=%.0f p50=%" PRIu64
+                          " p99=%" PRIu64 " max=%" PRIu64 " %s\n",
+                          m.name.c_str(), m.count, m.mean, m.p50, m.p99,
+                          m.max, m.unit.c_str());
+            break;
+        }
+        out += line;
+    }
+    return out;
+}
+
+std::string
+StatsSnapshot::toJson() const
+{
+    std::string counters, gauges, histograms;
+    char buf[256];
+    for (const auto &m : metrics) {
+        std::string *dest = nullptr;
+        switch (m.type) {
+          case MetricType::kCounter:
+            std::snprintf(buf, sizeof(buf), "%" PRIu64, m.counter);
+            dest = &counters;
+            break;
+          case MetricType::kGauge:
+            std::snprintf(buf, sizeof(buf), "%" PRId64, m.gauge);
+            dest = &gauges;
+            break;
+          case MetricType::kHistogram:
+            std::snprintf(buf, sizeof(buf),
+                          "{\"count\":%" PRIu64 ",\"mean\":%.1f,"
+                          "\"p50\":%" PRIu64 ",\"p99\":%" PRIu64
+                          ",\"max\":%" PRIu64 "}",
+                          m.count, m.mean, m.p50, m.p99, m.max);
+            dest = &histograms;
+            break;
+        }
+        if (!dest->empty())
+            *dest += ",";
+        *dest += "\"";
+        appendJsonEscaped(*dest, m.name);
+        *dest += "\":";
+        *dest += buf;
+    }
+    std::string out = "{\"counters\":{" + counters + "},\"gauges\":{" +
+                      gauges + "},\"histograms\":{" + histograms + "}}";
+    return out;
+}
+
+}  // namespace prism::stats

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * prism::stats — a low-overhead process-wide metrics registry.
+ *
+ * Every engine in this repo (the Prism core, the simulated devices, the
+ * pmem layer, and the KVell/LSM baselines) registers named counters,
+ * gauges and latency histograms here; benchmarks, tests, prism_cli and
+ * the periodic dumper read one consistent snapshot out. The paper's own
+ * evaluation depends on exactly these internal counters (WAF inputs for
+ * Fig. 12, GC activity for Fig. 17, PWB/SVC hit behaviour for Fig. 15,
+ * thread-combining ratios for Fig. 11); docs/OBSERVABILITY.md is the
+ * reference table of every metric name.
+ *
+ * Design constraints:
+ *  - The hot path is one relaxed atomic add on a per-thread shard
+ *    (Counter::add); aggregation happens on read, never on write.
+ *  - Metric objects live for the whole process: registration hands out
+ *    stable references, so instrumented code caches a pointer once and
+ *    never touches the registry lock again.
+ *  - The same name can be requested from many instances (e.g. four
+ *    SsdDevices all share "sim.ssd.bytes_written"); they receive the
+ *    same Counter and their contributions aggregate naturally.
+ *
+ * Because the default registry is process-wide, tests and benches that
+ * open several stores in one process should compare snapshot *deltas*
+ * (StatsSnapshot::counterDelta) rather than absolute values.
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/spinlock.h"
+#include "common/thread_util.h"
+
+namespace prism::stats {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/**
+ * Monotonic counter, sharded to keep concurrent writers off each
+ * other's cache lines. add() is a relaxed fetch_add on the calling
+ * thread's shard; value() sums the shards.
+ */
+class Counter {
+  public:
+    static constexpr int kShards = 64;  // power of two
+
+    void
+    add(uint64_t delta)
+    {
+        shards_[static_cast<size_t>(ThreadId::self()) & (kShards - 1)]
+            .v.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    void inc() { add(1); }
+
+    uint64_t
+    value() const
+    {
+        uint64_t total = 0;
+        for (const auto &s : shards_)
+            total += s.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    struct alignas(64) Shard {
+        std::atomic<uint64_t> v{0};
+    };
+    std::array<Shard, kShards> shards_;
+};
+
+/**
+ * Signed instantaneous value (queue depths, bytes in use). add/sub are
+ * relaxed atomic ops on one cell — gauges are updated far less often
+ * than counters, so sharding is not worth the read-side complexity of
+ * a non-monotonic merge.
+ */
+class Gauge {
+  public:
+    void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+    void sub(int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+    void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/**
+ * Latency histogram metric: per-shard common::Histogram instances, each
+ * guarded by its own (uncontended in the common case) spin lock.
+ * record() locks only the calling thread's shard; merged() combines all
+ * shards into one Histogram for percentile queries.
+ */
+class LatencyStat {
+  public:
+    static constexpr int kShards = 16;  // power of two
+
+    void
+    record(uint64_t value)
+    {
+        Shard &s = shards_[static_cast<size_t>(ThreadId::self()) &
+                           (kShards - 1)];
+        std::lock_guard<SpinLock> lock(s.mu);
+        s.h.record(value);
+    }
+
+    /** Fold a pre-merged histogram in (e.g. a driver thread's). */
+    void
+    mergeFrom(const Histogram &h)
+    {
+        Shard &s = shards_[static_cast<size_t>(ThreadId::self()) &
+                           (kShards - 1)];
+        std::lock_guard<SpinLock> lock(s.mu);
+        s.h.merge(h);
+    }
+
+    Histogram
+    merged() const
+    {
+        Histogram out;
+        for (const auto &s : shards_) {
+            std::lock_guard<SpinLock> lock(
+                const_cast<SpinLock &>(s.mu));
+            out.merge(s.h);
+        }
+        return out;
+    }
+
+  private:
+    struct alignas(64) Shard {
+        SpinLock mu;
+        Histogram h;
+    };
+    std::array<Shard, kShards> shards_;
+};
+
+/** One metric's value at snapshot time. */
+struct MetricSnapshot {
+    std::string name;
+    MetricType type = MetricType::kCounter;
+    std::string unit;  ///< "bytes", "ops", "ns", ... (documentation only)
+
+    uint64_t counter = 0;  ///< kCounter
+    int64_t gauge = 0;     ///< kGauge
+
+    // kHistogram summary.
+    uint64_t count = 0;
+    double mean = 0.0;
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+    uint64_t max = 0;
+};
+
+/**
+ * A point-in-time copy of every registered metric, sorted by name.
+ * Cheap to copy around; renders as aligned text or JSON.
+ */
+struct StatsSnapshot {
+    std::vector<MetricSnapshot> metrics;
+
+    /** Counter value by exact name; 0 when absent. */
+    uint64_t counter(std::string_view name) const;
+
+    /** Gauge value by exact name; 0 when absent. */
+    int64_t gauge(std::string_view name) const;
+
+    /** Histogram summary by exact name; nullptr when absent. */
+    const MetricSnapshot *histogram(std::string_view name) const;
+
+    /**
+     * Difference of a counter against an earlier snapshot — the idiom
+     * for per-run accounting against the process-wide registry.
+     */
+    uint64_t counterDelta(const StatsSnapshot &earlier,
+                          std::string_view name) const;
+
+    /** Aligned human-readable dump, one metric per line. */
+    std::string toString() const;
+
+    /** JSON object: {"counters":{...},"gauges":{...},"histograms":{...}} */
+    std::string toJson() const;
+};
+
+/**
+ * Registry of named metrics. Registration is mutex-protected and meant
+ * to happen at engine construction; the returned references stay valid
+ * for the registry's lifetime (for global(): the process lifetime).
+ */
+class StatsRegistry {
+  public:
+    /** The process-wide registry all engines instrument into. */
+    static StatsRegistry &global();
+
+    StatsRegistry() = default;
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    /**
+     * Find-or-create a counter. Requesting an existing name returns the
+     * same object (multi-instance aggregation); @p unit is recorded on
+     * first registration only.
+     */
+    Counter &counter(std::string_view name, std::string_view unit = "");
+
+    Gauge &gauge(std::string_view name, std::string_view unit = "");
+
+    LatencyStat &histogram(std::string_view name,
+                           std::string_view unit = "ns");
+
+    /** Copy out every metric, sorted by name. */
+    StatsSnapshot snapshot() const;
+
+    /** Number of registered metrics (tests). */
+    size_t size() const;
+
+  private:
+    struct Entry {
+        MetricType type;
+        std::string unit;
+        std::unique_ptr<Counter> c;
+        std::unique_ptr<Gauge> g;
+        std::unique_ptr<LatencyStat> h;
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+}  // namespace prism::stats

@@ -75,6 +75,17 @@ struct PrismOptions {
 
     /** Background reclaimer poll interval. */
     uint64_t reclaimer_poll_us = 100;
+
+    /** @name Observability (docs/OBSERVABILITY.md) */
+    ///@{
+    /**
+     * When > 0, a background thread dumps the process-wide stats
+     * registry to stderr every this-many milliseconds.
+     */
+    uint64_t stats_dump_interval_ms = 0;
+    /** Dump format for the periodic dumper: JSON lines vs aligned text. */
+    bool stats_dump_json = false;
+    ///@}
 };
 
 }  // namespace prism::core

@@ -24,6 +24,24 @@ PrismDb::PrismDb(const PrismOptions &opts,
     PRISM_CHECK(ssds.size() <= ValueAddr::kSsdMask + 1);
     alloc_ = std::make_unique<pmem::PmemAllocator>(*region_);
 
+    auto &reg = stats::StatsRegistry::global();
+    reg_.puts = &reg.counter("prism.puts", "ops");
+    reg_.gets = &reg.counter("prism.gets", "ops");
+    reg_.dels = &reg.counter("prism.dels", "ops");
+    reg_.scans = &reg.counter("prism.scans", "ops");
+    reg_.user_bytes_written = &reg.counter("prism.user_bytes_written",
+                                           "bytes");
+    reg_.pwb_hits = &reg.counter("prism.get.pwb_hits", "ops");
+    reg_.svc_hits = &reg.counter("prism.get.svc_hits", "ops");
+    reg_.vs_reads = &reg.counter("prism.get.vs_reads", "ops");
+    reg_.pwb_stalls = &reg.counter("prism.pwb.stalls", "ops");
+    reg_.reclaim_passes = &reg.counter("prism.pwb.reclaim_passes", "ops");
+    reg_.reclaimed_values = &reg.counter("prism.pwb.reclaimed_values",
+                                         "ops");
+    reg_.reclaim_skipped_stale =
+        &reg.counter("prism.pwb.reclaim_skipped_stale", "ops");
+    reg_.hsit_cas_retries = &reg.counter("prism.hsit.cas_retries", "ops");
+
     for (size_t i = 0; i < ssds.size(); i++) {
         value_storages_.push_back(std::make_unique<ValueStorage>(
             static_cast<uint32_t>(i), ssds[i], opts_, epochs_));
@@ -52,14 +70,19 @@ PrismDb::PrismDb(const PrismOptions &opts,
 
     reclaimer_ = std::thread([this] { reclaimerLoop(); });
     gc_thread_ = std::thread([this] { gcLoop(); });
+    if (opts_.stats_dump_interval_ms > 0)
+        stats_dumper_ = std::thread([this] { statsDumperLoop(); });
 }
 
 PrismDb::~PrismDb()
 {
     stop_.store(true, std::memory_order_release);
     reclaim_cv_.notify_all();
+    dumper_cv_.notify_all();
     reclaimer_.join();
     gc_thread_.join();
+    if (stats_dumper_.joinable())
+        stats_dumper_.join();
     // Destroy the SVC (its manager thread uses hsit_/value_storages_),
     // then run every deferred reclamation before members are torn down:
     // pending lambdas reference PWBs, Value Storages and the HSIT.
@@ -171,6 +194,8 @@ PrismDb::put(uint64_t key, std::string_view value)
     stats_.puts.fetch_add(1, std::memory_order_relaxed);
     stats_.user_bytes_written.fetch_add(value.size(),
                                         std::memory_order_relaxed);
+    reg_.puts->inc();
+    reg_.user_bytes_written->add(value.size());
 
     while (true) {
         {
@@ -206,6 +231,7 @@ PrismDb::put(uint64_t key, std::string_view value)
                         clearOldLocation(h, old);
                         break;
                     }
+                    reg_.hsit_cas_retries->inc();
                 }
                 return Status::ok();
             }
@@ -213,6 +239,7 @@ PrismDb::put(uint64_t key, std::string_view value)
         // PWB full. The epoch guard must be dropped while waiting: the
         // space we need is released by an epoch-deferred head advance.
         stats_.pwb_stalls.fetch_add(1, std::memory_order_relaxed);
+        reg_.pwb_stalls->inc();
         reclaim_cv_.notify_all();
         epochs_.tryAdvance();
         std::this_thread::yield();
@@ -232,6 +259,7 @@ PrismDb::readValue(uint64_t hsit_idx, uint64_t key, ValueAddr addr,
         out->assign(reinterpret_cast<const char *>(hdr + 1),
                     hdr->value_size);
         stats_.pwb_hits.fetch_add(1, std::memory_order_relaxed);
+        reg_.pwb_hits->inc();
         return Status::ok();
     }
 
@@ -253,6 +281,7 @@ PrismDb::readValue(uint64_t hsit_idx, uint64_t key, ValueAddr addr,
         return Status::corruption("Value Storage record checksum");
     out->assign(reinterpret_cast<const char *>(payload), hdr->value_size);
     stats_.vs_reads.fetch_add(1, std::memory_order_relaxed);
+    reg_.vs_reads->inc();
     if (admit_to_svc)
         svc_->admit(hsit_idx, key, addr, payload, hdr->value_size);
     return Status::ok();
@@ -262,6 +291,7 @@ Status
 PrismDb::get(uint64_t key, std::string *value)
 {
     stats_.gets.fetch_add(1, std::memory_order_relaxed);
+    reg_.gets->inc();
     EpochGuard guard(epochs_);
     const auto h = index_->lookup(key);
     if (!h.has_value())
@@ -271,6 +301,7 @@ PrismDb::get(uint64_t key, std::string *value)
         return Status::notFound();
     if (svc_->lookup(*h, addr.raw(), value)) {
         stats_.svc_hits.fetch_add(1, std::memory_order_relaxed);
+        reg_.svc_hits->inc();
         return Status::ok();
     }
     return readValue(*h, key, addr, value, /*admit_to_svc=*/true);
@@ -280,6 +311,7 @@ Status
 PrismDb::del(uint64_t key)
 {
     stats_.dels.fetch_add(1, std::memory_order_relaxed);
+    reg_.dels->inc();
     EpochGuard guard(epochs_);
     const auto h = index_->lookup(key);
     if (!h.has_value())
@@ -296,6 +328,7 @@ PrismDb::del(uint64_t key)
             }
             break;
         }
+        reg_.hsit_cas_retries->inc();
     }
     hsit_->freeEntryDeferred(*h, epochs_);
     return Status::ok();
@@ -306,6 +339,7 @@ PrismDb::scan(uint64_t start_key, size_t count,
               std::vector<std::pair<uint64_t, std::string>> *out)
 {
     stats_.scans.fetch_add(1, std::memory_order_relaxed);
+    reg_.scans->inc();
     EpochGuard guard(epochs_);
     out->clear();
 
@@ -329,6 +363,7 @@ PrismDb::scan(uint64_t start_key, size_t count,
         std::string *slot = &out->back().second;
         if (svc_->lookup(h, addr.raw(), slot)) {
             stats_.svc_hits.fetch_add(1, std::memory_order_relaxed);
+            reg_.svc_hits->inc();
             noted.emplace_back(key, h);
             continue;
         }
@@ -412,6 +447,7 @@ PrismDb::scan(uint64_t start_key, size_t count,
                     reinterpret_cast<const char *>(payload),
                     hdr->value_size);
                 stats_.vs_reads.fetch_add(1, std::memory_order_relaxed);
+                reg_.vs_reads->inc();
                 svc_->admit(r.h, r.key, r.addr, payload, hdr->value_size);
                 noted.emplace_back(r.key, r.h);
             }
@@ -435,6 +471,7 @@ PrismDb::multiGet(const std::vector<uint64_t> &keys,
                   std::vector<std::optional<std::string>> *out)
 {
     stats_.gets.fetch_add(keys.size(), std::memory_order_relaxed);
+    reg_.gets->add(keys.size());
     EpochGuard guard(epochs_);
     out->assign(keys.size(), std::nullopt);
 
@@ -458,6 +495,7 @@ PrismDb::multiGet(const std::vector<uint64_t> &keys,
         std::string value;
         if (svc_->lookup(*h, addr.raw(), &value)) {
             stats_.svc_hits.fetch_add(1, std::memory_order_relaxed);
+            reg_.svc_hits->inc();
             (*out)[i] = std::move(value);
             continue;
         }
@@ -513,6 +551,7 @@ PrismDb::multiGet(const std::vector<uint64_t> &keys,
         (*out)[r->out_idx].emplace(
             reinterpret_cast<const char *>(payload), hdr->value_size);
         stats_.vs_reads.fetch_add(1, std::memory_order_relaxed);
+        reg_.vs_reads->inc();
         svc_->admit(r->h, keys[r->out_idx], r->addr, payload,
                     hdr->value_size);
     }
@@ -578,6 +617,7 @@ PrismDb::reclaimPwb(Pwb *pwb)
         } else {
             stats_.reclaim_skipped_stale.fetch_add(
                 1, std::memory_order_relaxed);
+            reg_.reclaim_skipped_stale->inc();
         }
     }
 
@@ -616,6 +656,7 @@ PrismDb::reclaimPwb(Pwb *pwb)
             if (hsit_->casPrimaryDurable(v.h, v.pwb_addr, placed[i])) {
                 stats_.reclaimed_values.fetch_add(
                     1, std::memory_order_relaxed);
+                reg_.reclaimed_values->inc();
             } else {
                 // Superseded after collection; retract the unused copy.
                 value_storages_[placed[i].ssdId()]->clearValid(
@@ -625,6 +666,7 @@ PrismDb::reclaimPwb(Pwb *pwb)
     }
 
     stats_.reclaim_passes.fetch_add(1, std::memory_order_relaxed);
+    reg_.reclaim_passes->inc();
     pwb->setReclaimCursor(new_head);
     // The head advance (space reuse) waits out the epoch grace period:
     // readers may still be dereferencing reclaimed PWB addresses.
@@ -741,6 +783,31 @@ uint64_t
 PrismDb::nvmIndexBytes() const
 {
     return index_->nvmBytes() + hsit_->nvmBytes();
+}
+
+stats::StatsSnapshot
+PrismDb::stats() const
+{
+    return stats::StatsRegistry::global().snapshot();
+}
+
+void
+PrismDb::statsDumperLoop()
+{
+    std::unique_lock<std::mutex> lock(dumper_mu_);
+    while (!stop_.load(std::memory_order_acquire)) {
+        dumper_cv_.wait_for(
+            lock, std::chrono::milliseconds(opts_.stats_dump_interval_ms));
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        const auto snap = stats::StatsRegistry::global().snapshot();
+        if (opts_.stats_dump_json) {
+            std::fprintf(stderr, "%s\n", snap.toJson().c_str());
+        } else {
+            std::fprintf(stderr, "---- prism stats ----\n%s",
+                         snap.toString().c_str());
+        }
+    }
 }
 
 }  // namespace prism::core

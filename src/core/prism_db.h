@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_util.h"
 #include "core/hsit.h"
@@ -152,7 +153,16 @@ class PrismDb {
 
     /** @name Introspection for benchmarks */
     ///@{
-    PrismDbStats &stats() { return stats_; }
+    /**
+     * Snapshot of the process-wide metrics registry: every layer's
+     * counters/gauges/histograms by name (docs/OBSERVABILITY.md). The
+     * registry outlives (and is shared across) store instances, so
+     * per-run accounting should diff two snapshots with counterDelta().
+     */
+    stats::StatsSnapshot stats() const;
+
+    /** This instance's raw operation counters (tests, benches). */
+    PrismDbStats &opStats() { return stats_; }
     SvcStats &svcStats() { return svc_->stats(); }
     index::KeyIndex &keyIndex() { return *index_; }
     Hsit &hsit() { return *hsit_; }
@@ -180,6 +190,7 @@ class PrismDb {
 
     void reclaimerLoop();
     void gcLoop();
+    void statsDumperLoop();
     /** One reclamation pass over @p pwb (§5.2, Fig. 4). */
     void reclaimPwb(Pwb *pwb);
     void recoverState();
@@ -219,7 +230,32 @@ class PrismDb {
     std::mutex reclaim_pass_mu_;  ///< serializes reclaimPwb passes
     std::condition_variable reclaim_cv_;
 
+    // Optional periodic dump of the stats registry (PrismOptions::
+    // stats_dump_interval_ms).
+    std::thread stats_dumper_;
+    std::mutex dumper_mu_;
+    std::condition_variable dumper_cv_;
+
     PrismDbStats stats_;
+
+    /** Cached process-wide registry metrics (see common/stats.h). */
+    struct RegMetrics {
+        stats::Counter *puts;
+        stats::Counter *gets;
+        stats::Counter *dels;
+        stats::Counter *scans;
+        stats::Counter *user_bytes_written;
+        stats::Counter *pwb_hits;
+        stats::Counter *svc_hits;
+        stats::Counter *vs_reads;
+        stats::Counter *pwb_stalls;
+        stats::Counter *reclaim_passes;
+        stats::Counter *reclaimed_values;
+        stats::Counter *reclaim_skipped_stale;
+        stats::Counter *hsit_cas_retries;
+    };
+    RegMetrics reg_;
+
     uint64_t recovery_ns_ = 0;
 };
 

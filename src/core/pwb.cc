@@ -13,6 +13,9 @@ using pmem::POff;
 Pwb::Pwb(pmem::PmemRegion &region, POff root_off)
     : region_(&region), root_off_(root_off)
 {
+    auto &reg = stats::StatsRegistry::global();
+    reg_appends_ = &reg.counter("prism.pwb.appends", "ops");
+    reg_append_bytes_ = &reg.counter("prism.pwb.append_bytes", "bytes");
     const auto *r = root();
     PRISM_CHECK(r->magic == kMagic);
     data_off_ = r->data;
@@ -108,6 +111,8 @@ Pwb::append(uint64_t hsit_idx, uint64_t key, const void *value,
     region_->flush(&r->tail, sizeof(r->tail));
     region_->fence();
 
+    reg_appends_->inc();
+    reg_append_bytes_->add(bytes);
     return ValueAddr::pwb(data_off_ + phys, bytes);
 }
 

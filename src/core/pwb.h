@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/stats.h"
 #include "core/addr.h"
 #include "pmem/pmem_allocator.h"
 #include "pmem/pmem_region.h"
@@ -206,6 +207,10 @@ class Pwb {
     std::atomic<uint64_t> reclaim_cursor_;
     /** Logical offset of an appended-but-unpublished record. */
     std::atomic<uint64_t> inflight_{UINT64_MAX};
+
+    // Shared-by-name process-wide metrics (all PWBs aggregate).
+    stats::Counter *reg_appends_;
+    stats::Counter *reg_append_bytes_;
 };
 
 }  // namespace prism::core

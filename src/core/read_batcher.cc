@@ -11,6 +11,9 @@ ReadBatcher::ReadBatcher(sim::SsdDevice &device, ReadBatchMode mode,
       timeout_us_(timeout_us)
 {
     PRISM_CHECK(queue_depth_ >= 1);
+    auto &reg = stats::StatsRegistry::global();
+    reg_batches_ = &reg.counter("prism.tcq.batches", "ops");
+    reg_requests_ = &reg.counter("prism.tcq.requests", "ops");
     if (mode_ == ReadBatchMode::kTimeoutAsync)
         ta_thread_ = std::thread([this] { taLoop(); });
 }
@@ -56,6 +59,8 @@ ReadBatcher::readUnbatched(Node &node)
         return s;
     batches_.fetch_add(1, std::memory_order_relaxed);
     requests_.fetch_add(1, std::memory_order_relaxed);
+    reg_batches_->inc();
+    reg_requests_->inc();
     node.waiter.waitNonzero();
     return Status::ok();
 }
@@ -139,6 +144,8 @@ ReadBatcher::leadAndSubmit(Node &self)
         return s;
     batches_.fetch_add(1, std::memory_order_relaxed);
     requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+    reg_batches_->inc();
+    reg_requests_->add(batch.size());
 
     // Followers return as soon as their completion arrives (delivered by
     // the Value Storage completion thread); the leader waits its own.
@@ -191,6 +198,8 @@ ReadBatcher::taLoop()
         device_.submit({batch.data(), batch.size()});
         batches_.fetch_add(1, std::memory_order_relaxed);
         requests_.fetch_add(n, std::memory_order_relaxed);
+        reg_batches_->inc();
+        reg_requests_->add(n);
         lock.lock();
     }
 }

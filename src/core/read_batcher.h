@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "core/options.h"
 #include "sim/ssd_device.h"
@@ -130,6 +131,11 @@ class ReadBatcher {
 
     std::atomic<uint64_t> batches_{0};
     std::atomic<uint64_t> requests_{0};
+
+    // Shared-by-name process-wide metrics; requests/batches is the TCQ
+    // combine ratio (Fig. 11).
+    stats::Counter *reg_batches_;
+    stats::Counter *reg_requests_;
 };
 
 }  // namespace prism::core

@@ -15,6 +15,13 @@ Svc::Svc(Hsit &hsit, EpochManager &epochs,
       enabled_(opts.enable_svc), scan_reorg_(opts.enable_scan_reorg),
       capacity_(opts.svc_capacity_bytes)
 {
+    auto &reg = stats::StatsRegistry::global();
+    reg_hits_ = &reg.counter("prism.svc.hits", "ops");
+    reg_misses_ = &reg.counter("prism.svc.misses", "ops");
+    reg_admissions_ = &reg.counter("prism.svc.admissions", "ops");
+    reg_evictions_ = &reg.counter("prism.svc.evictions", "ops");
+    reg_scan_reorgs_ = &reg.counter("prism.svc.scan_reorgs", "ops");
+    reg_reorged_values_ = &reg.counter("prism.svc.reorged_values", "ops");
     manager_ = std::thread([this] { managerLoop(); });
 }
 
@@ -50,17 +57,20 @@ Svc::lookup(uint64_t hsit_idx, uint64_t primary_raw, std::string *out)
     auto *e = static_cast<SvcEntry *>(hsit_.svcLoad(hsit_idx));
     if (e == nullptr) {
         stats_.misses.fetch_add(1, std::memory_order_relaxed);
+        reg_misses_->inc();
         return false;
     }
     // Staleness validation: the copy is authoritative only while the
     // forward pointer still names the record it was taken from.
     if (e->vs_raw.load(std::memory_order_acquire) != primary_raw) {
         stats_.misses.fetch_add(1, std::memory_order_relaxed);
+        reg_misses_->inc();
         return false;
     }
     out->assign(reinterpret_cast<const char *>(e->data()), e->size);
     e->referenced.store(true, std::memory_order_relaxed);
     stats_.hits.fetch_add(1, std::memory_order_relaxed);
+    reg_hits_->inc();
     return true;
 }
 
@@ -87,6 +97,7 @@ Svc::admit(uint64_t hsit_idx, uint64_t key, ValueAddr vs_addr,
         return;
     }
     stats_.admissions.fetch_add(1, std::memory_order_relaxed);
+    reg_admissions_->inc();
     {
         std::lock_guard<std::mutex> lock(ev_mu_);
         events_.push_back({EvType::kAdmit, e, {}});
@@ -314,6 +325,7 @@ Svc::evictOne()
         retireEntry(e);
     }
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    reg_evictions_->inc();
 }
 
 void
@@ -410,6 +422,8 @@ Svc::reorganizeChain(SvcEntry *evictee)
     }
     stats_.scan_reorgs.fetch_add(1, std::memory_order_relaxed);
     stats_.reorged_values.fetch_add(moved, std::memory_order_relaxed);
+    reg_scan_reorgs_->inc();
+    reg_reorged_values_->add(moved);
 }
 
 void

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/stats.h"
 #include "core/addr.h"
 #include "core/hsit.h"
 #include "core/options.h"
@@ -189,6 +190,14 @@ class Svc {
     std::unordered_set<SvcEntry *> pending_remove_;
 
     SvcStats stats_;
+
+    // Shared-by-name process-wide metrics (see common/stats.h).
+    stats::Counter *reg_hits_;
+    stats::Counter *reg_misses_;
+    stats::Counter *reg_admissions_;
+    stats::Counter *reg_evictions_;
+    stats::Counter *reg_scan_reorgs_;
+    stats::Counter *reg_reorged_values_;
 
     std::atomic<bool> stop_{false};
     std::thread manager_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "core/chunk_writer.h"
 
@@ -18,6 +19,12 @@ ValueStorage::ValueStorage(uint32_t ssd_id,
 {
     PRISM_CHECK(!metas_.empty());
     PRISM_CHECK(chunk_bytes_ % ValueAddr::kSizeUnit == 0);
+    auto &reg = stats::StatsRegistry::global();
+    reg_gc_passes_ = &reg.counter("prism.vs.gc_passes", "ops");
+    reg_gc_moved_bytes_ = &reg.counter("prism.vs.gc_moved_bytes", "bytes");
+    reg_gc_reclaimed_chunks_ =
+        &reg.counter("prism.vs.gc_reclaimed_chunks", "chunks");
+    reg_gc_pass_ns_ = &reg.histogram("prism.vs.gc_pass_ns", "ns");
     const size_t words = (unitsPerChunk() + 63) / 64;
     for (size_t i = 0; i < metas_.size(); i++) {
         metas_[i].bitmap.reset(new std::atomic<uint64_t>[words]);
@@ -222,6 +229,7 @@ ValueStorage::runGcPass(Hsit &hsit)
     std::unique_lock<std::mutex> gc_lock(gc_mu_, std::try_to_lock);
     if (!gc_lock.owns_lock())
         return 0;
+    const uint64_t gc_t0 = nowNs();
 
     // Greedy victim selection: sealed chunks with the fewest live units.
     struct Victim {
@@ -294,6 +302,10 @@ ValueStorage::runGcPass(Hsit &hsit)
     }
 
     if (!survivors.empty()) {
+        uint64_t moved = 0;
+        for (const auto &s : survivors)
+            moved += recordBytes(static_cast<uint32_t>(s.payload.size()));
+        reg_gc_moved_bytes_->add(moved);
         // Rewrite survivors within this same Value Storage (§5.2).
         ChunkWriter writer({this});
         std::vector<ValueAddr> new_addrs;
@@ -336,6 +348,9 @@ ValueStorage::runGcPass(Hsit &hsit)
         }
     }
     gc_passes_.fetch_add(1, std::memory_order_relaxed);
+    reg_gc_passes_->inc();
+    reg_gc_reclaimed_chunks_->add(reclaimed);
+    reg_gc_pass_ns_->record(nowNs() - gc_t0);
     return reclaimed;
 }
 

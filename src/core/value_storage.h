@@ -182,6 +182,12 @@ class ValueStorage {
     std::atomic<bool> stop_{false};
     std::thread completion_thread_;
     std::atomic<uint64_t> gc_passes_{0};
+
+    // Shared-by-name process-wide metrics (see common/stats.h).
+    stats::Counter *reg_gc_passes_;
+    stats::Counter *reg_gc_moved_bytes_;
+    stats::Counter *reg_gc_reclaimed_chunks_;
+    stats::LatencyStat *reg_gc_pass_ns_;
 };
 
 }  // namespace prism::core

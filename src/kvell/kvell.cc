@@ -14,6 +14,10 @@ Kvell::Kvell(const KvellOptions &opts,
     : opts_(opts), ssds_(std::move(ssds))
 {
     PRISM_CHECK(!ssds_.empty());
+    auto &reg = stats::StatsRegistry::global();
+    reg_cache_hits_ = &reg.counter("kvell.cache_hits", "ops");
+    reg_cache_misses_ = &reg.counter("kvell.cache_misses", "ops");
+    reg_worker_batch_ = &reg.histogram("kvell.worker_batch", "reqs");
     // Slot size: smallest divisor layout that fits item + header.
     const uint32_t need = opts_.item_bytes + sizeof(SlotHeader);
     uint32_t per_page = kPageBytes / need;
@@ -190,10 +194,12 @@ Kvell::cacheLookup(Worker &w, uint64_t page)
     auto it = w.cache.find(page);
     if (it == w.cache.end()) {
         stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+        reg_cache_misses_->inc();
         return nullptr;
     }
     w.cache_lru.splice(w.cache_lru.begin(), w.cache_lru, it->second.second);
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    reg_cache_hits_->inc();
     return &it->second.first;
 }
 
@@ -235,6 +241,7 @@ Kvell::workerLoop(Worker &w)
                 w.queue.pop_front();
             }
         }
+        reg_worker_batch_->record(batch.size());
         processBatch(w, batch);
     }
 }

@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "common/waiter.h"
 #include "sim/ssd_device.h"
@@ -167,6 +168,13 @@ class Kvell {
     std::vector<std::thread> completion_threads_;
     std::atomic<bool> stop_{false};
     KvellStats stats_;
+
+    // Shared-by-name process-wide metrics (see common/stats.h). The
+    // worker-batch histogram doubles as a per-shard imbalance signal:
+    // skewed shards run systematically deeper batches.
+    stats::Counter *reg_cache_hits_;
+    stats::Counter *reg_cache_misses_;
+    stats::LatencyStat *reg_worker_batch_;
 };
 
 }  // namespace prism::kvell

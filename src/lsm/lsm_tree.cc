@@ -29,6 +29,11 @@ LsmTree::LsmTree(const LsmOptions &opts,
       cache_(opts.block_cache_bytes), mem_(std::make_shared<MemTable>()),
       levels_(static_cast<size_t>(opts.max_levels))
 {
+    auto &reg = stats::StatsRegistry::global();
+    reg_flushes_ = &reg.counter("lsm.flushes", "ops");
+    reg_compactions_ = &reg.counter("lsm.compactions", "ops");
+    reg_compaction_bytes_ = &reg.counter("lsm.compaction_bytes", "bytes");
+    reg_stall_ns_ = &reg.counter("lsm.stall_ns", "ns");
     wal_ = std::make_unique<Wal>(*wal_store_, opts_.wal_bytes);
     bg_thread_ = std::thread([this] { backgroundLoop(); });
 }
@@ -122,8 +127,9 @@ LsmTree::maybeStall()
         delayFor(100 * 1000);
     }
     if (stall_start != 0) {
-        stats_.stall_ns.fetch_add(nowNs() - stall_start,
-                                  std::memory_order_relaxed);
+        const uint64_t stalled = nowNs() - stall_start;
+        stats_.stall_ns.fetch_add(stalled, std::memory_order_relaxed);
+        reg_stall_ns_->add(stalled);
     }
 }
 
@@ -344,6 +350,7 @@ LsmTree::flushOneImm()
     if (wal_clear)
         wal_->truncate();
     stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+    reg_flushes_->inc();
     bg_cv_.notify_all();
 }
 
@@ -446,6 +453,7 @@ LsmTree::mergeTables(const std::vector<std::shared_ptr<Table>> &inputs,
                             "table store out of space during compaction");
                 stats_.compaction_bytes.fetch_add(
                     table->sizeBytes(), std::memory_order_relaxed);
+                reg_compaction_bytes_->add(table->sizeBytes());
                 out.push_back(std::move(table));
                 builder = std::make_unique<TableBuilder>(
                     dest, std::max<size_t>(64, expected),
@@ -459,6 +467,7 @@ LsmTree::mergeTables(const std::vector<std::shared_ptr<Table>> &inputs,
                     "table store out of space during compaction");
         stats_.compaction_bytes.fetch_add(table->sizeBytes(),
                                           std::memory_order_relaxed);
+        reg_compaction_bytes_->add(table->sizeBytes());
         out.push_back(std::move(table));
     }
 }
@@ -547,6 +556,7 @@ LsmTree::compactL0()
     for (const auto &t : inputs)
         cache_.eraseTable(t->id());
     stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+    reg_compactions_->inc();
     bg_cv_.notify_all();
 }
 
@@ -609,6 +619,7 @@ LsmTree::compactLevel(int level)
     for (const auto &t : inputs)
         cache_.eraseTable(t->id());
     stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+    reg_compactions_->inc();
     bg_cv_.notify_all();
 }
 

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "lsm/memtable.h"
 #include "lsm/sstable.h"
@@ -164,6 +165,12 @@ class LsmTree {
     std::thread bg_thread_;
 
     LsmStats stats_;
+
+    // Shared-by-name process-wide metrics (see common/stats.h).
+    stats::Counter *reg_flushes_;
+    stats::Counter *reg_compactions_;
+    stats::Counter *reg_compaction_bytes_;
+    stats::Counter *reg_stall_ns_;
 };
 
 }  // namespace prism::lsm

@@ -4,10 +4,37 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/stats.h"
 
 namespace prism::lsm {
 
 namespace {
+
+// Process-wide registry metrics; function-local statics keep the
+// registry lookup to one lock acquisition per process.
+stats::Counter &
+blockCacheHits()
+{
+    static stats::Counter &c =
+        stats::StatsRegistry::global().counter("lsm.block_cache.hits", "ops");
+    return c;
+}
+
+stats::Counter &
+blockCacheMisses()
+{
+    static stats::Counter &c = stats::StatsRegistry::global().counter(
+        "lsm.block_cache.misses", "ops");
+    return c;
+}
+
+stats::Counter &
+bloomNegatives()
+{
+    static stats::Counter &c = stats::StatsRegistry::global().counter(
+        "lsm.bloom_negatives", "ops");
+    return c;
+}
 
 /** On-storage record header inside a block. */
 struct RecordHeader {
@@ -34,10 +61,12 @@ BlockCache::get(uint64_t table_id, uint32_t block)
     auto it = map_.find(keyOf(table_id, block));
     if (it == map_.end()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        blockCacheMisses().inc();
         return nullptr;
     }
     lru_.splice(lru_.begin(), lru_, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    blockCacheHits().inc();
     return it->second->data;
 }
 
@@ -185,8 +214,13 @@ Table::readBlock(uint32_t index, BlockCache *cache) const
 std::optional<Entry>
 Table::get(uint64_t key, BlockCache *cache) const
 {
-    if (key < min_key_ || key > max_key_ || !bloom_.mayContain(key))
+    if (key < min_key_ || key > max_key_)
         return std::nullopt;
+    if (!bloom_.mayContain(key)) {
+        // In key range but rejected by the filter: a saved block read.
+        bloomNegatives().inc();
+        return std::nullopt;
+    }
     // Find the last block whose first key is <= key.
     auto it = std::upper_bound(first_keys_.begin(), first_keys_.end(), key);
     if (it == first_keys_.begin())

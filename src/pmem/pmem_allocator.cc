@@ -6,7 +6,12 @@
 
 namespace prism::pmem {
 
-PmemAllocator::PmemAllocator(PmemRegion &region) : region_(region) {}
+PmemAllocator::PmemAllocator(PmemRegion &region)
+    : region_(region),
+      reg_alloc_bytes_(
+          &stats::StatsRegistry::global().gauge("pmem.alloc_bytes", "bytes"))
+{
+}
 
 int
 PmemAllocator::classFor(size_t size)
@@ -37,6 +42,7 @@ PmemAllocator::alloc(size_t size)
         const POff off = sc.free_list.back();
         sc.free_list.pop_back();
         allocated_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        reg_alloc_bytes_->add(static_cast<int64_t>(bytes));
         return off;
     }
     if (sc.slab_cursor == kNullOff || sc.slab_cursor + bytes > sc.slab_end) {
@@ -54,6 +60,7 @@ PmemAllocator::alloc(size_t size)
     const POff off = sc.slab_cursor;
     sc.slab_cursor += bytes;
     allocated_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    reg_alloc_bytes_->add(static_cast<int64_t>(bytes));
     return off;
 }
 
@@ -68,14 +75,17 @@ PmemAllocator::free(POff off, size_t size)
     std::lock_guard<std::mutex> lock(sc.mu);
     sc.free_list.push_back(off);
     allocated_bytes_.fetch_sub(classSize(cls), std::memory_order_relaxed);
+    reg_alloc_bytes_->sub(static_cast<int64_t>(classSize(cls)));
 }
 
 POff
 PmemAllocator::allocRaw(uint64_t bytes)
 {
     const POff off = region_.advanceHighWater(bytes);
-    if (off != kNullOff)
+    if (off != kNullOff) {
         allocated_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        reg_alloc_bytes_->add(static_cast<int64_t>(bytes));
+    }
     return off;
 }
 

@@ -76,6 +76,7 @@ class PmemAllocator {
     PmemRegion &region_;
     std::array<SizeClass, kNumClasses> classes_;
     std::atomic<uint64_t> allocated_bytes_{0};
+    stats::Gauge *reg_alloc_bytes_;  ///< process-wide "pmem.alloc_bytes"
 };
 
 }  // namespace prism::pmem

@@ -13,6 +13,9 @@ PmemRegion::PmemRegion(std::shared_ptr<sim::NvmDevice> device, bool format)
       staged_(ThreadId::kMaxThreads)
 {
     PRISM_CHECK(device_->capacity() > sizeof(RegionHeader));
+    auto &reg = stats::StatsRegistry::global();
+    reg_flushes_ = &reg.counter("pmem.flushes", "ops");
+    reg_fences_ = &reg.counter("pmem.fences", "ops");
     if (format) {
         auto *h = header();
         h->magic = kMagic;
@@ -39,6 +42,7 @@ void
 PmemRegion::flush(const void *addr, size_t len)
 {
     flush_count_.fetch_add(1, std::memory_order_relaxed);
+    reg_flushes_->inc();
     if (!tracking_.load(std::memory_order_acquire)) {
         // Fast mode: model the clwb write-back cost only.
         device_->chargeWrite(len);
@@ -55,6 +59,7 @@ void
 PmemRegion::fence()
 {
     fence_count_.fetch_add(1, std::memory_order_relaxed);
+    reg_fences_->inc();
     if (!tracking_.load(std::memory_order_acquire))
         return;
     auto &mine = staged_[static_cast<size_t>(ThreadId::self())].ranges;

@@ -29,6 +29,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "sim/nvm_device.h"
 
@@ -199,6 +200,8 @@ class PmemRegion {
 
     std::atomic<uint64_t> flush_count_{0};
     std::atomic<uint64_t> fence_count_{0};
+    stats::Counter *reg_flushes_;  ///< process-wide "pmem.flushes"
+    stats::Counter *reg_fences_;   ///< process-wide "pmem.fences"
 
     // Staged-but-unfenced lines, per thread (indexed by ThreadId).
     struct alignas(64) Staged {

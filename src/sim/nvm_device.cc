@@ -15,6 +15,11 @@ NvmDevice::NvmDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
       base_(new uint8_t[capacity_bytes])
 {
     PRISM_CHECK(capacity_bytes > 0);
+    auto &reg = stats::StatsRegistry::global();
+    reg_bytes_read_ = &reg.counter("sim.nvm.bytes_read", "bytes");
+    reg_bytes_written_ = &reg.counter("sim.nvm.bytes_written", "bytes");
+    reg_read_ops_ = &reg.counter("sim.nvm.read_ops", "ops");
+    reg_write_ops_ = &reg.counter("sim.nvm.write_ops", "ops");
     std::memset(base_.get(), 0, capacity_bytes);
 }
 
@@ -32,6 +37,8 @@ NvmDevice::chargeRead(uint64_t bytes)
 {
     stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
     stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
+    reg_bytes_read_->add(bytes);
+    reg_read_ops_->inc();
     if (!model_timing_.load(std::memory_order_relaxed))
         return;
     // Media latency plus transfer time at device read bandwidth. DCPMM
@@ -46,6 +53,8 @@ NvmDevice::chargeWrite(uint64_t bytes)
 {
     stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
     stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
+    reg_bytes_written_->add(bytes);
+    reg_write_ops_->inc();
     if (!model_timing_.load(std::memory_order_relaxed))
         return;
     const auto transfer_ns = static_cast<uint64_t>(

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/stats.h"
 #include "sim/device_profile.h"
 
 namespace prism::sim {
@@ -79,6 +80,12 @@ class NvmDevice {
     std::atomic<bool> model_timing_;
     std::unique_ptr<uint8_t[]> base_;
     NvmStats stats_;
+
+    // Shared-by-name process-wide metrics (see common/stats.h).
+    stats::Counter *reg_bytes_read_;
+    stats::Counter *reg_bytes_written_;
+    stats::Counter *reg_read_ops_;
+    stats::Counter *reg_write_ops_;
 };
 
 }  // namespace prism::sim

@@ -17,6 +17,13 @@ SsdDevice::SsdDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
       channel_free_at_(static_cast<size_t>(profile.internal_parallelism), 0)
 {
     PRISM_CHECK(capacity_bytes > 0);
+    auto &reg = stats::StatsRegistry::global();
+    reg_bytes_read_ = &reg.counter("sim.ssd.bytes_read", "bytes");
+    reg_bytes_written_ = &reg.counter("sim.ssd.bytes_written", "bytes");
+    reg_read_ops_ = &reg.counter("sim.ssd.read_ops", "ops");
+    reg_write_ops_ = &reg.counter("sim.ssd.write_ops", "ops");
+    reg_inflight_ = &reg.gauge("sim.ssd.inflight", "reqs");
+    reg_latency_ = &reg.histogram("sim.ssd.latency_ns", "ns");
     for (auto &p : pages_)
         p.store(nullptr, std::memory_order_relaxed);
     // Token-bucket rates are fixed at construction; benches set TimeScale
@@ -139,12 +146,16 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
             stats_.bytes_written.fetch_add(req.length,
                                            std::memory_order_relaxed);
             stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
+            reg_bytes_written_->add(req.length);
+            reg_write_ops_->inc();
         } else {
             PRISM_DCHECK(req.buf != nullptr);
             copyOut(req.offset, req.buf, req.length);
             stats_.bytes_read.fetch_add(req.length,
                                         std::memory_order_relaxed);
             stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
+            reg_bytes_read_->add(req.length);
+            reg_read_ops_->inc();
         }
     }
 
@@ -152,6 +163,7 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
     const uint64_t depth =
         inflight_.fetch_add(batch.size(), std::memory_order_acq_rel) +
         batch.size();
+    reg_inflight_->add(static_cast<int64_t>(batch.size()));
     uint64_t prev_max = stats_.max_queue_depth.load(
         std::memory_order_relaxed);
     while (depth > prev_max &&
@@ -164,6 +176,7 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
         for (const auto &req : batch)
             cq_.push_back({req.user_data, Status::ok(), 0});
         inflight_.fetch_sub(batch.size(), std::memory_order_acq_rel);
+        reg_inflight_->sub(static_cast<int64_t>(batch.size()));
         cq_cv_.notify_all();
         return Status::ok();
     }
@@ -216,10 +229,12 @@ SsdDevice::workerLoop()
             std::lock_guard<std::mutex> cq_lock(cq_mu_);
             for (auto &p : ready) {
                 p.completion.latency_ns = now - p.submit_ns;
+                reg_latency_->record(p.completion.latency_ns);
                 cq_.push_back(p.completion);
             }
         }
         inflight_.fetch_sub(ready.size(), std::memory_order_acq_rel);
+        reg_inflight_->sub(static_cast<int64_t>(ready.size()));
         cq_cv_.notify_all();
         lock.lock();
     }
@@ -257,6 +272,8 @@ SsdDevice::readSync(uint64_t offset, void *buf, uint32_t length)
     copyOut(offset, buf, length);
     stats_.bytes_read.fetch_add(length, std::memory_order_relaxed);
     stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
+    reg_bytes_read_->add(length);
+    reg_read_ops_->inc();
     if (model_timing_.load(std::memory_order_relaxed)) {
         SsdIoRequest req;
         req.op = SsdIoRequest::Op::kRead;
@@ -274,6 +291,8 @@ SsdDevice::writeSync(uint64_t offset, const void *src, uint32_t length)
     copyIn(offset, src, length);
     stats_.bytes_written.fetch_add(length, std::memory_order_relaxed);
     stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
+    reg_bytes_written_->add(length);
+    reg_write_ops_->inc();
     if (model_timing_.load(std::memory_order_relaxed)) {
         SsdIoRequest req;
         req.op = SsdIoRequest::Op::kWrite;
@@ -294,6 +313,7 @@ SsdDevice::simulateCrash()
     dropped += cq_.size();
     cq_.clear();
     inflight_.fetch_sub(dropped, std::memory_order_acq_rel);
+    reg_inflight_->sub(static_cast<int64_t>(dropped));
     std::fill(channel_free_at_.begin(), channel_free_at_.end(), 0);
 }
 

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "common/token_bucket.h"
 #include "sim/device_profile.h"
@@ -203,6 +204,16 @@ class SsdDevice {
     std::thread worker_;
 
     SsdStats stats_;
+
+    // Process-wide registry metrics, shared by name across all SSD
+    // instances so multi-device totals aggregate naturally (Fig. 12 WAF
+    // inputs). Cached once at construction; see common/stats.h.
+    stats::Counter *reg_bytes_read_;
+    stats::Counter *reg_bytes_written_;
+    stats::Counter *reg_read_ops_;
+    stats::Counter *reg_write_ops_;
+    stats::Gauge *reg_inflight_;
+    stats::LatencyStat *reg_latency_;
 };
 
 }  // namespace prism::sim

@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/stats.h"
 
 namespace prism::ycsb {
 
@@ -42,6 +43,10 @@ loadPhase(KvStore &store, const WorkloadSpec &spec, int threads)
         result.overall.merge(h);
         result.writes.merge(h);
     }
+    // Fold into the registry off the hot path (one merge per phase).
+    stats::StatsRegistry::global()
+        .histogram("ycsb.load.latency_ns", "ns")
+        .mergeFrom(result.overall);
     return result;
 }
 
@@ -137,6 +142,14 @@ runPhase(KvStore &store, const WorkloadSpec &spec, int threads,
         result.scans.merge(st.scans);
     }
     result.ops = result.overall.count();
+
+    // Fold into the registry off the hot path (one merge per phase).
+    auto &reg = stats::StatsRegistry::global();
+    reg.histogram("ycsb.run.latency_ns", "ns").mergeFrom(result.overall);
+    reg.histogram("ycsb.run.read_latency_ns", "ns").mergeFrom(result.reads);
+    reg.histogram("ycsb.run.write_latency_ns", "ns")
+        .mergeFrom(result.writes);
+    reg.histogram("ycsb.run.scan_latency_ns", "ns").mergeFrom(result.scans);
     return result;
 }
 

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 
 namespace prism::ycsb {
@@ -36,6 +37,15 @@ class KvStore {
 
     /** Bytes of user values written (WAF denominator). */
     virtual uint64_t userBytesWritten() const { return 0; }
+
+    /**
+     * Snapshot of the process-wide metrics registry. Every store in this
+     * process instruments into the same registry, so the default is
+     * correct for all adapters (docs/OBSERVABILITY.md lists the names).
+     */
+    virtual stats::StatsSnapshot stats() const {
+        return stats::StatsRegistry::global().snapshot();
+    }
 };
 
 }  // namespace prism::ycsb

@@ -70,7 +70,7 @@ class PrismStore : public KvStore {
         return db_->ssdBytesWritten();
     }
     uint64_t userBytesWritten() const override {
-        return db_->stats().user_bytes_written.load(
+        return db_->opStats().user_bytes_written.load(
             std::memory_order_relaxed);
     }
 

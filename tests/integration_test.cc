@@ -11,8 +11,11 @@
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "common/rand.h"
+#include "common/stats.h"
 #include "core/prism_db.h"
 #include "sim/device_profile.h"
+#include "ycsb/driver.h"
+#include "ycsb/stores.h"
 
 namespace prism {
 namespace {
@@ -257,6 +260,76 @@ TEST(IntegrationTest, ConcurrentMixedWorkloadStaysConsistent)
     stop.store(true);
     for (auto &t : threads)
         t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry consistency (docs/OBSERVABILITY.md)
+
+TEST(IntegrationTest, PeriodicStatsDumperStartsAndStopsCleanly)
+{
+    core::PrismOptions opts;
+    opts.stats_dump_interval_ms = 5;
+    opts.stats_dump_json = true;
+    Rig rig(opts);
+    for (uint64_t k = 0; k < 100; k++)
+        ASSERT_TRUE(rig.db->put(k, "dump").isOk());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    // Destruction must join the dumper without deadlock; rely on the
+    // test timeout to catch a hang.
+    rig.db.reset();
+}
+
+TEST(IntegrationTest, RegistryStaysConsistentAcrossYcsbRun)
+{
+    ycsb::FixtureOptions fx;
+    fx.num_ssds = 2;
+    fx.dataset_bytes = 8ull << 20;
+    fx.ssd_bytes = 64ull << 20;
+    fx.model_timing = false;
+    ycsb::PrismStore store(fx, core::PrismOptions{});
+
+    constexpr uint64_t kRecords = 2000;
+    constexpr uint32_t kValueBytes = 512;
+    const auto start = stats::StatsRegistry::global().snapshot();
+
+    ycsb::WorkloadSpec load =
+        ycsb::WorkloadSpec::forMix(ycsb::Mix::kLoad, kRecords, 0);
+    load.value_bytes = kValueBytes;
+    ycsb::loadPhase(store, load, 2);
+    store.flushAll();
+
+    const auto before = stats::StatsRegistry::global().snapshot();
+    ycsb::WorkloadSpec run =
+        ycsb::WorkloadSpec::forMix(ycsb::Mix::kA, kRecords, 4000, 0.99);
+    run.value_bytes = kValueBytes;
+    ycsb::runPhase(store, run, 2);
+    store.flushAll();
+    const auto after = stats::StatsRegistry::global().snapshot();
+
+    // YCSB A has no scans and every key was loaded, so each get is
+    // classified as exactly one of SVC hit or SVC miss.
+    const uint64_t gets = after.counterDelta(before, "prism.gets");
+    EXPECT_GT(gets, 0u);
+    EXPECT_EQ(after.counterDelta(before, "prism.svc.hits") +
+                  after.counterDelta(before, "prism.svc.misses"),
+              gets);
+    EXPECT_GT(after.counterDelta(before, "prism.svc.hits"), 0u);
+    EXPECT_GT(after.counterDelta(before, "prism.pwb.appends"), 0u);
+
+    // The devices must have absorbed at least the live dataset: after
+    // flushAll every live value has been written to SSD once or more.
+    EXPECT_GE(after.counterDelta(start, "sim.ssd.bytes_written"),
+              kRecords * kValueBytes);
+
+    // The driver folded its phase histograms into the registry.
+    const stats::MetricSnapshot *load_lat =
+        after.histogram("ycsb.load.latency_ns");
+    ASSERT_NE(load_lat, nullptr);
+    EXPECT_GE(load_lat->count, kRecords);
+    const stats::MetricSnapshot *run_lat =
+        after.histogram("ycsb.run.latency_ns");
+    ASSERT_NE(run_lat, nullptr);
+    EXPECT_GT(run_lat->count, 0u);
 }
 
 }  // namespace

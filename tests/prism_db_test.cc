@@ -108,7 +108,7 @@ TEST(PrismDbTest, ManyKeysSurviveReclamation)
         ASSERT_TRUE(ts.db->get(k, &v).isOk()) << k;
         EXPECT_EQ(v, valueFor(k)) << k;
     }
-    EXPECT_GT(ts.db->stats().reclaim_passes.load(), 0u);
+    EXPECT_GT(ts.db->opStats().reclaim_passes.load(), 0u);
 }
 
 TEST(PrismDbTest, UpdatesDedupOnReclaim)
@@ -121,7 +121,7 @@ TEST(PrismDbTest, UpdatesDedupOnReclaim)
             ASSERT_TRUE(ts.db->put(k, valueFor(k + round)).isOk());
     }
     ts.db->flushAll();
-    EXPECT_GT(ts.db->stats().reclaim_skipped_stale.load(), 0u);
+    EXPECT_GT(ts.db->opStats().reclaim_skipped_stale.load(), 0u);
     for (uint64_t k = 0; k < 100; k++) {
         std::string v;
         ASSERT_TRUE(ts.db->get(k, &v).isOk());
@@ -155,7 +155,7 @@ TEST(PrismDbTest, ScanAfterReclaimReadsFromSsd)
     ASSERT_EQ(out.size(), 50u);
     for (const auto &[k, v] : out)
         EXPECT_EQ(v, valueFor(k));
-    EXPECT_GT(ts.db->stats().vs_reads.load(), 0u);
+    EXPECT_GT(ts.db->opStats().vs_reads.load(), 0u);
 }
 
 TEST(PrismDbTest, RestartRecoversData)
@@ -350,10 +350,10 @@ TEST(PrismDbTest, StatsAccounting)
     std::string v;
     for (uint64_t k = 0; k < 100; k++)
         ASSERT_TRUE(ts.db->get(k, &v).isOk());
-    EXPECT_EQ(ts.db->stats().puts.load(), 100u);
-    EXPECT_EQ(ts.db->stats().gets.load(), 100u);
+    EXPECT_EQ(ts.db->opStats().puts.load(), 100u);
+    EXPECT_EQ(ts.db->opStats().gets.load(), 100u);
     // All values still in PWB: reads are NVM hits.
-    EXPECT_EQ(ts.db->stats().pwb_hits.load(), 100u);
+    EXPECT_EQ(ts.db->opStats().pwb_hits.load(), 100u);
     EXPECT_GT(ts.db->nvmIndexBytes(), 0u);
 }
 
