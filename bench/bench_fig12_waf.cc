@@ -37,15 +37,26 @@ main(int argc, char **argv)
                 store->flushAll();
                 const uint64_t ssd = store->ssdBytesWritten() - ssd0;
                 const uint64_t usr = store->userBytesWritten() - usr0;
+                const double waf = usr ? static_cast<double>(ssd) /
+                                             static_cast<double>(usr)
+                                       : 0.0;
                 std::printf("%-10s value=%4uB zipf=%.2f  WAF=%6.2f  "
                             "(ssd=%.1fMB user=%.1fMB)\n",
-                            name, value_bytes, theta,
-                            usr ? static_cast<double>(ssd) /
-                                      static_cast<double>(usr)
-                                : 0.0,
+                            name, value_bytes, theta, waf,
                             static_cast<double>(ssd) / 1e6,
                             static_cast<double>(usr) / 1e6);
                 std::fflush(stdout);
+                char row[256];
+                std::snprintf(
+                    row, sizeof(row),
+                    "{\"figure\": \"fig12\", \"store\": \"%s\", "
+                    "\"value_bytes\": %u, \"zipf\": %.2f, "
+                    "\"waf\": %.3f, \"ssd_mb\": %.1f, "
+                    "\"user_mb\": %.1f}",
+                    name, value_bytes, theta, waf,
+                    static_cast<double>(ssd) / 1e6,
+                    static_cast<double>(usr) / 1e6);
+                benchJsonRow(row);
             }
         }
     }

@@ -42,10 +42,31 @@ main(int argc, char **argv)
                 s.threads = threads;
                 const uint64_t ops =
                     mix == Mix::kE ? s.ops / 10 : s.ops;
+                const auto snap0 =
+                    stats::StatsRegistry::global().snapshot();
                 const RunResult r = runMix(*store, mix, s, 0.99, ops);
+                const auto snap1 =
+                    stats::StatsRegistry::global().snapshot();
                 std::printf("  t%d=%8.1fK", threads,
                             r.throughput() / 1e3);
                 std::fflush(stdout);
+                char row[512];
+                std::snprintf(
+                    row, sizeof(row),
+                    "{\"figure\": \"fig16\", \"store\": \"%s\", "
+                    "\"mix\": \"%s\", \"threads\": %d, "
+                    "\"kops\": %.1f, \"pwb_stalls\": %llu, "
+                    "\"reclaim_dispatches\": %llu, "
+                    "\"bg_tasks\": %llu}",
+                    name, ycsb::mixName(mix), threads,
+                    r.throughput() / 1e3,
+                    static_cast<unsigned long long>(snap1.counterDelta(
+                        snap0, "prism.pwb.stalls")),
+                    static_cast<unsigned long long>(snap1.counterDelta(
+                        snap0, "prism.pwb.reclaim_dispatches")),
+                    static_cast<unsigned long long>(
+                        snap1.counterDelta(snap0, "prism.bg.tasks")));
+                benchJsonRow(row);
             }
             std::printf("\n");
         }

@@ -102,6 +102,32 @@ maybeDumpStatsAtExit(int argc, char **argv)
 
 /** @} */
 
+/**
+ * @name Machine-readable results (`PRISM_BENCH_JSON`)
+ *
+ * When `PRISM_BENCH_JSON=<path>` is set, benches that support it append
+ * one complete JSON object per result row to that file (JSON-lines).
+ * Each row carries a `"figure"` tag so a harness can regroup rows from
+ * several binaries into one document; `run_benches.sh` assembles them
+ * into `BENCH_pr2.json`.
+ * @{
+ */
+
+inline void
+benchJsonRow(const std::string &obj)
+{
+    const char *path = std::getenv("PRISM_BENCH_JSON");
+    if (path == nullptr || *path == '\0')
+        return;
+    FILE *f = std::fopen(path, "a");
+    if (f == nullptr)
+        return;
+    std::fprintf(f, "%s\n", obj.c_str());
+    std::fclose(f);
+}
+
+/** @} */
+
 /** Common bench scale. */
 struct BenchScale {
     uint64_t records = envOr("PRISM_BENCH_RECORDS", 100000);

@@ -1,10 +1,53 @@
 #!/bin/bash
-# Runs every bench binary sequentially, echoing a banner per binary.
+# Runs bench binaries sequentially, echoing a banner per binary, and
+# assembles the machine-readable rows the benches emit (via
+# PRISM_BENCH_JSON, see bench/bench_util.h) into BENCH_pr2.json:
+# fig16 scalability (throughput + pwb_stalls per thread count) and the
+# fig12 WAF summary.
+#
+# Usage: ./run_benches.sh [name-filter ...]
+#   With no arguments every build/bench/* binary runs; otherwise only
+#   binaries whose basename contains one of the filters, e.g.
+#   `./run_benches.sh fig16 fig12` for just the BENCH_pr2.json inputs.
 cd /root/repo
+
+ROWS=$(mktemp /tmp/prism_bench_rows.XXXXXX)
+trap 'rm -f "$ROWS"' EXIT
+export PRISM_BENCH_JSON="$ROWS"
+
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
+  if [ "$#" -gt 0 ]; then
+    keep=0
+    for f in "$@"; do
+      case "$(basename "$b")" in *"$f"*) keep=1 ;; esac
+    done
+    [ "$keep" = 1 ] || continue
+  fi
   echo ""
   echo "##### $(basename $b) #####"
   timeout 1800 "$b" 2>&1
   echo "##### exit=$? #####"
 done
+
+# Regroup the JSON-lines rows by figure into one document.
+if [ -s "$ROWS" ]; then
+  awk '
+    /"figure": "fig16"/ { f16[n16++] = $0 }
+    /"figure": "fig12"/ { f12[n12++] = $0 }
+    END {
+      print "{"
+      printf "  \"fig16_scalability\": [\n"
+      for (i = 0; i < n16; i++)
+        printf "    %s%s\n", f16[i], (i + 1 < n16 ? "," : "")
+      print "  ],"
+      printf "  \"fig12_waf\": [\n"
+      for (i = 0; i < n12; i++)
+        printf "    %s%s\n", f12[i], (i + 1 < n12 ? "," : "")
+      print "  ]"
+      print "}"
+    }
+  ' "$ROWS" > BENCH_pr2.json
+  echo ""
+  echo "##### wrote BENCH_pr2.json ($(grep -c '"figure"' "$ROWS") rows) #####"
+fi

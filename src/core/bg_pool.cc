@@ -1,0 +1,152 @@
+#include "core/bg_pool.h"
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace prism::core {
+
+BgPool::BgPool(int workers)
+{
+    PRISM_CHECK(workers >= 0);
+    auto &reg = stats::StatsRegistry::global();
+    reg_tasks_ = &reg.counter("prism.bg.tasks", "ops");
+    reg_task_ns_ = &reg.histogram("prism.bg.task_ns", "ns");
+    reg_queue_depth_ = &reg.gauge("prism.bg.queue_depth", "tasks");
+    reg_worker_busy_ns_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; i++) {
+        reg_worker_busy_ns_.push_back(&reg.counter(
+            "prism.bg.worker" + std::to_string(i) + ".busy_ns", "ns"));
+    }
+    threads_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; i++)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+BgPool::~BgPool()
+{
+    shutdown();
+}
+
+void
+BgPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_)
+            return;
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+    // Tasks queued after the last worker exited (or with no workers ever
+    // started) still run, on this thread, so submitters' completion
+    // bookkeeping (pending flags, parallelFor counters) settles.
+    while (true) {
+        std::function<void()> fn;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (queue_.empty())
+                break;
+            fn = std::move(queue_.front());
+            queue_.pop_front();
+            reg_queue_depth_->sub(1);
+        }
+        runTask(fn, nullptr);
+    }
+}
+
+void
+BgPool::submit(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!threads_.empty() && !stop_) {
+            queue_.push_back(std::move(fn));
+            reg_queue_depth_->add(1);
+            cv_.notify_one();
+            return;
+        }
+    }
+    // No workers (bg_workers=0 config) or already shut down: degrade to
+    // synchronous execution so callers never lose work.
+    runTask(fn, nullptr);
+}
+
+void
+BgPool::runTask(std::function<void()> &fn, stats::Counter *busy_ns)
+{
+    const uint64_t t0 = nowNs();
+    fn();
+    const uint64_t dt = nowNs() - t0;
+    if (busy_ns != nullptr)
+        busy_ns->add(dt);
+    reg_task_ns_->record(dt);
+    reg_tasks_->inc();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+BgPool::workerLoop(int idx)
+{
+    stats::Counter *busy = reg_worker_busy_ns_[static_cast<size_t>(idx)];
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        // Drain the queue even when stopping: shutdown() promises every
+        // queued task runs before the join returns.
+        if (queue_.empty())
+            return;  // stop_ must be set
+        std::function<void()> fn = std::move(queue_.front());
+        queue_.pop_front();
+        reg_queue_depth_->sub(1);
+        lock.unlock();
+        runTask(fn, busy);
+        lock.lock();
+    }
+}
+
+void
+BgPool::helpWith(const std::shared_ptr<PfState> &st)
+{
+    size_t i;
+    while ((i = st->next.fetch_add(1, std::memory_order_relaxed)) <
+           st->n) {
+        st->fn(i);
+        if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            st->n) {
+            st->done.notify_all();
+        }
+    }
+}
+
+void
+BgPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1 || threads_.empty()) {
+        for (size_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+    auto st = std::make_shared<PfState>();
+    st->n = n;
+    st->fn = fn;
+    // One helper per remaining index beyond the caller's own share; each
+    // helper claims indices until none remain, so excess helpers cost
+    // one no-op task.
+    const size_t helpers =
+        std::min(n - 1, static_cast<size_t>(threads_.size()));
+    for (size_t i = 0; i < helpers; i++)
+        submit([st] { helpWith(st); });
+    helpWith(st);  // the caller claims indices too — never blocks idle
+    size_t d;
+    while ((d = st->done.load(std::memory_order_acquire)) < n)
+        st->done.wait(d, std::memory_order_acquire);
+}
+
+}  // namespace prism::core

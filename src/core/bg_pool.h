@@ -1,0 +1,109 @@
+/**
+ * @file
+ * BgPool — the background I/O worker pool (§5.2).
+ *
+ * Prism's performance argument rests on *background* machinery keeping
+ * up with the NVM-speed write path: PWB reclamation streams chunk-sized
+ * sequential writes to many SSDs, and Value Storage GC runs per SSD.
+ * Both are embarrassingly parallel across PWBs / Value Storages, so
+ * they run as tasks on this shared pool (sized by
+ * PrismOptions::bg_workers) instead of on two lone threads.
+ *
+ * Two entry points:
+ *  - submit(): fire-and-forget (reclaim passes, GC passes). With zero
+ *    workers the task runs inline on the caller, which degenerates to
+ *    the old single-threaded background behaviour.
+ *  - parallelFor(): fan an index range out over the workers and block
+ *    until every index ran. The caller *helps* (it claims indices like
+ *    any worker), so the call makes progress even when every pool
+ *    worker is busy — including when it is issued from inside a pool
+ *    task (the GC fallback inside a reclamation pass does exactly
+ *    that). This makes parallelFor deadlock-free by construction.
+ *
+ * Observability (docs/OBSERVABILITY.md): prism.bg.tasks,
+ * prism.bg.task_ns, prism.bg.queue_depth, and per-worker
+ * prism.bg.worker<i>.busy_ns.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace prism::core {
+
+/** Fixed-size worker pool for background reclamation and GC tasks. */
+class BgPool {
+  public:
+    /** @param workers thread count; 0 = run every task inline. */
+    explicit BgPool(int workers);
+    ~BgPool();
+
+    BgPool(const BgPool &) = delete;
+    BgPool &operator=(const BgPool &) = delete;
+
+    /**
+     * Enqueue @p fn for a worker. Runs inline when the pool has no
+     * workers. Tasks must not assume any ordering between each other.
+     */
+    void submit(std::function<void()> fn);
+
+    /**
+     * Run fn(0..n-1) across the workers and the calling thread, then
+     * return once all n indices completed. Safe to call from inside a
+     * pool task: the caller claims indices itself, so saturation of the
+     * pool delays but never deadlocks the call.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Drain every queued task and join the workers. Idempotent; called
+     * by the destructor. Owners call it explicitly before tearing down
+     * state the tasks reference.
+     */
+    void shutdown();
+
+    int workers() const { return static_cast<int>(threads_.size()); }
+
+    /** Tasks executed so far (queued + inline), for tests. */
+    uint64_t tasksRun() const {
+        return tasks_run_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** Shared state of one parallelFor call. */
+    struct PfState {
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        size_t n;
+        std::function<void(size_t)> fn;
+    };
+
+    void workerLoop(int idx);
+    void runTask(std::function<void()> &fn, stats::Counter *busy_ns);
+    static void helpWith(const std::shared_ptr<PfState> &st);
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+
+    std::atomic<uint64_t> tasks_run_{0};
+
+    // Shared-by-name process-wide metrics (see common/stats.h).
+    stats::Counter *reg_tasks_;
+    stats::LatencyStat *reg_task_ns_;
+    stats::Gauge *reg_queue_depth_;
+    std::vector<stats::Counter *> reg_worker_busy_ns_;
+};
+
+}  // namespace prism::core

@@ -6,11 +6,15 @@
 
 namespace prism::core {
 
-ChunkWriter::ChunkWriter(std::vector<ValueStorage *> targets, uint64_t seed)
+ChunkWriter::ChunkWriter(std::vector<ValueStorage *> targets, uint64_t seed,
+                         int max_inflight)
     : targets_(std::move(targets)), rng_(seed),
-      chunk_bytes_(targets_.empty() ? 0 : targets_[0]->chunkBytes())
+      chunk_bytes_(targets_.empty() ? 0 : targets_[0]->chunkBytes()),
+      max_inflight_(max_inflight)
 {
     PRISM_CHECK(!targets_.empty());
+    reg_inflight_ = &stats::StatsRegistry::global().gauge(
+        "prism.chunkwriter.inflight", "chunks");
 }
 
 ChunkWriter::~ChunkWriter()
@@ -55,6 +59,7 @@ ChunkWriter::openChunk()
     cur_vs_ = pick;
     cur_chunk_ = chunk;
     cur_used_ = 0;
+    cur_first_record_ = records_added_;
     if (!cur_buf_)
         cur_buf_.reset(new uint8_t[chunk_bytes_]);
     return true;
@@ -91,7 +96,33 @@ ChunkWriter::add(uint64_t hsit_idx, uint64_t key, const void *data,
     const uint64_t dev_off =
         static_cast<uint64_t>(cur_chunk_) * chunk_bytes_ + cur_used_;
     cur_used_ += static_cast<uint32_t>(bytes);
+    records_added_++;
     return ValueAddr::vs(cur_vs_->ssdId(), dev_off, bytes);
+}
+
+void
+ChunkWriter::reapFront(bool block)
+{
+    InFlight &f = inflight_.front();
+    if (block)
+        f.ticket->wait();
+    reg_inflight_->sub(1);
+    if (callback_)
+        callback_(f.vs, f.chunk, f.first_record, f.record_count);
+    inflight_.pop_front();  // releases the chunk buffer
+}
+
+size_t
+ChunkWriter::pollCompleted()
+{
+    // Submission order keeps the caller's record bookkeeping simple; an
+    // out-of-order completion is reaped once everything ahead of it is.
+    size_t reaped = 0;
+    while (!inflight_.empty() && inflight_.front().ticket->done()) {
+        reapFront(/*block=*/false);
+        reaped++;
+    }
+    return reaped;
 }
 
 Status
@@ -105,15 +136,28 @@ ChunkWriter::submitCurrent()
     f.used = cur_used_;
     f.buf = std::move(cur_buf_);
     f.ticket = std::make_unique<WriteTicket>();
+    f.first_record = cur_first_record_;
+    f.record_count = records_added_ - cur_first_record_;
     const Status st =
         f.vs->submitChunkWrite(f.chunk, f.buf.get(), f.used, f.ticket.get());
     if (!st.isOk())
         return st;
     f.vs->sealChunk(f.chunk, f.used);
-    submitted_.push_back(std::move(f));
+    written_.emplace_back(f.vs, f.chunk);
+    submitted_records_ += f.record_count;
+    reg_inflight_->add(1);
+    inflight_.push_back(std::move(f));
     cur_vs_ = nullptr;
     cur_chunk_ = -1;
     cur_used_ = 0;
+
+    // Pipeline discipline: reap whatever already completed, then bound
+    // the outstanding window by blocking on the oldest write.
+    pollCompleted();
+    if (max_inflight_ > 0) {
+        while (inflight_.size() > static_cast<size_t>(max_inflight_))
+            reapFront(/*block=*/true);
+    }
     return Status::ok();
 }
 
@@ -136,16 +180,36 @@ ChunkWriter::finish()
         cur_vs_->freeChunkDeferred(cur_chunk_);
         cur_vs_ = nullptr;
     }
-    for (auto &f : submitted_)
-        f.ticket->wait();
+    while (!inflight_.empty())
+        reapFront(/*block=*/true);
     return Status::ok();
+}
+
+size_t
+ChunkWriter::finishFullChunksOnly()
+{
+    if (finished_)
+        return submitted_records_;
+    finished_ = true;
+    if (cur_vs_ != nullptr) {
+        // Discard the partial tail unwritten; nothing references its
+        // chunk, so it goes straight back through the free list.
+        cur_vs_->sealChunk(cur_chunk_, 0);
+        cur_vs_->freeChunkDeferred(cur_chunk_);
+        cur_vs_ = nullptr;
+        cur_chunk_ = -1;
+        cur_used_ = 0;
+    }
+    while (!inflight_.empty())
+        reapFront(/*block=*/true);
+    return submitted_records_;
 }
 
 void
 ChunkWriter::settleAll()
 {
-    for (auto &f : submitted_)
-        f.vs->settleChunk(f.chunk);
+    for (auto &[vs, chunk] : written_)
+        vs->settleChunk(chunk);
 }
 
 }  // namespace prism::core

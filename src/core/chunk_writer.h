@@ -8,16 +8,29 @@
  * the same Value Storage), and by the SVC's scan-aware reorganisation
  * (§4.4, which re-packs a scanned key range contiguously).
  *
- * Addresses are assigned at add() time; durability arrives at finish(),
- * after which the caller re-points the HSIT entries.
+ * Addresses are assigned at add() time. Durability comes in two
+ * flavours:
+ *  - Barrier mode (default): finish() submits the final partial chunk
+ *    and waits for every outstanding write; the caller then publishes
+ *    all addresses at once.
+ *  - Pipeline mode (max_inflight > 0 + a chunk callback): at most
+ *    max_inflight chunk writes are kept outstanding, and as each chunk
+ *    completes the callback fires with the contiguous record range that
+ *    landed in it — the caller publishes those HSIT entries while later
+ *    chunks are still being packed and written. This overlaps the
+ *    NVM-side scan/filter work with the SSD writes instead of stalling
+ *    a whole pass behind the slowest chunk.
  */
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/rand.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "core/addr.h"
 #include "core/value_storage.h"
@@ -28,15 +41,34 @@ namespace prism::core {
 class ChunkWriter {
   public:
     /**
-     * @param targets candidate Value Storages (non-owning, non-empty).
-     * @param seed    RNG seed for idle-target selection.
+     * Fires when one chunk's write is durable on its SSD. Records are
+     * numbered in add() order; this chunk holds records
+     * [first_record, first_record + record_count). The callback runs on
+     * the thread driving the writer (inside add()/pollCompleted()/
+     * finish()); it must settle the chunk itself once the new records'
+     * validity bits are set.
+     */
+    using ChunkCallback = std::function<void(
+        ValueStorage *vs, int64_t chunk, size_t first_record,
+        size_t record_count)>;
+
+    /**
+     * @param targets      candidate Value Storages (non-owning,
+     *                     non-empty).
+     * @param seed         RNG seed for idle-target selection.
+     * @param max_inflight chunk writes kept outstanding before add()
+     *                     blocks on the oldest; 0 = unbounded (barrier
+     *                     mode, all completions reaped in finish()).
      */
     explicit ChunkWriter(std::vector<ValueStorage *> targets,
-                         uint64_t seed = 42);
+                         uint64_t seed = 42, int max_inflight = 0);
     ~ChunkWriter();
 
     ChunkWriter(const ChunkWriter &) = delete;
     ChunkWriter &operator=(const ChunkWriter &) = delete;
+
+    /** Install the per-chunk completion callback. Call before add(). */
+    void setChunkCallback(ChunkCallback cb) { callback_ = std::move(cb); }
 
     /**
      * Append one value record.
@@ -47,21 +79,47 @@ class ChunkWriter {
                   uint32_t size);
 
     /**
+     * Reap every already-completed outstanding chunk write (in
+     * submission order), firing the chunk callback for each.
+     * @return chunks reaped.
+     */
+    size_t pollCompleted();
+
+    /**
      * Submit the final partial chunk and wait for every outstanding
-     * chunk write to complete. After finish(), all addresses returned by
-     * add() are durable on SSD.
+     * chunk write to complete (firing remaining callbacks). After
+     * finish(), all addresses returned by add() are durable on SSD.
      */
     Status finish();
 
     /**
-     * Mark every written chunk GC-eligible. Call after finish() and
-     * after the new records' validity bits have been set; GC skips
-     * unsettled chunks so it cannot recycle one mid-publish.
+     * Like finish(), but *discard* the partial tail chunk instead of
+     * submitting it: its chunk is recycled unwritten (it was never
+     * published anywhere, so recycling is invisible to readers and
+     * crash recovery) and its records never fire the callback. Callers
+     * that can retry later (the PWB reclaimer, whose source records
+     * remain durable in the ring) use this to avoid burning a 512 KB
+     * chunk on a few stragglers every pass — sealed-but-nearly-empty
+     * chunks are exactly the write amplification §5.2 works to avoid.
+     * @return the number of records that were submitted in full chunks
+     *         (a prefix of add() order; the rest were discarded).
+     */
+    size_t finishFullChunksOnly();
+
+    /**
+     * Mark every written chunk GC-eligible. Barrier-mode callers invoke
+     * it after finish() and after the new records' validity bits have
+     * been set; GC skips unsettled chunks so it cannot recycle one
+     * mid-publish. Idempotent, so pipeline-mode callbacks that already
+     * settled their chunks are unaffected.
      */
     void settleAll();
 
     /** Number of chunks written (diagnostics). */
-    size_t chunksWritten() const { return submitted_.size(); }
+    size_t chunksWritten() const { return written_.size(); }
+
+    /** Number of records appended so far (callback record numbering). */
+    size_t recordsAdded() const { return records_added_; }
 
   private:
     struct InFlight {
@@ -70,6 +128,8 @@ class ChunkWriter {
         uint32_t used;
         std::unique_ptr<uint8_t[]> buf;
         std::unique_ptr<WriteTicket> ticket;
+        size_t first_record;
+        size_t record_count;
     };
 
     /** Pick a Value Storage (idle preferred) and allocate a chunk. */
@@ -78,17 +138,31 @@ class ChunkWriter {
     /** Submit the currently open chunk. */
     Status submitCurrent();
 
+    /** Reap the oldest outstanding write (blocking), fire its callback. */
+    void reapFront(bool block);
+
     std::vector<ValueStorage *> targets_;
     Xorshift rng_;
     uint64_t chunk_bytes_;
+    int max_inflight_;
+    ChunkCallback callback_;
 
     ValueStorage *cur_vs_ = nullptr;
     int64_t cur_chunk_ = -1;
     uint32_t cur_used_ = 0;
     std::unique_ptr<uint8_t[]> cur_buf_;
+    size_t cur_first_record_ = 0;
+    size_t records_added_ = 0;
+    size_t submitted_records_ = 0;
 
-    std::vector<InFlight> submitted_;
+    /** Outstanding writes, oldest first; reaped in submission order. */
+    std::deque<InFlight> inflight_;
+    /** Every chunk ever submitted, for settleAll(). */
+    std::vector<std::pair<ValueStorage *, int64_t>> written_;
     bool finished_ = false;
+
+    // Process-wide gauge of chunk writes in flight across all writers.
+    stats::Gauge *reg_inflight_;
 };
 
 }  // namespace prism::core

@@ -76,6 +76,38 @@ struct PrismOptions {
     /** Background reclaimer poll interval. */
     uint64_t reclaimer_poll_us = 100;
 
+    /** @name Background I/O engine (§5.2, src/core/bg_pool.h) */
+    ///@{
+    /**
+     * Worker threads shared by PWB reclamation and Value Storage GC.
+     * Independent PWBs reclaim concurrently and each SSD runs its GC
+     * pass as its own task, so sizing this near min(#client threads,
+     * #SSDs) keeps the SSD array busy. 0 runs all background work
+     * inline on the dispatcher threads (the pre-pool serial behaviour,
+     * kept for ablation).
+     */
+    int bg_workers = 4;
+    /**
+     * Chunk writes kept in flight per reclamation pass. Each completed
+     * chunk publishes its HSIT entries immediately instead of waiting
+     * for a full-pass barrier, overlapping SSD writes with NVM-side
+     * scan/filter work. 1 degenerates to write-then-publish per chunk;
+     * values beyond the per-SSD queue depth add no overlap.
+     */
+    int reclaim_pipeline_depth = 4;
+    /**
+     * PWB utilization at or above which a reclamation pass also submits
+     * its final *partial* chunk. Below it, passes are thrifty: they
+     * relocate full chunks only and leave the straggler records in the
+     * ring for a later pass (they are durable there, and most become
+     * stale and free to drop — §4.3's dedup). This keeps a hot-update
+     * workload from sealing a nearly-empty chunk per pass, which would
+     * inflate SSD write amplification and exhaust chunks when GC is
+     * throttled. flushAll() always forces full submission.
+     */
+    double pwb_reclaim_force_utilization = 0.90;
+    ///@}
+
     /** @name Observability (docs/OBSERVABILITY.md) */
     ///@{
     /**

@@ -41,6 +41,12 @@ PrismDb::PrismDb(const PrismOptions &opts,
     reg_.reclaim_skipped_stale =
         &reg.counter("prism.pwb.reclaim_skipped_stale", "ops");
     reg_.hsit_cas_retries = &reg.counter("prism.hsit.cas_retries", "ops");
+    reg_.reclaim_dispatches =
+        &reg.counter("prism.pwb.reclaim_dispatches", "ops");
+    reg_.gc_dispatches = &reg.counter("prism.vs.gc_dispatches", "ops");
+    reg_.reclaim_deferred_values =
+        &reg.counter("prism.pwb.reclaim_deferred_values", "ops");
+    reg_.pwb_stall_ns = &reg.histogram("prism.pwb.stall_ns", "ns");
 
     for (size_t i = 0; i < ssds.size(); i++) {
         value_storages_.push_back(std::make_unique<ValueStorage>(
@@ -68,6 +74,10 @@ PrismDb::PrismDb(const PrismOptions &opts,
 
     svc_ = std::make_unique<Svc>(*hsit_, epochs_, vs_ptrs_, opts_);
 
+    bg_pool_ = std::make_unique<BgPool>(opts_.bg_workers);
+    gc_scheduled_.reset(new std::atomic<bool>[value_storages_.size()]);
+    for (size_t i = 0; i < value_storages_.size(); i++)
+        gc_scheduled_[i].store(false, std::memory_order_relaxed);
     reclaimer_ = std::thread([this] { reclaimerLoop(); });
     gc_thread_ = std::thread([this] { gcLoop(); });
     if (opts_.stats_dump_interval_ms > 0)
@@ -83,6 +93,9 @@ PrismDb::~PrismDb()
     gc_thread_.join();
     if (stats_dumper_.joinable())
         stats_dumper_.join();
+    // Dispatchers are gone; drain and join the worker pool before any
+    // state its reclaim/GC tasks reference is torn down.
+    bg_pool_->shutdown();
     // Destroy the SVC (its manager thread uses hsit_/value_storages_),
     // then run every deferred reclamation before members are torn down:
     // pending lambdas reference PWBs, Value Storages and the HSIT.
@@ -117,21 +130,32 @@ PrismDb::recoverState()
     std::vector<uint8_t> reachable_bytes(hsit_->capacity(), 0);
     const int recovery_threads = std::max(
         1u, std::thread::hardware_concurrency());
+    std::mutex orphan_mu;
+    std::vector<uint64_t> orphan_keys;
     index_->forEachParallel(recovery_threads, [&](uint64_t key,
                                                   uint64_t h) {
-        (void)key;
         if (h >= hsit_->capacity())
             return;
-        reachable_bytes[h] = 1;
         const ValueAddr addr(
             hsit_->entry(h).primary.load(std::memory_order_relaxed));
-        if (addr.isNull())
+        if (addr.isNull()) {
+            // Interrupted put (index insert durable, value never
+            // published) or interrupted delete (primary nulled, index
+            // removal lost). Either way the key has no value: prune it
+            // so size()/scan/get agree, and leave the HSIT entry
+            // unreachable so the free-list rebuild reclaims it.
+            std::lock_guard<std::mutex> lock(orphan_mu);
+            orphan_keys.push_back(key);
             return;
+        }
+        reachable_bytes[h] = 1;
         if (addr.isVs() && addr.ssdId() < value_storages_.size()) {
             value_storages_[addr.ssdId()]->markLiveAtRecovery(
                 addr.offset(), addr.recordBytes());
         }
     });
+    for (const uint64_t key : orphan_keys)
+        index_->remove(key);
     std::vector<bool> reachable(hsit_->capacity());
     for (uint64_t i = 0; i < hsit_->capacity(); i++)
         reachable[i] = reachable_bytes[i] != 0;
@@ -197,6 +221,7 @@ PrismDb::put(uint64_t key, std::string_view value)
     reg_.puts->inc();
     reg_.user_bytes_written->add(value.size());
 
+    uint64_t stall_t0 = 0;
     while (true) {
         {
             EpochGuard guard(epochs_);
@@ -233,6 +258,8 @@ PrismDb::put(uint64_t key, std::string_view value)
                     }
                     reg_.hsit_cas_retries->inc();
                 }
+                if (stall_t0 != 0)
+                    reg_.pwb_stall_ns->record(nowNs() - stall_t0);
                 return Status::ok();
             }
         }
@@ -240,6 +267,13 @@ PrismDb::put(uint64_t key, std::string_view value)
         // space we need is released by an epoch-deferred head advance.
         stats_.pwb_stalls.fetch_add(1, std::memory_order_relaxed);
         reg_.pwb_stalls->inc();
+        if (stall_t0 == 0)
+            stall_t0 = nowNs();
+        // Wake the reclaimer immediately instead of waiting out its poll
+        // interval, and hand this thread's PWB straight to the worker
+        // pool (no-op if a pass for it is already queued or running).
+        if (bg_pool_->workers() > 0)
+            dispatchReclaim(pwbForThisThread());
         reclaim_cv_.notify_all();
         epochs_.tryAdvance();
         std::this_thread::yield();
@@ -559,13 +593,22 @@ PrismDb::multiGet(const std::vector<uint64_t> &keys,
 }
 
 void
-PrismDb::reclaimPwb(Pwb *pwb)
+PrismDb::reclaimPwb(Pwb *pwb, bool force)
 {
-    // One reclamation pass at a time: flushAll and the background
-    // reclaimer may race, and overlapping passes would waste SSD writes
-    // relocating the same records twice (and must not interleave their
-    // cursor updates). Blocking, so flushAll reliably makes progress.
-    std::lock_guard<std::mutex> pass_lock(reclaim_pass_mu_);
+    // One reclamation pass at a time *per PWB*: flushAll, the worker
+    // pool and a stalled put's direct dispatch may race, and overlapping
+    // passes on one PWB would waste SSD writes relocating the same
+    // records twice (and must not interleave their cursor updates).
+    // Blocking, so flushAll reliably makes progress. Passes on distinct
+    // PWBs are independent and run concurrently across the pool.
+    std::lock_guard<std::mutex> pass_lock(pwb->passMutex());
+
+    // Near-full rings (a stalled put dispatches at ~100% utilization)
+    // must reclaim everything they can; under lighter pressure a pass
+    // may leave a partial chunk's worth of records behind rather than
+    // seal a nearly-empty chunk (see pwb_reclaim_force_utilization).
+    force = force ||
+            pwb->utilization() >= opts_.pwb_reclaim_force_utilization;
 
     // Start past every range a still-deferred head advance may cover:
     // that space can be recycled mid-pass, so its bytes must not be
@@ -573,8 +616,13 @@ PrismDb::reclaimPwb(Pwb *pwb)
     const uint64_t start =
         std::max(pwb->headLogical(), pwb->reclaimCursor());
     std::vector<Pwb::RecordRef> refs;
-    const uint64_t new_head =
+    uint64_t new_head =
         pwb->collectFrom(start, pwb->usedBytes(), refs);
+    // Record how far this pass scanned *before* the thrifty pull-back
+    // below retreats new_head: the reclaimer loop's re-dispatch gate
+    // compares the ring tail against this, so a deferred straggler does
+    // not read as "unscanned backlog" and trigger a dispatch storm.
+    pwb->setLastScanTail(new_head);
     if (new_head == start)
         return;
 
@@ -584,6 +632,7 @@ PrismDb::reclaimPwb(Pwb *pwb)
         const uint8_t *payload;
         uint32_t size;
         ValueAddr pwb_addr;
+        uint64_t logical_end;  ///< ring offset just past the record
     };
     std::vector<LiveValue> live;
     live.reserve(refs.size());
@@ -613,7 +662,8 @@ PrismDb::reclaimPwb(Pwb *pwb)
         const ValueAddr primary = hsit_->loadPrimary(h);
         if (primary == ref.addr) {
             live.push_back({h, ref.hdr->key, ref.payload,
-                            ref.hdr->value_size, ref.addr});
+                            ref.hdr->value_size, ref.addr,
+                            ref.logical_end});
         } else {
             stats_.reclaim_skipped_stale.fetch_add(
                 1, std::memory_order_relaxed);
@@ -622,16 +672,46 @@ PrismDb::reclaimPwb(Pwb *pwb)
     }
 
     if (!live.empty()) {
-        ChunkWriter writer(vs_ptrs_);
+        // Pipelined chunk writes: up to reclaim_pipeline_depth chunks
+        // stay in flight, and each chunk's records are published the
+        // moment its write completes — the pass no longer serializes
+        // behind a full-barrier finish() (§5.2, Fig. 4).
+        ChunkWriter writer(vs_ptrs_, /*seed=*/42,
+                           opts_.reclaim_pipeline_depth);
         std::vector<ValueAddr> placed(live.size());
+        writer.setChunkCallback([&](ValueStorage *vs, int64_t chunk,
+                                    size_t first, size_t count) {
+            // This chunk is durable. Mark its copies live *before*
+            // settling and publishing: a chunk whose bits lag its HSIT
+            // references could be selected, emptied and recycled by a
+            // concurrent GC pass.
+            for (size_t i = first; i < first + count; i++) {
+                vs->setValid(placed[i].offset(),
+                             placed[i].recordBytes());
+            }
+            vs->settleChunk(chunk);
+            for (size_t i = first; i < first + count; i++) {
+                const auto &v = live[i];
+                if (hsit_->casPrimaryDurable(v.h, v.pwb_addr,
+                                             placed[i])) {
+                    stats_.reclaimed_values.fetch_add(
+                        1, std::memory_order_relaxed);
+                    reg_.reclaimed_values->inc();
+                } else {
+                    // Superseded after collection; retract the copy.
+                    vs->clearValid(placed[i].offset(),
+                                   placed[i].recordBytes());
+                }
+            }
+        });
         for (size_t i = 0; i < live.size(); i++) {
             ValueAddr a = writer.add(live[i].h, live[i].key,
                                      live[i].payload, live[i].size);
             for (int attempt = 0; a.isNull() && attempt < 64; attempt++) {
-                // No free chunk anywhere: force GC and let the epoch
-                // machinery release recycled chunks, then retry.
-                for (auto &vs : value_storages_)
-                    vs->runGcPass(*hsit_);
+                // No free chunk anywhere: force a concurrent GC round
+                // and let the epoch machinery release recycled chunks,
+                // then retry.
+                runGcRoundParallel();
                 epochs_.tryAdvance();
                 std::this_thread::yield();
                 a = writer.add(live[i].h, live[i].key, live[i].payload,
@@ -640,33 +720,29 @@ PrismDb::reclaimPwb(Pwb *pwb)
             PRISM_CHECK(!a.isNull() && "Value Storage out of space");
             placed[i] = a;
         }
-        const Status st = writer.finish();
-        PRISM_CHECK(st.isOk());
-
-        // Mark the new copies live *before* publishing them: a chunk
-        // whose bits lag its HSIT references could be selected, emptied
-        // and recycled by a concurrent GC pass.
-        for (size_t i = 0; i < live.size(); i++) {
-            value_storages_[placed[i].ssdId()]->setValid(
-                placed[i].offset(), placed[i].recordBytes());
-        }
-        writer.settleAll();
-        for (size_t i = 0; i < live.size(); i++) {
-            const auto &v = live[i];
-            if (hsit_->casPrimaryDurable(v.h, v.pwb_addr, placed[i])) {
-                stats_.reclaimed_values.fetch_add(
-                    1, std::memory_order_relaxed);
-                reg_.reclaimed_values->inc();
-            } else {
-                // Superseded after collection; retract the unused copy.
-                value_storages_[placed[i].ssdId()]->clearValid(
-                    placed[i].offset(), placed[i].recordBytes());
+        if (force) {
+            const Status st = writer.finish();
+            PRISM_CHECK(st.isOk());
+        } else {
+            // Thrifty pass: full chunks only. Stragglers stay durable in
+            // the ring; the head advance below stops short of the first
+            // one, so a later pass re-collects them (by then most have
+            // been superseded and cost nothing).
+            const size_t published = writer.finishFullChunksOnly();
+            if (published < live.size()) {
+                const auto &first_left = live[published];
+                new_head = first_left.logical_end -
+                           first_left.pwb_addr.recordBytes();
+                reg_.reclaim_deferred_values->add(
+                    live.size() - published);
             }
         }
     }
 
     stats_.reclaim_passes.fetch_add(1, std::memory_order_relaxed);
     reg_.reclaim_passes->inc();
+    if (new_head == start)
+        return;  // nothing resolved; no cursor/head movement to record
     pwb->setReclaimCursor(new_head);
     // The head advance (space reuse) waits out the epoch grace period:
     // readers may still be dereferencing reclaimed PWB addresses.
@@ -698,6 +774,49 @@ PrismDb::reclaimPwb(Pwb *pwb)
 }
 
 void
+PrismDb::dispatchReclaim(Pwb *pwb)
+{
+    // One outstanding dispatch per PWB: the slot is released by the
+    // task, so at most one queue entry plus one running pass exist for
+    // any PWB (the pass lock serializes with flushAll regardless).
+    if (!pwb->tryAcquireReclaimSlot())
+        return;
+    reg_.reclaim_dispatches->inc();
+    bg_pool_->submit([this, pwb] {
+        reclaimPwb(pwb);
+        pwb->releaseReclaimSlot();
+        epochs_.tryAdvance();
+    });
+}
+
+void
+PrismDb::dispatchGc(size_t vs_id)
+{
+    bool expected = false;
+    if (!gc_scheduled_[vs_id].compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel))
+        return;
+    reg_.gc_dispatches->inc();
+    bg_pool_->submit([this, vs_id] {
+        value_storages_[vs_id]->runGcPass(*hsit_);
+        gc_scheduled_[vs_id].store(false, std::memory_order_release);
+        epochs_.tryAdvance();
+    });
+}
+
+void
+PrismDb::runGcRoundParallel()
+{
+    // The caller helps execute the per-VS passes (BgPool::parallelFor),
+    // so this is safe to invoke from inside a pool task — the GC
+    // fallback in reclaimPwb does. Contended Value Storages are skipped
+    // by runGcPass's try-lock, never waited on.
+    bg_pool_->parallelFor(value_storages_.size(), [this](size_t i) {
+        value_storages_[i]->runGcPass(*hsit_);
+    });
+}
+
+void
 PrismDb::reclaimerLoop()
 {
     std::unique_lock<std::mutex> lock(reclaim_mu_);
@@ -711,8 +830,20 @@ PrismDb::reclaimerLoop()
             Pwb *pwb = pwbs_[tid].load(std::memory_order_acquire);
             if (pwb == nullptr)
                 continue;
-            if (pwb->utilization() >= opts_.pwb_reclaim_watermark)
-                reclaimPwb(pwb);
+            const double util = pwb->utilization();
+            if (util < opts_.pwb_reclaim_watermark)
+                continue;
+            // Re-dispatch gate: a thrifty pass leaves the ring over the
+            // watermark on purpose (deferred stragglers), so utilization
+            // alone would re-dispatch every poll and each pass would
+            // re-scan the same stale backlog. Only dispatch once at
+            // least a chunk of fresh appends has landed past the last
+            // scan — unless pressure forces a full pass anyway. Stalled
+            // puts and flushAll dispatch directly and skip this gate.
+            if (pwb->tailLogical() - pwb->lastScanTail() >=
+                    opts_.chunk_bytes ||
+                util >= opts_.pwb_reclaim_force_utilization)
+                dispatchReclaim(pwb);
         }
         epochs_.tryAdvance();
         lock.lock();
@@ -723,11 +854,11 @@ void
 PrismDb::gcLoop()
 {
     while (!stop_.load(std::memory_order_acquire)) {
-        for (auto &vs : value_storages_) {
+        for (size_t i = 0; i < value_storages_.size(); i++) {
             if (stop_.load(std::memory_order_acquire))
                 return;
-            if (vs->needsGc())
-                vs->runGcPass(*hsit_);
+            if (value_storages_[i]->needsGc())
+                dispatchGc(i);
         }
         epochs_.tryAdvance();
         delayFor(200 * 1000);
@@ -745,7 +876,7 @@ PrismDb::flushAll()
             if (pwb == nullptr || pwb->usedBytes() == 0)
                 continue;
             dirty = true;
-            reclaimPwb(pwb);
+            reclaimPwb(pwb, /*force=*/true);
         }
         epochs_.drain();  // apply the deferred head advances
         if (!dirty)
@@ -756,13 +887,26 @@ PrismDb::flushAll()
 void
 PrismDb::forceGc()
 {
-    for (auto &vs : value_storages_) {
-        int guard = 1024;
-        while (vs->needsGc() && guard-- > 0) {
-            if (vs->runGcPass(*hsit_) == 0)
-                break;
-            epochs_.drain();
+    // Rounds of one concurrent pass per over-watermark Value Storage;
+    // freed chunks only return to the free lists after the epoch drain,
+    // so progress is re-evaluated between rounds.
+    for (int round = 0; round < 1024; round++) {
+        std::vector<size_t> needy;
+        for (size_t i = 0; i < value_storages_.size(); i++) {
+            if (value_storages_[i]->needsGc())
+                needy.push_back(i);
         }
+        if (needy.empty())
+            return;
+        std::atomic<size_t> reclaimed{0};
+        bg_pool_->parallelFor(needy.size(), [&](size_t i) {
+            reclaimed.fetch_add(
+                value_storages_[needy[i]]->runGcPass(*hsit_),
+                std::memory_order_relaxed);
+        });
+        epochs_.drain();
+        if (reclaimed.load(std::memory_order_relaxed) == 0)
+            return;  // nothing left to squeeze out of any victim
     }
 }
 

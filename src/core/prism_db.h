@@ -19,8 +19,11 @@
  *    admission + scan-chain registration (§4.4).
  *  - del: index remove + epoch-deferred HSIT entry reclamation.
  *
- * Background threads: one PWB reclaimer (§5.2), one GC thread, the SVC
- * manager, and one completion thread per Value Storage.
+ * Background threads: a bg_workers-sized I/O worker pool (§5.2) that
+ * runs PWB reclamation passes (one per over-watermark PWB, concurrent
+ * across PWBs) and per-Value-Storage GC passes (concurrent across
+ * SSDs), fed by two light dispatcher threads (reclaimer, GC), plus the
+ * SVC manager and one completion thread per Value Storage.
  *
  * Crash consistency: see §5.5 / recover(). The store can be shut down
  * abruptly (or its devices snapshotted mid-run) and reopened with
@@ -43,6 +46,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_util.h"
+#include "core/bg_pool.h"
 #include "core/hsit.h"
 #include "core/options.h"
 #include "core/pwb.h"
@@ -170,6 +174,7 @@ class PrismDb {
     ValueStorage &valueStorage(size_t i) { return *value_storages_[i]; }
     size_t valueStorageCount() const { return value_storages_.size(); }
     EpochManager &epochs() { return epochs_; }
+    BgPool &bgPool() { return *bg_pool_; }
 
     /** Total SSD bytes written across all Value Storages (WAF numerator). */
     uint64_t ssdBytesWritten() const;
@@ -191,8 +196,28 @@ class PrismDb {
     void reclaimerLoop();
     void gcLoop();
     void statsDumperLoop();
-    /** One reclamation pass over @p pwb (§5.2, Fig. 4). */
-    void reclaimPwb(Pwb *pwb);
+    /**
+     * One reclamation pass over @p pwb (§5.2, Fig. 4), pipelined: up to
+     * reclaim_pipeline_depth chunk writes stay in flight, each chunk
+     * publishing its HSIT entries as its write completes. Serialized
+     * per PWB by Pwb::passMutex(); passes on different PWBs run
+     * concurrently on the bg pool. Unless @p force is set (flushAll)
+     * or the ring is near-full, the pass is thrifty: it submits full
+     * chunks only and leaves stragglers in the ring (see
+     * PrismOptions::pwb_reclaim_force_utilization).
+     */
+    void reclaimPwb(Pwb *pwb, bool force = false);
+    /**
+     * Queue a reclamation pass for @p pwb on the pool (at most one
+     * outstanding dispatch per PWB). Called by the reclaimer loop and
+     * directly by a stalling put(), so a full PWB never waits out a
+     * poll interval.
+     */
+    void dispatchReclaim(Pwb *pwb);
+    /** Queue a GC pass for Value Storage @p vs_id (one in flight each). */
+    void dispatchGc(size_t vs_id);
+    /** One concurrent GC pass over every Value Storage (pool-assisted). */
+    void runGcRoundParallel();
     void recoverState();
     void clearOldLocation(uint64_t hsit_idx, ValueAddr old_addr);
 
@@ -224,11 +249,14 @@ class PrismDb {
     std::atomic<Pwb *> pwbs_[ThreadId::kMaxThreads] = {};
 
     std::atomic<bool> stop_{false};
+    /** Shared worker pool for reclamation and GC tasks (§5.2). */
+    std::unique_ptr<BgPool> bg_pool_;
     std::thread reclaimer_;
     std::thread gc_thread_;
     std::mutex reclaim_mu_;
-    std::mutex reclaim_pass_mu_;  ///< serializes reclaimPwb passes
     std::condition_variable reclaim_cv_;
+    /** One outstanding GC dispatch per Value Storage. */
+    std::unique_ptr<std::atomic<bool>[]> gc_scheduled_;
 
     // Optional periodic dump of the stats registry (PrismOptions::
     // stats_dump_interval_ms).
@@ -253,6 +281,10 @@ class PrismDb {
         stats::Counter *reclaimed_values;
         stats::Counter *reclaim_skipped_stale;
         stats::Counter *hsit_cas_retries;
+        stats::Counter *reclaim_dispatches;
+        stats::Counter *gc_dispatches;
+        stats::Counter *reclaim_deferred_values;
+        stats::LatencyStat *pwb_stall_ns;
     };
     RegMetrics reg_;
 

@@ -22,6 +22,8 @@ Pwb::Pwb(pmem::PmemRegion &region, POff root_off)
     capacity_ = r->capacity;
     reclaim_cursor_.store(r->head.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
+    reclaim_scan_tail_.store(r->head.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
 }
 
 std::unique_ptr<Pwb>

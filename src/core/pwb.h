@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/stats.h"
@@ -132,6 +133,48 @@ class Pwb {
     }
 
     /**
+     * Logical tail the last reclamation pass scanned up to (volatile;
+     * reset to head on re-attach). The reclaimer loop only re-dispatches
+     * a PWB once at least a chunk's worth of fresh appends has landed
+     * past this point — thrifty passes deliberately leave the ring over
+     * the watermark, and without this gate every poll would re-dispatch
+     * a pass that re-scans the same stale backlog. Forced passes
+     * (stalls, flushAll, utilization at the force threshold) bypass the
+     * gate.
+     */
+    uint64_t lastScanTail() const {
+        return reclaim_scan_tail_.load(std::memory_order_acquire);
+    }
+    void setLastScanTail(uint64_t v) {
+        reclaim_scan_tail_.store(v, std::memory_order_release);
+    }
+
+    /**
+     * Serializes reclamation passes *on this PWB only* (the background
+     * pool, a stalled put's direct dispatch, and flushAll may race).
+     * Passes on different PWBs are independent — each has its own
+     * cursor, ring and deferred head advance — and run concurrently on
+     * the bg pool.
+     */
+    std::mutex &passMutex() { return pass_mu_; }
+
+    /**
+     * Claim the single outstanding reclaim-dispatch slot for this PWB.
+     * Dispatchers (reclaimer loop, stalled puts) use it so the pool
+     * queue never holds two tasks for one PWB.
+     * @return true if the caller must submit the task (and later call
+     *         releaseReclaimSlot()).
+     */
+    bool tryAcquireReclaimSlot() {
+        bool expected = false;
+        return reclaim_scheduled_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel);
+    }
+    void releaseReclaimSlot() {
+        reclaim_scheduled_.store(false, std::memory_order_release);
+    }
+
+    /**
      * Advance the head to @p new_head (persisted). Call only after an
      * epoch grace period: readers may still be dereferencing reclaimed
      * addresses.
@@ -205,8 +248,12 @@ class Pwb {
     pmem::POff data_off_;
     uint64_t capacity_;
     std::atomic<uint64_t> reclaim_cursor_;
+    std::atomic<uint64_t> reclaim_scan_tail_{0};
     /** Logical offset of an appended-but-unpublished record. */
     std::atomic<uint64_t> inflight_{UINT64_MAX};
+    /** Volatile per-PWB reclamation state (see passMutex()). */
+    std::mutex pass_mu_;
+    std::atomic<bool> reclaim_scheduled_{false};
 
     // Shared-by-name process-wide metrics (all PWBs aggregate).
     stats::Counter *reg_appends_;

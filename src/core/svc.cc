@@ -29,15 +29,13 @@ Svc::~Svc()
 {
     stop_.store(true, std::memory_order_release);
     manager_.join();
-    // Drain straggler events in order, then free the survivors; no
-    // application threads can remain at destruction.
-    std::vector<Event> batch;
+    // Drain straggler events in order (one swap, same as the manager),
+    // then free the survivors; no application threads can remain at
+    // destruction.
+    std::deque<Event> batch;
     {
         std::lock_guard<std::mutex> lock(ev_mu_);
-        while (!events_.empty()) {
-            batch.push_back(std::move(events_.front()));
-            events_.pop_front();
-        }
+        events_.swap(batch);
     }
     for (auto &ev : batch)
         processEvent(ev);
@@ -202,15 +200,15 @@ Svc::Lru::popBack()
 void
 Svc::managerLoop()
 {
-    std::vector<Event> batch;
+    std::deque<Event> batch;
     while (!stop_.load(std::memory_order_acquire)) {
         batch.clear();
         {
+            // Swap-drain: take the whole queue in O(1) under one lock
+            // acquisition instead of popping elements while producers
+            // (put/get/scan threads) contend for the mutex.
             std::lock_guard<std::mutex> lock(ev_mu_);
-            while (!events_.empty()) {
-                batch.push_back(std::move(events_.front()));
-                events_.pop_front();
-            }
+            events_.swap(batch);
         }
         for (auto &ev : batch)
             processEvent(ev);

@@ -48,6 +48,11 @@ struct WriteTicket {
     ReadWaiter waiter;
 
     void wait() { waiter.waitNonzero(); }
+
+    /** Non-blocking completion poll (pipelined chunk writes). */
+    bool done() const {
+        return waiter.sig.load(std::memory_order_acquire) != 0;
+    }
 };
 
 /** Log-structured chunk store on a single SSD. */

@@ -65,19 +65,75 @@ PacTree::allocLeaf(uint64_t low_key)
 }
 
 void
+PacTree::maybeGrowShift(uint64_t key)
+{
+    const int desired =
+        std::max(0, static_cast<int>(std::bit_width(key)) - kDirShardBits);
+    int cur = shard_shift_.load(std::memory_order_acquire);
+    if (desired <= cur)
+        return;
+    // Re-home the whole directory under every shard lock (in index
+    // order — concurrent growers cannot deadlock). Rare: grow-only, at
+    // most ~56 times over a tree's lifetime.
+    std::vector<std::unique_lock<std::shared_mutex>> locks;
+    locks.reserve(kDirShards);
+    for (int i = 0; i < kDirShards; i++)
+        locks.emplace_back(shards_[i].mu);
+    cur = shard_shift_.load(std::memory_order_relaxed);
+    if (desired <= cur)
+        return;  // lost the race to a concurrent grower
+    std::map<uint64_t, POff> all;
+    for (int i = 0; i < kDirShards; i++) {
+        all.insert(shards_[i].leaves.begin(), shards_[i].leaves.end());
+        shards_[i].leaves.clear();
+    }
+    shard_shift_.store(desired, std::memory_order_release);
+    for (const auto &[k, off] : all)
+        shards_[shardOf(k, desired)].leaves[k] = off;
+}
+
+int
+PacTree::populatedShards() const
+{
+    int n = 0;
+    for (int i = 0; i < kDirShards; i++) {
+        std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
+        if (!shards_[i].leaves.empty())
+            n++;
+    }
+    return n;
+}
+
+void
 PacTree::dirInsert(uint64_t low_key, POff leaf)
 {
-    auto &shard = shards_[shardFor(low_key)];
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
-    shard.leaves[low_key] = leaf;
+    maybeGrowShift(low_key);
+    while (true) {
+        const int shift = shard_shift_.load(std::memory_order_acquire);
+        auto &shard = shards_[shardOf(low_key, shift)];
+        std::unique_lock<std::shared_mutex> lock(shard.mu);
+        // A grower holds every shard lock while it changes the shift,
+        // so an unchanged shift here means this is still the right
+        // shard for the entry.
+        if (shard_shift_.load(std::memory_order_acquire) != shift)
+            continue;
+        shard.leaves[low_key] = leaf;
+        return;
+    }
 }
 
 void
 PacTree::dirErase(uint64_t low_key)
 {
-    auto &shard = shards_[shardFor(low_key)];
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
-    shard.leaves.erase(low_key);
+    while (true) {
+        const int shift = shard_shift_.load(std::memory_order_acquire);
+        auto &shard = shards_[shardOf(low_key, shift)];
+        std::unique_lock<std::shared_mutex> lock(shard.mu);
+        if (shard_shift_.load(std::memory_order_acquire) != shift)
+            continue;
+        shard.leaves.erase(low_key);
+        return;
+    }
 }
 
 POff
@@ -85,8 +141,12 @@ PacTree::dirFind(uint64_t key) const
 {
     // Search this key's shard, then fall back to lower shards; the head
     // leaf has low_key 0, so shard 0 is never empty and the loop always
-    // terminates with a candidate.
-    for (int s = shardFor(key); s >= 0; s--) {
+    // terminates with a candidate. A concurrent shift grow only moves
+    // entries to lower shard indices, which this scan visits anyway, so
+    // a stale shift costs extra probes, never a wrong (higher-low_key)
+    // answer.
+    const int shift = shard_shift_.load(std::memory_order_acquire);
+    for (int s = shardOf(key, shift); s >= 0; s--) {
         auto &shard = shards_[s];
         std::shared_lock<std::shared_mutex> lock(shard.mu);
         auto it = shard.leaves.upper_bound(key);

@@ -20,6 +20,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -86,6 +87,17 @@ class PacTree : public KeyIndex {
         return leaf_count_.load(std::memory_order_relaxed) * sizeof(Leaf);
     }
 
+    /** @name Directory-sharding introspection (tests/benchmarks) */
+    ///@{
+    /** Current adaptive shard shift (see shardOf()). */
+    int shardShift() const {
+        return shard_shift_.load(std::memory_order_acquire);
+    }
+
+    /** Number of directory shards currently holding at least one leaf. */
+    int populatedShards() const;
+    ///@}
+
   private:
     /** On-NVM leaf node. */
     struct Leaf {
@@ -100,7 +112,11 @@ class PacTree : public KeyIndex {
         uint64_t low_key;
 
         struct Slot {
-            uint64_t key;
+            /** Atomic because optimistic readers (lookup/scan seqlock
+             *  pattern) read slots concurrently with an in-progress
+             *  insert; the version check discards torn candidates, but
+             *  the load itself must be a non-racing atomic. */
+            std::atomic<uint64_t> key;
             std::atomic<uint64_t> handle;
         };
         Slot slots[kLeafSlots];
@@ -125,16 +141,38 @@ class PacTree : public KeyIndex {
     /** Allocate and zero-init a leaf. */
     pmem::POff allocLeaf(uint64_t low_key);
 
-    /** Volatile search layer: low_key -> leaf offset, sharded by the top
-     *  byte of the key to avoid a single contended lock. */
+    /** Volatile search layer: low_key -> leaf offset, sharded to avoid a
+     *  single contended lock. */
     struct alignas(64) DirShard {
         mutable std::shared_mutex mu;
         std::map<uint64_t, pmem::POff> leaves;
     };
 
-    static int shardFor(uint64_t key) {
-        return static_cast<int>(key >> 56);
+    static constexpr int kDirShardBits = 8;  // kDirShards == 1 << this
+
+    /**
+     * Saturating shard map: min(key >> shift, kDirShards - 1). Monotone
+     * non-decreasing in the key for any fixed shift — dirFind's
+     * fall-back scan through lower shards depends on that — and the
+     * shift adapts to the keys actually inserted (see maybeGrowShift),
+     * so dense small-key workloads (YCSB row ids) spread over all
+     * shards instead of collapsing into shard 0 the way a fixed
+     * top-byte split would.
+     */
+    static int shardOf(uint64_t key, int shift) {
+        const uint64_t s = key >> shift;
+        return static_cast<int>(
+            std::min<uint64_t>(s, kDirShards - 1));
     }
+
+    /**
+     * Grow the shard shift so @p key maps below the saturation point.
+     * Grow-only; re-homes every directory entry under all shard locks.
+     * Readers that loaded the old (smaller) shift still find every
+     * entry: growing the shift only moves entries to lower shard
+     * indices, which their fall-back scan visits anyway.
+     */
+    void maybeGrowShift(uint64_t key);
 
     void dirInsert(uint64_t low_key, pmem::POff leaf);
     void dirErase(uint64_t low_key);
@@ -159,6 +197,8 @@ class PacTree : public KeyIndex {
     pmem::POff head_leaf_;
 
     std::unique_ptr<DirShard[]> shards_;
+    /** Adaptive, grow-only shard shift (see shardOf()). */
+    std::atomic<int> shard_shift_{0};
     std::atomic<size_t> size_{0};
     std::atomic<uint64_t> leaf_count_{0};
 };

@@ -1,5 +1,6 @@
 #include "pmem/pmem_region.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/logging.h"
@@ -77,7 +78,15 @@ PmemRegion::commitLines(const LineRange &r)
     const uint64_t start = r.first_line * kCacheLine;
     const uint64_t len = r.line_count * kCacheLine;
     PRISM_DCHECK(start + len <= capacity());
-    std::memcpy(shadow_.get() + start, base_ + start, len);
+    // Word-wise relaxed atomic copy, not memcpy: another thread may be
+    // storing into these lines concurrently (its own not-yet-flushed
+    // writes to a shared line). Hardware write-back grabs whatever the
+    // line holds at that instant; mirror that without a C++ data race.
+    auto *dst = reinterpret_cast<uint64_t *>(shadow_.get() + start);
+    const auto *src =
+        reinterpret_cast<const std::atomic<uint64_t> *>(base_ + start);
+    for (uint64_t i = 0; i < len / sizeof(uint64_t); i++)
+        dst[i] = src[i].load(std::memory_order_relaxed);
 }
 
 void

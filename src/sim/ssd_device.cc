@@ -1,6 +1,7 @@
 #include "sim/ssd_device.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "common/clock.h"
@@ -68,6 +69,64 @@ SsdDevice::pageFor(uint64_t page_index, bool allocate)
     return p;
 }
 
+namespace {
+
+/**
+ * Page memory is shared between submitters, the completion worker, and
+ * the crash-capture path (`snapshotTo`), which deliberately reads pages
+ * while writes are in flight — exactly how a power cut captures a drive
+ * mid-DMA. Torn data is part of the modelled semantics (record CRCs
+ * detect it); copying through relaxed atomics keeps that tearing from
+ * being a C++ data race. The private side of each copy is plain memory.
+ */
+void
+atomicStoreBytes(uint8_t *shared_dst, const uint8_t *src, uint32_t len)
+{
+    while (len > 0 &&
+           (reinterpret_cast<uintptr_t>(shared_dst) & 7u) != 0) {
+        reinterpret_cast<std::atomic<uint8_t> *>(shared_dst)->store(
+            *src, std::memory_order_relaxed);
+        shared_dst++, src++, len--;
+    }
+    while (len >= 8) {
+        uint64_t v;
+        std::memcpy(&v, src, 8);
+        reinterpret_cast<std::atomic<uint64_t> *>(shared_dst)->store(
+            v, std::memory_order_relaxed);
+        shared_dst += 8, src += 8, len -= 8;
+    }
+    while (len > 0) {
+        reinterpret_cast<std::atomic<uint8_t> *>(shared_dst)->store(
+            *src, std::memory_order_relaxed);
+        shared_dst++, src++, len--;
+    }
+}
+
+void
+atomicLoadBytes(uint8_t *dst, const uint8_t *shared_src, uint32_t len)
+{
+    while (len > 0 &&
+           (reinterpret_cast<uintptr_t>(shared_src) & 7u) != 0) {
+        *dst = reinterpret_cast<const std::atomic<uint8_t> *>(shared_src)
+                   ->load(std::memory_order_relaxed);
+        dst++, shared_src++, len--;
+    }
+    while (len >= 8) {
+        const uint64_t v =
+            reinterpret_cast<const std::atomic<uint64_t> *>(shared_src)
+                ->load(std::memory_order_relaxed);
+        std::memcpy(dst, &v, 8);
+        dst += 8, shared_src += 8, len -= 8;
+    }
+    while (len > 0) {
+        *dst = reinterpret_cast<const std::atomic<uint8_t> *>(shared_src)
+                   ->load(std::memory_order_relaxed);
+        dst++, shared_src++, len--;
+    }
+}
+
+}  // namespace
+
 void
 SsdDevice::copyIn(uint64_t offset, const void *src, uint32_t len)
 {
@@ -77,7 +136,7 @@ SsdDevice::copyIn(uint64_t offset, const void *src, uint32_t len)
         const uint64_t in_page = offset % kPageSize;
         const auto n = static_cast<uint32_t>(
             std::min<uint64_t>(len, kPageSize - in_page));
-        std::memcpy(pageFor(page, true) + in_page, s, n);
+        atomicStoreBytes(pageFor(page, true) + in_page, s, n);
         offset += n;
         s += n;
         len -= n;
@@ -97,7 +156,7 @@ SsdDevice::copyOut(uint64_t offset, void *dst, uint32_t len)
         if (p == nullptr) {
             std::memset(d, 0, n);  // never-written blocks read as zero
         } else {
-            std::memcpy(d, p + in_page, n);
+            atomicLoadBytes(d, p + in_page, n);
         }
         offset += n;
         d += n;

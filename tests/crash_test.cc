@@ -268,7 +268,10 @@ TEST(CrashTest, ConcurrentWritersNeverLoseAckedData)
                     EXPECT_GE(parseVersion(k, v), 1) << "key " << k;
                 continue;
             }
-            ASSERT_TRUE(st.isOk()) << "round " << round << " key " << k;
+            ASSERT_TRUE(st.isOk()) << "round " << round << " key " << k
+                                   << " status " << st.toString()
+                                   << " acked_floor " << acked_floor[k]
+                                   << " attempted " << attempted_ceil[k];
             const int64_t ver = parseVersion(k, v);
             ASSERT_GE(ver, 1) << "torn value, key " << k;
             EXPECT_GE(static_cast<uint64_t>(ver), acked_floor[k])

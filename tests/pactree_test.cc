@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <map>
 #include <thread>
 
@@ -227,6 +228,74 @@ TEST(PacTreeTest, ConcurrentInsertRaceOnSameKeys)
         th.join();
     EXPECT_EQ(wins.load(), kKeys);
     EXPECT_EQ(fx.tree->size(), kKeys);
+}
+
+TEST(PacTreeTest, DirectoryShardsSpreadForDenseKeys)
+{
+    // Dense sequential keys (YCSB row ids) live far below 2^56, so a
+    // fixed top-byte shard split would pile every directory entry — and
+    // every lookup's lock acquisition — onto shard 0. The adaptive
+    // shift must spread leaves across many shards instead.
+    TreeFixture fx;
+    constexpr uint64_t kKeys = 100000;
+    for (uint64_t i = 0; i < kKeys; i++)
+        ASSERT_TRUE(fx.tree->insertOrGet(i, i).inserted);
+    // ~100k/64-per-leaf ≈ 1500+ leaves; with bit_width(100k)=17 the
+    // shift settles at 9, mapping the key space over ~195 shards.
+    EXPECT_GT(fx.tree->populatedShards(), 64);
+    EXPECT_EQ(fx.tree->shardShift(),
+              std::bit_width(kKeys - 1) - 8);
+
+    // Ordered semantics survive the resharding.
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    ASSERT_EQ(fx.tree->scan(12345, 100, out), 100u);
+    EXPECT_EQ(out[0].first, 12345u);
+    for (size_t i = 1; i < out.size(); i++)
+        EXPECT_EQ(out[i].first, out[i - 1].first + 1);
+
+    // And the spread is what concurrent readers actually see: all
+    // threads lookup disjoint dense ranges; every probe must hit.
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&, t] {
+            const uint64_t base =
+                static_cast<uint64_t>(t) * (kKeys / kThreads);
+            for (uint64_t i = 0; i < kKeys / kThreads; i++) {
+                const auto got = fx.tree->lookup(base + i);
+                ASSERT_TRUE(got.has_value()) << base + i;
+                ASSERT_EQ(*got, base + i);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+}
+
+TEST(PacTreeTest, AdaptiveShardingSurvivesReopenAndGrowth)
+{
+    // Recovery rebuilds the directory through the same adaptive path,
+    // and later larger keys re-home the directory without losing
+    // entries (the shift only grows).
+    TreeFixture fx;
+    for (uint64_t i = 0; i < 30000; i++)
+        fx.tree->insertOrGet(i, i + 1);
+    fx.reopen();
+    EXPECT_GT(fx.tree->populatedShards(), 32);
+    for (uint64_t i = 0; i < 30000; i += 111)
+        ASSERT_EQ(fx.tree->lookup(i).value(), i + 1);
+
+    const int shift_before = fx.tree->shardShift();
+    // A burst of far-larger keys triggers live resharding mid-traffic.
+    for (uint64_t i = 0; i < 30000; i++) {
+        const uint64_t big = (1ull << 40) + i;
+        fx.tree->insertOrGet(big, i);
+    }
+    EXPECT_GT(fx.tree->shardShift(), shift_before);
+    for (uint64_t i = 0; i < 30000; i += 97) {
+        ASSERT_EQ(fx.tree->lookup(i).value(), i + 1) << i;
+        ASSERT_EQ(fx.tree->lookup((1ull << 40) + i).value(), i) << i;
+    }
 }
 
 TEST(DramIndexTest, BasicAndScan)
