@@ -29,6 +29,7 @@ int
 main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
+    maybeTraceToFileAtExit(argc, argv);
     BenchScale s;
     s.ops = envOr("PRISM_BENCH_OPS", 40000) / 2;
     printScale(s);

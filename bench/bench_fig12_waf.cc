@@ -14,6 +14,7 @@ int
 main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
+    maybeTraceToFileAtExit(argc, argv);
     BenchScale base;
     base.ops = envOr("PRISM_BENCH_OPS", 40000) * 2;  // updates of dataset
     printScale(base);

@@ -34,6 +34,7 @@ int
 main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
+    maybeTraceToFileAtExit(argc, argv);
     BenchScale base;
     printScale(base);
     std::printf("== Figure 13: throughput vs #SSDs ==\n");

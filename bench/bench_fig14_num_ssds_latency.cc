@@ -35,6 +35,7 @@ int
 main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
+    maybeTraceToFileAtExit(argc, argv);
     BenchScale base;
     printScale(base);
     std::printf("== Figure 14: YCSB-C latency vs #SSDs ==\n");

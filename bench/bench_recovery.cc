@@ -14,6 +14,7 @@ int
 main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
+    maybeTraceToFileAtExit(argc, argv);
     BenchScale s;
     printScale(s);
     std::printf("== Recovery time after crash ==\n");

@@ -22,6 +22,7 @@
 #include <string_view>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "ycsb/driver.h"
 #include "ycsb/stores.h"
 
@@ -98,6 +99,51 @@ maybeDumpStatsAtExit(int argc, char **argv)
     detail::g_stats_flag = parseStatsFlag(argc, argv);
     if (detail::g_stats_flag.enabled)
         std::atexit([] { dumpStats(detail::g_stats_flag); });
+}
+
+/** @} */
+
+/**
+ * @name --trace support (docs/OBSERVABILITY.md, "Tracing")
+ *
+ * Every bench accepts `--trace=<file>` (or `PRISM_BENCH_TRACE=<file>`)
+ * to enable the cross-layer tracer for the whole run and export a
+ * Chrome-trace/Perfetto JSON dump to <file> at normal process exit.
+ * Open the dump at https://ui.perfetto.dev or chrome://tracing.
+ * @{
+ */
+
+namespace detail {
+inline std::string g_trace_path;
+}  // namespace detail
+
+/** Call first thing in main(), next to maybeDumpStatsAtExit(). */
+inline void
+maybeTraceToFileAtExit(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        const std::string_view a = argv[i];
+        if (a.rfind("--trace=", 0) == 0)
+            detail::g_trace_path = std::string(a.substr(8));
+    }
+    if (const char *env = std::getenv("PRISM_BENCH_TRACE")) {
+        if (*env != '\0' && detail::g_trace_path.empty())
+            detail::g_trace_path = env;
+    }
+    if (detail::g_trace_path.empty())
+        return;
+    trace::TraceRegistry::global().setEnabled(true);
+    std::atexit([] {
+        trace::TraceRegistry::global().publishStats();
+        if (!trace::TraceRegistry::global().exportJsonToFile(
+                detail::g_trace_path)) {
+            std::fprintf(stderr, "trace export to %s failed\n",
+                         detail::g_trace_path.c_str());
+            return;
+        }
+        std::fprintf(stderr, "trace written to %s\n",
+                     detail::g_trace_path.c_str());
+    });
 }
 
 /** @} */

@@ -18,8 +18,8 @@
  *   prism> quit
  *
  * Commands: put, get, del, scan, fill, flush, gc, stats, metrics,
- * json, tracegen, replay, help, quit. Run with --stats to dump the
- * metrics registry on exit (see docs/OBSERVABILITY.md).
+ * json, trace, slowops, tracegen, replay, help, quit. Run with --stats
+ * to dump the metrics registry on exit (see docs/OBSERVABILITY.md).
  */
 #include <cstdio>
 #include <cstring>
@@ -28,6 +28,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "core/prism_db.h"
 #include "sim/device_profile.h"
 #include "ycsb/stores.h"
@@ -84,6 +85,41 @@ printStats(ycsb::PrismStore &store)
                 static_cast<double>(st.user_bytes_written.load()) / 1e6);
 }
 
+void
+printSlowOps(const std::vector<trace::SlowOp> &ops)
+{
+    auto &tracer = trace::TraceRegistry::global();
+    if (ops.empty()) {
+        std::printf("no slow ops captured (threshold %llu us; set "
+                    "one with 'trace slow <us>')\n",
+                    static_cast<unsigned long long>(
+                        tracer.slowOpThresholdUs()));
+        return;
+    }
+    for (const auto &op : ops) {
+        std::printf("%-14s %8.1f us  tid=%d%s\n", op.op.c_str(),
+                    static_cast<double>(op.dur_ns) / 1e3, op.tid,
+                    op.truncated ? "  [subtree truncated]" : "");
+        for (const auto &ev : op.events) {
+            std::printf("  %*s%-22s +%8.1fus  dur=%8.1fus",
+                        ev.depth * 2, "",
+                        tracer.nameOf(ev.name_id).c_str(),
+                        static_cast<double>(ev.ts_ns - op.start_ns) /
+                            1e3,
+                        static_cast<double>(ev.dur_ns) / 1e3);
+            if (ev.arg1_name_id != 0)
+                std::printf("  %s=%llu",
+                            tracer.nameOf(ev.arg1_name_id).c_str(),
+                            static_cast<unsigned long long>(ev.arg1));
+            if (ev.arg2_name_id != 0)
+                std::printf("  %s=%llu",
+                            tracer.nameOf(ev.arg2_name_id).c_str(),
+                            static_cast<unsigned long long>(ev.arg2));
+            std::printf("\n");
+        }
+    }
+}
+
 ycsb::Mix
 mixByName(const std::string &name)
 {
@@ -112,6 +148,14 @@ help()
         "  stats                      show store statistics\n"
         "  metrics                    dump the metrics registry (text)\n"
         "  json                       dump the metrics registry (JSON)\n"
+        "  trace on|off               toggle cross-layer tracing\n"
+        "  trace dump <file>          export Chrome-trace JSON "
+        "(ui.perfetto.dev)\n"
+        "  trace slow <us>            capture ops slower than <us> "
+        "(0 = off)\n"
+        "  trace clear                drop recorded events + slow ops\n"
+        "  slowops                    show captured slow ops, worst "
+        "first\n"
         "  tracegen <mix> <n> <file>  synthesize a YCSB trace "
         "(mix: load|a|b|c|d|e|nutanix)\n"
         "  replay <file>              replay a trace file\n"
@@ -228,6 +272,46 @@ main(int argc, char **argv)
             std::printf("%s", store.db().stats().toString().c_str());
         } else if (cmd == "json") {
             std::printf("%s\n", store.db().stats().toJson().c_str());
+        } else if (cmd == "trace") {
+            std::string sub;
+            in >> sub;
+            auto &tracer = trace::TraceRegistry::global();
+            if (sub == "on") {
+                tracer.setEnabled(true);
+                std::printf("tracing on\n");
+            } else if (sub == "off") {
+                tracer.setEnabled(false);
+                std::printf("tracing off\n");
+            } else if (sub == "dump") {
+                std::string file;
+                if (!(in >> file)) {
+                    std::printf("usage: trace dump <file>\n");
+                    continue;
+                }
+                if (tracer.exportJsonToFile(file))
+                    std::printf("trace written to %s (open at "
+                                "https://ui.perfetto.dev)\n",
+                                file.c_str());
+                else
+                    std::printf("cannot write %s\n", file.c_str());
+            } else if (sub == "slow") {
+                uint64_t us;
+                if (!(in >> us)) {
+                    std::printf("usage: trace slow <us>\n");
+                    continue;
+                }
+                tracer.setSlowOpThresholdUs(us);
+                std::printf("slow-op threshold %llu us\n",
+                            static_cast<unsigned long long>(us));
+            } else if (sub == "clear") {
+                tracer.clear();
+                std::printf("OK\n");
+            } else {
+                std::printf(
+                    "usage: trace on|off|dump <file>|slow <us>|clear\n");
+            }
+        } else if (cmd == "slowops") {
+            printSlowOps(store.db().slowOps());
         } else if (cmd == "tracegen") {
             std::string mix, file;
             uint64_t n;

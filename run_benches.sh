@@ -1,9 +1,13 @@
 #!/bin/bash
 # Runs bench binaries sequentially, echoing a banner per binary, and
 # assembles the machine-readable rows the benches emit (via
-# PRISM_BENCH_JSON, see bench/bench_util.h) into BENCH_pr2.json:
-# fig16 scalability (throughput + pwb_stalls per thread count) and the
-# fig12 WAF summary.
+# PRISM_BENCH_JSON, see bench/bench_util.h) into per-PR documents:
+#   BENCH_pr2.json — fig16 scalability (throughput + pwb_stalls per
+#     thread count) and the fig12 WAF summary;
+#   BENCH_pr3.json — fig17 GC/reclaim timeline (tracer-driven, with the
+#     trace layer-coverage row), tab03 latency incl. slow-op counts,
+#     and the fig16 rows again as the tracing-disabled regression
+#     reference.
 #
 # Usage: ./run_benches.sh [name-filter ...]
 #   With no arguments every build/bench/* binary runs; otherwise only
@@ -30,11 +34,11 @@ for b in build/bench/*; do
   echo "##### exit=$? #####"
 done
 
-# Regroup the JSON-lines rows by figure into one document.
+# Regroup the JSON-lines rows by figure into one document per PR.
 if [ -s "$ROWS" ]; then
   awk '
-    /"figure": "fig16"/ { f16[n16++] = $0 }
-    /"figure": "fig12"/ { f12[n12++] = $0 }
+    /"figure": ?"fig16"/ { f16[n16++] = $0 }
+    /"figure": ?"fig12"/ { f12[n12++] = $0 }
     END {
       print "{"
       printf "  \"fig16_scalability\": [\n"
@@ -48,6 +52,27 @@ if [ -s "$ROWS" ]; then
       print "}"
     }
   ' "$ROWS" > BENCH_pr2.json
+  awk '
+    /"figure": ?"fig17"/ { f17[n17++] = $0 }
+    /"figure": ?"tab03"/ { t03[n03++] = $0 }
+    /"figure": ?"fig16"/ { f16[n16++] = $0 }
+    END {
+      print "{"
+      printf "  \"fig17_gc_timeline\": [\n"
+      for (i = 0; i < n17; i++)
+        printf "    %s%s\n", f17[i], (i + 1 < n17 ? "," : "")
+      print "  ],"
+      printf "  \"tab03_latency\": [\n"
+      for (i = 0; i < n03; i++)
+        printf "    %s%s\n", t03[i], (i + 1 < n03 ? "," : "")
+      print "  ],"
+      printf "  \"fig16_tracing_disabled_reference\": [\n"
+      for (i = 0; i < n16; i++)
+        printf "    %s%s\n", f16[i], (i + 1 < n16 ? "," : "")
+      print "  ]"
+      print "}"
+    }
+  ' "$ROWS" > BENCH_pr3.json
   echo ""
-  echo "##### wrote BENCH_pr2.json ($(grep -c '"figure"' "$ROWS") rows) #####"
+  echo "##### wrote BENCH_pr2.json + BENCH_pr3.json ($(grep -c '"figure"' "$ROWS") rows) #####"
 fi

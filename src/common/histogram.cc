@@ -101,12 +101,15 @@ Histogram::percentile(double q) const
 std::string
 Histogram::summaryUs() const
 {
-    char buf[160];
+    char buf[224];
     std::snprintf(buf, sizeof(buf),
-                  "avg=%.1fus p50=%.1fus p99=%.1fus max=%.1fus n=%llu",
+                  "avg=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus "
+                  "p999=%.1fus max=%.1fus n=%llu",
                   mean() / 1e3,
                   static_cast<double>(percentile(0.5)) / 1e3,
+                  static_cast<double>(percentile(0.9)) / 1e3,
                   static_cast<double>(percentile(0.99)) / 1e3,
+                  static_cast<double>(percentile(0.999)) / 1e3,
                   static_cast<double>(max()) / 1e3,
                   static_cast<unsigned long long>(count_));
     return buf;

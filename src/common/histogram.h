@@ -44,7 +44,7 @@ class Histogram {
      */
     uint64_t percentile(double q) const;
 
-    /** "avg=… p50=… p99=… max=…" summary (values in microseconds). */
+    /** "avg=… p50=… p90=… p99=… p999=… max=…" summary (microseconds). */
     std::string summaryUs() const;
 
   private:

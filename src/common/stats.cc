@@ -89,7 +89,9 @@ StatsRegistry::snapshot() const
             m.count = h.count();
             m.mean = h.mean();
             m.p50 = h.percentile(0.5);
+            m.p90 = h.percentile(0.9);
             m.p99 = h.percentile(0.99);
+            m.p999 = h.percentile(0.999);
             m.max = h.max();
             break;
           }
@@ -183,9 +185,10 @@ StatsSnapshot::toString() const
           case MetricType::kHistogram:
             std::snprintf(line, sizeof(line),
                           "%-44s count=%" PRIu64 " mean=%.0f p50=%" PRIu64
-                          " p99=%" PRIu64 " max=%" PRIu64 " %s\n",
-                          m.name.c_str(), m.count, m.mean, m.p50, m.p99,
-                          m.max, m.unit.c_str());
+                          " p90=%" PRIu64 " p99=%" PRIu64 " p999=%" PRIu64
+                          " max=%" PRIu64 " %s\n",
+                          m.name.c_str(), m.count, m.mean, m.p50, m.p90,
+                          m.p99, m.p999, m.max, m.unit.c_str());
             break;
         }
         out += line;
@@ -212,9 +215,11 @@ StatsSnapshot::toJson() const
           case MetricType::kHistogram:
             std::snprintf(buf, sizeof(buf),
                           "{\"count\":%" PRIu64 ",\"mean\":%.1f,"
-                          "\"p50\":%" PRIu64 ",\"p99\":%" PRIu64
+                          "\"p50\":%" PRIu64 ",\"p90\":%" PRIu64
+                          ",\"p99\":%" PRIu64 ",\"p999\":%" PRIu64
                           ",\"max\":%" PRIu64 "}",
-                          m.count, m.mean, m.p50, m.p99, m.max);
+                          m.count, m.mean, m.p50, m.p90, m.p99, m.p999,
+                          m.max);
             dest = &histograms;
             break;
         }

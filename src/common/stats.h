@@ -158,7 +158,9 @@ struct MetricSnapshot {
     uint64_t count = 0;
     double mean = 0.0;
     uint64_t p50 = 0;
+    uint64_t p90 = 0;
     uint64_t p99 = 0;
+    uint64_t p999 = 0;
     uint64_t max = 0;
 };
 

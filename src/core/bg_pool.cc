@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace prism::core {
 
@@ -79,6 +80,7 @@ BgPool::submit(std::function<void()> fn)
 void
 BgPool::runTask(std::function<void()> &fn, stats::Counter *busy_ns)
 {
+    PRISM_TRACE_SPAN("bg.task");
     const uint64_t t0 = nowNs();
     fn();
     const uint64_t dt = nowNs() - t0;
@@ -92,6 +94,8 @@ BgPool::runTask(std::function<void()> &fn, stats::Counter *busy_ns)
 void
 BgPool::workerLoop(int idx)
 {
+    trace::TraceRegistry::global().setThreadName(
+        "bg-worker-" + std::to_string(idx));
     stats::Counter *busy = reg_worker_busy_ns_[static_cast<size_t>(idx)];
     std::unique_lock<std::mutex> lock(mu_);
     while (true) {

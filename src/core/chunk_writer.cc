@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "common/clock.h"
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace prism::core {
 
@@ -104,11 +106,17 @@ void
 ChunkWriter::reapFront(bool block)
 {
     InFlight &f = inflight_.front();
+    // The span covers reap + publish on the driving thread; the SSD-side
+    // service time lives on the device's own trace track. wall_ns (time
+    // since submit) shows how long the chunk was in the pipeline.
+    PRISM_TRACE_SPAN_VAR(span, "pwb.chunk_write");
     if (block)
         f.ticket->wait();
     reg_inflight_->sub(1);
     if (callback_)
         callback_(f.vs, f.chunk, f.first_record, f.record_count);
+    span.arg(PRISM_TRACE_NID("records"), f.record_count);
+    span.arg(PRISM_TRACE_NID("wall_ns"), nowNs() - f.submit_ns);
     inflight_.pop_front();  // releases the chunk buffer
 }
 
@@ -138,6 +146,8 @@ ChunkWriter::submitCurrent()
     f.ticket = std::make_unique<WriteTicket>();
     f.first_record = cur_first_record_;
     f.record_count = records_added_ - cur_first_record_;
+    f.submit_ns = nowNs();
+    PRISM_TRACE_INSTANT("pwb.chunk_submit");
     const Status st =
         f.vs->submitChunkWrite(f.chunk, f.buf.get(), f.used, f.ticket.get());
     if (!st.isOk())

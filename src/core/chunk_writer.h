@@ -130,6 +130,7 @@ class ChunkWriter {
         std::unique_ptr<WriteTicket> ticket;
         size_t first_record;
         size_t record_count;
+        uint64_t submit_ns;  ///< when the device write was submitted
     };
 
     /** Pick a Value Storage (idle preferred) and allocate a chunk. */

@@ -117,6 +117,24 @@ struct PrismOptions {
     uint64_t stats_dump_interval_ms = 0;
     /** Dump format for the periodic dumper: JSON lines vs aligned text. */
     bool stats_dump_json = false;
+    /**
+     * Start with cross-layer tracing (src/common/trace.h) recording.
+     * The tracer is process-wide; this just flips it on at open so a
+     * whole run is captured without touching TraceRegistry directly.
+     * Tracing can also be toggled at runtime (prism_cli `trace on`).
+     */
+    bool trace_enabled = false;
+    /**
+     * Ops slower than this many microseconds get their span tree copied
+     * into the keep-worst slow-op buffer (PrismDb::slowOps()). 0
+     * disables capture. Implies ring recording while set.
+     */
+    uint64_t trace_slow_op_us = 0;
+    /** Per-thread trace ring capacity in events (rounded to a power of
+     *  two; ~64 B/event). */
+    uint64_t trace_ring_events = 16384;
+    /** How many worst slow ops to keep. */
+    uint64_t trace_slow_op_keep = 32;
     ///@}
 };
 

@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "core/chunk_writer.h"
 
 namespace prism::core {
@@ -47,6 +48,18 @@ PrismDb::PrismDb(const PrismOptions &opts,
     reg_.reclaim_deferred_values =
         &reg.counter("prism.pwb.reclaim_deferred_values", "ops");
     reg_.pwb_stall_ns = &reg.histogram("prism.pwb.stall_ns", "ns");
+
+    // Tracer wiring: the tracer is process-wide (like the stats
+    // registry), so options only ever *raise* its state — a second
+    // store opened with defaults must not silently disable a trace the
+    // CLI or another instance turned on.
+    auto &tracer = trace::TraceRegistry::global();
+    tracer.setRingCapacity(opts_.trace_ring_events);
+    tracer.setSlowOpKeep(opts_.trace_slow_op_keep);
+    if (opts_.trace_slow_op_us > 0)
+        tracer.setSlowOpThresholdUs(opts_.trace_slow_op_us);
+    if (opts_.trace_enabled)
+        tracer.setEnabled(true);
 
     for (size_t i = 0; i < ssds.size(); i++) {
         value_storages_.push_back(std::make_unique<ValueStorage>(
@@ -215,6 +228,7 @@ PrismDb::put(uint64_t key, std::string_view value)
 {
     if (value.size() > opts_.max_value_bytes)
         return Status::invalidArgument("value too large");
+    PRISM_TRACE_OP(op_scope, "prism.put");
     stats_.puts.fetch_add(1, std::memory_order_relaxed);
     stats_.user_bytes_written.fetch_add(value.size(),
                                         std::memory_order_relaxed);
@@ -244,11 +258,17 @@ PrismDb::put(uint64_t key, std::string_view value)
             // Write the value (and its backward pointer) to this
             // thread's PWB — durable before it becomes visible.
             Pwb *pwb = pwbForThisThread();
-            const ValueAddr addr = pwb->append(
-                h, key, value.data(), static_cast<uint32_t>(value.size()));
+            ValueAddr addr;
+            {
+                PRISM_TRACE_SPAN("pwb.append");
+                addr = pwb->append(h, key, value.data(),
+                                   static_cast<uint32_t>(value.size()));
+            }
             if (!addr.isNull()) {
                 // Publish: durable-linearizable CAS of the forward
                 // pointer (§5.4). Retried on concurrent change.
+                PRISM_TRACE_SPAN_VAR(cas_span, "hsit.cas_publish");
+                uint64_t retries = 0;
                 while (true) {
                     const ValueAddr old = hsit_->loadPrimary(h);
                     if (hsit_->casPrimaryDurable(h, old, addr)) {
@@ -256,10 +276,16 @@ PrismDb::put(uint64_t key, std::string_view value)
                         clearOldLocation(h, old);
                         break;
                     }
+                    retries++;
                     reg_.hsit_cas_retries->inc();
                 }
-                if (stall_t0 != 0)
-                    reg_.pwb_stall_ns->record(nowNs() - stall_t0);
+                cas_span.arg(PRISM_TRACE_NID("retries"), retries);
+                if (stall_t0 != 0) {
+                    const uint64_t waited = nowNs() - stall_t0;
+                    reg_.pwb_stall_ns->record(waited);
+                    trace::spanAt(PRISM_TRACE_NID("pwb.stall"),
+                                  stall_t0, waited);
+                }
                 return Status::ok();
             }
         }
@@ -324,6 +350,7 @@ PrismDb::readValue(uint64_t hsit_idx, uint64_t key, ValueAddr addr,
 Status
 PrismDb::get(uint64_t key, std::string *value)
 {
+    PRISM_TRACE_OP(op_scope, "prism.get");
     stats_.gets.fetch_add(1, std::memory_order_relaxed);
     reg_.gets->inc();
     EpochGuard guard(epochs_);
@@ -344,6 +371,7 @@ PrismDb::get(uint64_t key, std::string *value)
 Status
 PrismDb::del(uint64_t key)
 {
+    PRISM_TRACE_OP(op_scope, "prism.del");
     stats_.dels.fetch_add(1, std::memory_order_relaxed);
     reg_.dels->inc();
     EpochGuard guard(epochs_);
@@ -353,6 +381,8 @@ PrismDb::del(uint64_t key)
     if (!index_->remove(key))
         return Status::notFound();  // lost the race to another deleter
     svc_->invalidate(*h);
+    PRISM_TRACE_SPAN_VAR(cas_span, "hsit.cas_publish");
+    uint64_t retries = 0;
     while (true) {
         const ValueAddr old = hsit_->loadPrimary(*h);
         if (hsit_->casPrimaryDurable(*h, old, ValueAddr())) {
@@ -362,8 +392,10 @@ PrismDb::del(uint64_t key)
             }
             break;
         }
+        retries++;
         reg_.hsit_cas_retries->inc();
     }
+    cas_span.arg(PRISM_TRACE_NID("retries"), retries);
     hsit_->freeEntryDeferred(*h, epochs_);
     return Status::ok();
 }
@@ -372,6 +404,8 @@ Status
 PrismDb::scan(uint64_t start_key, size_t count,
               std::vector<std::pair<uint64_t, std::string>> *out)
 {
+    PRISM_TRACE_OP(op_scope, "prism.scan");
+    op_scope.arg(PRISM_TRACE_NID("count"), count);
     stats_.scans.fetch_add(1, std::memory_order_relaxed);
     reg_.scans->inc();
     EpochGuard guard(epochs_);
@@ -504,6 +538,8 @@ Status
 PrismDb::multiGet(const std::vector<uint64_t> &keys,
                   std::vector<std::optional<std::string>> *out)
 {
+    PRISM_TRACE_OP(op_scope, "prism.multiget");
+    op_scope.arg(PRISM_TRACE_NID("keys"), keys.size());
     stats_.gets.fetch_add(keys.size(), std::memory_order_relaxed);
     reg_.gets->add(keys.size());
     EpochGuard guard(epochs_);
@@ -601,6 +637,7 @@ PrismDb::reclaimPwb(Pwb *pwb, bool force)
     // records twice (and must not interleave their cursor updates).
     // Blocking, so flushAll reliably makes progress. Passes on distinct
     // PWBs are independent and run concurrently across the pool.
+    PRISM_TRACE_SPAN_VAR(pass_span, "pwb.reclaim_pass");
     std::lock_guard<std::mutex> pass_lock(pwb->passMutex());
 
     // Near-full rings (a stalled put dispatches at ~100% utilization)
@@ -623,6 +660,7 @@ PrismDb::reclaimPwb(Pwb *pwb, bool force)
     // compares the ring tail against this, so a deferred straggler does
     // not read as "unscanned backlog" and trigger a dispatch storm.
     pwb->setLastScanTail(new_head);
+    pass_span.arg(PRISM_TRACE_NID("scanned_records"), refs.size());
     if (new_head == start)
         return;
 
@@ -739,6 +777,7 @@ PrismDb::reclaimPwb(Pwb *pwb, bool force)
         }
     }
 
+    pass_span.arg(PRISM_TRACE_NID("live_records"), live.size());
     stats_.reclaim_passes.fetch_add(1, std::memory_order_relaxed);
     reg_.reclaim_passes->inc();
     if (new_head == start)
@@ -781,6 +820,7 @@ PrismDb::dispatchReclaim(Pwb *pwb)
     // any PWB (the pass lock serializes with flushAll regardless).
     if (!pwb->tryAcquireReclaimSlot())
         return;
+    PRISM_TRACE_INSTANT("pwb.reclaim_dispatch");
     reg_.reclaim_dispatches->inc();
     bg_pool_->submit([this, pwb] {
         reclaimPwb(pwb);
@@ -796,6 +836,7 @@ PrismDb::dispatchGc(size_t vs_id)
     if (!gc_scheduled_[vs_id].compare_exchange_strong(
             expected, true, std::memory_order_acq_rel))
         return;
+    PRISM_TRACE_INSTANT("vs.gc_dispatch");
     reg_.gc_dispatches->inc();
     bg_pool_->submit([this, vs_id] {
         value_storages_[vs_id]->runGcPass(*hsit_);
@@ -811,6 +852,7 @@ PrismDb::runGcRoundParallel()
     // so this is safe to invoke from inside a pool task — the GC
     // fallback in reclaimPwb does. Contended Value Storages are skipped
     // by runGcPass's try-lock, never waited on.
+    PRISM_TRACE_SPAN("vs.gc_round");
     bg_pool_->parallelFor(value_storages_.size(), [this](size_t i) {
         value_storages_[i]->runGcPass(*hsit_);
     });
@@ -819,6 +861,7 @@ PrismDb::runGcRoundParallel()
 void
 PrismDb::reclaimerLoop()
 {
+    trace::TraceRegistry::global().setThreadName("prism-reclaimer");
     std::unique_lock<std::mutex> lock(reclaim_mu_);
     while (!stop_.load(std::memory_order_acquire)) {
         reclaim_cv_.wait_for(
@@ -853,6 +896,7 @@ PrismDb::reclaimerLoop()
 void
 PrismDb::gcLoop()
 {
+    trace::TraceRegistry::global().setThreadName("prism-gc");
     while (!stop_.load(std::memory_order_acquire)) {
         for (size_t i = 0; i < value_storages_.size(); i++) {
             if (stop_.load(std::memory_order_acquire))
@@ -869,6 +913,7 @@ void
 PrismDb::flushAll()
 {
     // Quiesced-caller contract: no concurrent put/get/scan.
+    PRISM_TRACE_SPAN("prism.flush_all");
     for (int round = 0; round < 1024; round++) {
         bool dirty = false;
         for (int tid = 0; tid < ThreadId::kMaxThreads; tid++) {
@@ -890,6 +935,7 @@ PrismDb::forceGc()
     // Rounds of one concurrent pass per over-watermark Value Storage;
     // freed chunks only return to the free lists after the epoch drain,
     // so progress is re-evaluated between rounds.
+    PRISM_TRACE_SPAN("prism.force_gc");
     for (int round = 0; round < 1024; round++) {
         std::vector<size_t> needy;
         for (size_t i = 0; i < value_storages_.size(); i++) {
@@ -938,12 +984,9 @@ PrismDb::stats() const
 void
 PrismDb::statsDumperLoop()
 {
-    std::unique_lock<std::mutex> lock(dumper_mu_);
-    while (!stop_.load(std::memory_order_acquire)) {
-        dumper_cv_.wait_for(
-            lock, std::chrono::milliseconds(opts_.stats_dump_interval_ms));
-        if (stop_.load(std::memory_order_acquire))
-            return;
+    trace::TraceRegistry::global().setThreadName("prism-stats-dumper");
+    const auto dumpOnce = [this] {
+        trace::TraceRegistry::global().publishStats();
         const auto snap = stats::StatsRegistry::global().snapshot();
         if (opts_.stats_dump_json) {
             std::fprintf(stderr, "%s\n", snap.toJson().c_str());
@@ -951,7 +994,18 @@ PrismDb::statsDumperLoop()
             std::fprintf(stderr, "---- prism stats ----\n%s",
                          snap.toString().c_str());
         }
+    };
+    std::unique_lock<std::mutex> lock(dumper_mu_);
+    while (!stop_.load(std::memory_order_acquire)) {
+        dumper_cv_.wait_for(
+            lock, std::chrono::milliseconds(opts_.stats_dump_interval_ms));
+        if (stop_.load(std::memory_order_acquire))
+            break;
+        dumpOnce();
     }
+    // Final snapshot at close: a run shorter than the dump interval
+    // would otherwise exit without ever reporting.
+    dumpOnce();
 }
 
 }  // namespace prism::core

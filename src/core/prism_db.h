@@ -45,6 +45,7 @@
 #include "common/epoch.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/thread_util.h"
 #include "core/bg_pool.h"
 #include "core/hsit.h"
@@ -184,6 +185,15 @@ class PrismDb {
 
     /** Wall-clock nanoseconds the constructor spent in recovery. */
     uint64_t recoveryTimeNs() const { return recovery_ns_; }
+
+    /**
+     * Captured slow operations, worst first (ops whose wall time
+     * exceeded PrismOptions::trace_slow_op_us; see common/trace.h).
+     * The buffer is process-wide, like the stats registry.
+     */
+    std::vector<trace::SlowOp> slowOps() const {
+        return trace::TraceRegistry::global().slowOps();
+    }
     ///@}
 
   private:

@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "core/chunk_writer.h"
 
 namespace prism::core {
@@ -52,6 +53,7 @@ Svc::lookup(uint64_t hsit_idx, uint64_t primary_raw, std::string *out)
 {
     if (!enabled_)
         return false;
+    PRISM_TRACE_SPAN("svc.lookup");
     auto *e = static_cast<SvcEntry *>(hsit_.svcLoad(hsit_idx));
     if (e == nullptr) {
         stats_.misses.fetch_add(1, std::memory_order_relaxed);
@@ -78,6 +80,7 @@ Svc::admit(uint64_t hsit_idx, uint64_t key, ValueAddr vs_addr,
 {
     if (!enabled_)
         return;
+    PRISM_TRACE_SPAN("svc.admit");
     auto *e = static_cast<SvcEntry *>(
         operator new(sizeof(SvcEntry) + size));
     new (e) SvcEntry();
@@ -200,6 +203,7 @@ Svc::Lru::popBack()
 void
 Svc::managerLoop()
 {
+    trace::TraceRegistry::global().setThreadName("svc-manager");
     std::deque<Event> batch;
     while (!stop_.load(std::memory_order_acquire)) {
         batch.clear();
@@ -294,6 +298,7 @@ Svc::balance()
 void
 Svc::evictOne()
 {
+    PRISM_TRACE_SPAN("svc.evict");
     SvcEntry *e = inactive_.popBack();
     if (e == nullptr) {
         e = active_.popBack();
@@ -339,6 +344,7 @@ Svc::unlinkScan(SvcEntry *e)
 void
 Svc::reorganizeChain(SvcEntry *evictee)
 {
+    PRISM_TRACE_SPAN("svc.reorg");
     // Walk the doubly-linked chain formed at scan time (no extra lookup
     // needed, §4.4), collect the members, and rewrite them sorted into a
     // fresh chunk so the range becomes one sequential read.

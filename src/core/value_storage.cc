@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "core/chunk_writer.h"
 
 namespace prism::core {
@@ -52,6 +53,8 @@ ValueStorage::completionLoop()
 {
     // The background completion thread of §5.3 step 4: reap the CQ and
     // wake the waiter identified by each completion's user_data.
+    trace::TraceRegistry::global().setThreadName(
+        "vs-completion-" + std::to_string(ssd_id_));
     std::vector<sim::SsdCompletion> completions;
     while (!stop_.load(std::memory_order_acquire)) {
         completions.clear();
@@ -229,6 +232,8 @@ ValueStorage::runGcPass(Hsit &hsit)
     std::unique_lock<std::mutex> gc_lock(gc_mu_, std::try_to_lock);
     if (!gc_lock.owns_lock())
         return 0;
+    PRISM_TRACE_SPAN_VAR(gc_span, "vs.gc_pass");
+    gc_span.arg(PRISM_TRACE_NID("ssd"), ssd_id_);
     const uint64_t gc_t0 = nowNs();
 
     // Greedy victim selection: sealed chunks with the fewest live units.

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_util.h"
+#include "common/trace.h"
 
 namespace prism::pmem {
 
@@ -66,6 +67,11 @@ PmemRegion::fence()
     auto &mine = staged_[static_cast<size_t>(ThreadId::self())].ranges;
     if (mine.empty())
         return;
+    // Traced only in tracking mode, where the fence does real work (the
+    // shadow-image commit); fast mode's fence is a counter bump and
+    // would just flood the rings with empty events.
+    PRISM_TRACE_SPAN_VAR(span, "pmem.fence");
+    span.arg(PRISM_TRACE_NID("staged_ranges"), mine.size());
     std::lock_guard<std::mutex> lock(shadow_mu_);
     for (const auto &r : mine)
         commitLines(r);

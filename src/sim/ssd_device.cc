@@ -6,8 +6,14 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace prism::sim {
+
+namespace {
+/** Process-wide device numbering for trace track names. */
+std::atomic<int> g_ssd_trace_seq{0};
+}  // namespace
 
 SsdDevice::SsdDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
                      bool model_timing)
@@ -35,6 +41,14 @@ SsdDevice::SsdDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
         profile.read_bw_bytes_per_sec / scale, 8 * 1024 * 1024);
     write_bw_ = std::make_unique<TokenBucket>(
         profile.write_bw_bytes_per_sec / scale, 8 * 1024 * 1024);
+    trace_dev_ = g_ssd_trace_seq.fetch_add(1, std::memory_order_relaxed);
+    auto &tracer = trace::TraceRegistry::global();
+    trace_channel_tracks_.reserve(channel_free_at_.size());
+    for (size_t c = 0; c < channel_free_at_.size(); c++) {
+        trace_channel_tracks_.push_back(tracer.registerTrack(
+            "ssd" + std::to_string(trace_dev_) + ".ch" +
+            std::to_string(c)));
+    }
     worker_ = std::thread([this] { workerLoop(); });
 }
 
@@ -184,6 +198,8 @@ SsdDevice::serviceTimeNs(const SsdIoRequest &req, uint64_t now)
 Status
 SsdDevice::submit(std::span<const SsdIoRequest> batch)
 {
+    PRISM_TRACE_SPAN_VAR(submit_span, "ssd.submit");
+    submit_span.arg(PRISM_TRACE_NID("reqs"), batch.size());
     if (model_timing_.load(std::memory_order_relaxed))
         spinFor(TimeScale::scaled(kSubmitOverheadNs));
     for (const auto &req : batch) {
@@ -249,8 +265,18 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
                                        channel_free_at_.end());
             const uint64_t start = std::max(now, *it);
             const uint64_t due = start + service;
+            Pending p;
+            p.due_ns = due;
+            p.submit_ns = now;
+            p.start_ns = start;
+            p.channel = static_cast<uint32_t>(
+                it - channel_free_at_.begin());
+            p.trace_id =
+                (static_cast<uint64_t>(trace_dev_) << 48) |
+                trace_req_seq_.fetch_add(1, std::memory_order_relaxed);
+            p.completion = {req.user_data, Status::ok(), 0};
             *it = due;
-            pending_.push({due, now, {req.user_data, Status::ok(), 0}});
+            pending_.push(std::move(p));
         }
     }
     sq_cv_.notify_one();
@@ -260,6 +286,8 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
 void
 SsdDevice::workerLoop()
 {
+    trace::TraceRegistry::global().setThreadName(
+        "ssd" + std::to_string(trace_dev_) + "-worker");
     std::unique_lock<std::mutex> lock(sq_mu_);
     while (true) {
         if (stop_.load(std::memory_order_acquire))
@@ -284,6 +312,25 @@ SsdDevice::workerLoop()
             pending_.pop();
         }
         lock.unlock();
+        if (trace::detail::tracingEnabled()) {
+            // Reconstructed at delivery: queue wait (submit -> channel
+            // pickup) as an async interval on this worker's track, and
+            // the service time as an "X" span on the serving channel's
+            // own synthetic track (channel occupancy never overlaps).
+            for (const auto &p : ready) {
+                if (p.start_ns > p.submit_ns) {
+                    trace::asyncBegin(PRISM_TRACE_NID("ssd.queue_wait"),
+                                      p.submit_ns, p.trace_id);
+                    trace::asyncEnd(PRISM_TRACE_NID("ssd.queue_wait"),
+                                    p.start_ns, p.trace_id);
+                }
+                if (p.channel < trace_channel_tracks_.size()) {
+                    trace::spanAt(PRISM_TRACE_NID("ssd.service"),
+                                  p.start_ns, p.due_ns - p.start_ns,
+                                  trace_channel_tracks_[p.channel]);
+                }
+            }
+        }
         {
             std::lock_guard<std::mutex> cq_lock(cq_mu_);
             for (auto &p : ready) {

@@ -164,6 +164,9 @@ class SsdDevice {
     struct Pending {
         uint64_t due_ns;
         uint64_t submit_ns;
+        uint64_t start_ns = 0;   ///< when a channel picked the request up
+        uint32_t channel = 0;    ///< which channel served it
+        uint64_t trace_id = 0;   ///< pairing id for queue-wait trace events
         SsdCompletion completion;
 
         bool operator>(const Pending &o) const { return due_ns > o.due_ns; }
@@ -214,6 +217,14 @@ class SsdDevice {
     stats::Counter *reg_write_ops_;
     stats::Gauge *reg_inflight_;
     stats::LatencyStat *reg_latency_;
+
+    // Tracing: a process-unique device number, one synthetic trace
+    // track per internal channel (service spans are serialized per
+    // channel, so they render as non-overlapping "X" events), and a
+    // sequence for pairing queue-wait begin/end events.
+    int trace_dev_ = 0;
+    std::vector<uint16_t> trace_channel_tracks_;
+    std::atomic<uint64_t> trace_req_seq_{0};
 };
 
 }  // namespace prism::sim

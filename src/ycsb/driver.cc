@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/trace.h"
 
 namespace prism::ycsb {
 
@@ -21,6 +22,8 @@ loadPhase(KvStore &store, const WorkloadSpec &spec, int threads)
     const uint64_t t0 = nowNs();
     for (int t = 0; t < threads; t++) {
         pool.emplace_back([&, t] {
+            trace::TraceRegistry::global().setThreadName(
+                "ycsb-load-" + std::to_string(t));
             const uint64_t lo = static_cast<uint64_t>(t) * per_thread;
             const uint64_t hi =
                 std::min<uint64_t>(lo + per_thread, spec.record_count);
@@ -91,6 +94,8 @@ runPhase(KvStore &store, const WorkloadSpec &spec, int threads,
     const uint64_t t0 = nowNs();
     for (int t = 0; t < threads; t++) {
         pool.emplace_back([&, t] {
+            trace::TraceRegistry::global().setThreadName(
+                "ycsb-client-" + std::to_string(t));
             OpGenerator gen(spec, static_cast<uint64_t>(t));
             ThreadState &st = states[static_cast<size_t>(t)];
             std::string value;

@@ -12,6 +12,7 @@
 #include "common/histogram.h"
 #include "common/rand.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "core/prism_db.h"
 #include "sim/device_profile.h"
 #include "ycsb/driver.h"
@@ -330,6 +331,86 @@ TEST(IntegrationTest, RegistryStaysConsistentAcrossYcsbRun)
         after.histogram("ycsb.run.latency_ns");
     ASSERT_NE(run_lat, nullptr);
     EXPECT_GT(run_lat->count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-layer tracing (docs/OBSERVABILITY.md, "Tracing")
+
+TEST(IntegrationTest, YcsbTraceCoversLayersAndNestsChunkWrites)
+{
+    auto &tracer = trace::TraceRegistry::global();
+    tracer.clear();
+
+    ycsb::FixtureOptions fx;
+    fx.num_ssds = 2;
+    fx.dataset_bytes = 8ull << 20;
+    fx.ssd_bytes = 64ull << 20;
+    fx.model_timing = false;
+    core::PrismOptions opts;
+    opts.pwb_size_bytes = 256 * 1024;  // force reclaim passes
+    opts.trace_enabled = true;         // the PrismOptions wiring path
+    ycsb::PrismStore store(fx, opts);
+    EXPECT_TRUE(tracer.enabled());
+
+    constexpr uint64_t kRecords = 2000;
+    ycsb::WorkloadSpec load =
+        ycsb::WorkloadSpec::forMix(ycsb::Mix::kLoad, kRecords, 0);
+    load.value_bytes = 512;
+    ycsb::loadPhase(store, load, 2);
+    store.flushAll();
+    ycsb::WorkloadSpec run =
+        ycsb::WorkloadSpec::forMix(ycsb::Mix::kA, kRecords, 4000, 0.99);
+    run.value_bytes = 512;
+    ycsb::runPhase(store, run, 2);
+    store.flushAll();
+    tracer.setEnabled(false);
+
+    // The PR 3 acceptance check: spans from >= 4 layers, and at least
+    // one PWB reclaim pass whose per-chunk writes nest inside it
+    // ((ts, dur) containment on the same thread — exactly what the
+    // Perfetto view draws as parent/child).
+    const uint32_t reclaim_id = tracer.internName("pwb.reclaim_pass");
+    const uint32_t chunk_id = tracer.internName("pwb.chunk_write");
+    bool core = false, pwb = false, svc = false, ssd = false;
+    uint64_t reclaim_passes = 0;
+    bool nested_chunk = false;
+    for (const auto &[tid, evs] : tracer.snapshotAll()) {
+        std::vector<std::pair<uint64_t, uint64_t>> passes;
+        for (const auto &e : evs) {
+            if (e.type == trace::EventType::kSpan &&
+                e.name_id == reclaim_id)
+                passes.emplace_back(e.ts_ns, e.ts_ns + e.dur_ns);
+        }
+        reclaim_passes += passes.size();
+        for (const auto &e : evs) {
+            if (e.type != trace::EventType::kSpan)
+                continue;
+            const std::string n = tracer.nameOf(e.name_id);
+            core |= n.rfind("prism.", 0) == 0;
+            pwb |= n.rfind("pwb.", 0) == 0;
+            svc |= n.rfind("svc.", 0) == 0;
+            ssd |= n.rfind("ssd.", 0) == 0;
+            if (e.name_id == chunk_id) {
+                for (const auto &[s, t] : passes) {
+                    nested_chunk |=
+                        e.ts_ns >= s && e.ts_ns + e.dur_ns <= t;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(core) << "no prism.* op spans";
+    EXPECT_TRUE(pwb) << "no pwb.* spans";
+    EXPECT_TRUE(svc) << "no svc.* spans";
+    EXPECT_TRUE(ssd) << "no ssd.* spans";
+    EXPECT_GE(reclaim_passes, 1u);
+    EXPECT_TRUE(nested_chunk)
+        << "no pwb.chunk_write span nested in a pwb.reclaim_pass";
+
+    // And the dump itself is a Chrome-trace JSON object.
+    const std::string json = tracer.exportJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("pwb.reclaim_pass"), std::string::npos);
 }
 
 }  // namespace

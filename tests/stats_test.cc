@@ -166,6 +166,8 @@ TEST(StatsSnapshotTest, TextAndJsonRenderEveryMetric)
     EXPECT_NE(text.find("render.counter"), std::string::npos);
     EXPECT_NE(text.find("render.gauge"), std::string::npos);
     EXPECT_NE(text.find("render.hist"), std::string::npos);
+    EXPECT_NE(text.find("p90="), std::string::npos);
+    EXPECT_NE(text.find("p999="), std::string::npos);
 
     const std::string json = snap.toJson();
     EXPECT_EQ(json.front(), '{');
@@ -174,6 +176,14 @@ TEST(StatsSnapshotTest, TextAndJsonRenderEveryMetric)
     EXPECT_NE(json.find("\"gauges\""), std::string::npos);
     EXPECT_NE(json.find("\"histograms\""), std::string::npos);
     EXPECT_NE(json.find("\"render.counter\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"p90\""), std::string::npos);
+    EXPECT_NE(json.find("\"p999\""), std::string::npos);
+
+    const MetricSnapshot *h = snap.histogram("render.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_GE(h->p90, h->p50);
+    EXPECT_GE(h->p99, h->p90);
+    EXPECT_GE(h->p999, h->p99);
 }
 
 TEST(StatsRegistryTest, GlobalRegistryHoldsEngineMetricsAcrossThreads)
