@@ -35,6 +35,7 @@ main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
     maybeTraceToFileAtExit(argc, argv);
+    maybeTelemetryToFileAtExit(argc, argv);
     BenchScale base;
     printScale(base);
     std::printf("== Figure 13: throughput vs #SSDs ==\n");

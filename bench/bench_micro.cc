@@ -158,6 +158,7 @@ main(int argc, char **argv)
 {
     prism::bench::maybeDumpStatsAtExit(argc, argv);
     prism::bench::maybeTraceToFileAtExit(argc, argv);
+    prism::bench::maybeTelemetryToFileAtExit(argc, argv);
     std::vector<char *> args;
     for (int i = 0; i < argc; i++) {
         const std::string_view a = argv[i];

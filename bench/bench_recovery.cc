@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
     maybeTraceToFileAtExit(argc, argv);
+    maybeTelemetryToFileAtExit(argc, argv);
     BenchScale s;
     printScale(s);
     std::printf("== Recovery time after crash ==\n");

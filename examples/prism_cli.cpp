@@ -18,9 +18,13 @@
  *   prism> quit
  *
  * Commands: put, get, del, scan, fill, flush, gc, stats, metrics,
- * json, trace, slowops, tracegen, replay, help, quit. Run with --stats
- * to dump the metrics registry on exit (see docs/OBSERVABILITY.md).
+ * json, trace, top, telemetry, slowops, tracegen, replay, help, quit.
+ * Run with --stats to dump the metrics registry on exit (see
+ * docs/OBSERVABILITY.md).
  */
+#include <sys/select.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -28,6 +32,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/prism_db.h"
 #include "sim/device_profile.h"
@@ -120,6 +125,121 @@ printSlowOps(const std::vector<trace::SlowOp> &ops)
     }
 }
 
+/**
+ * Wait up to @p ms for input on stdin. Returns true when the user asked
+ * to quit (q / quit / plain Enter / EOF). stdin stays line-buffered, so
+ * keys take effect when Enter is pressed.
+ */
+bool
+waitQuitOrTimeout(uint64_t ms)
+{
+    fd_set rd;
+    FD_ZERO(&rd);
+    FD_SET(STDIN_FILENO, &rd);
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    const int n = select(STDIN_FILENO + 1, &rd, nullptr, nullptr, &tv);
+    if (n <= 0)
+        return false;
+    std::string line;
+    if (!std::getline(std::cin, line))
+        return true;  // EOF
+    return line.empty() || line == "q" || line == "quit";
+}
+
+/** Repaint one frame of the live view from the newest window. */
+void
+renderTopFrame(const telemetry::TelemetrySample &s, bool ansi)
+{
+    if (ansi)
+        std::printf("\x1b[H\x1b[2J");
+    const double dt = s.dtSeconds();
+    const double dt_s = dt > 0 ? dt : 1.0;
+    std::printf("prism top — window #%llu, %.2fs  (q + Enter quits)\n\n",
+                static_cast<unsigned long long>(s.seq), dt);
+
+    std::printf("ops/s      put %9.0f   get %9.0f   del %9.0f   "
+                "scan %9.0f\n",
+                s.counterRate("prism.puts"), s.counterRate("prism.gets"),
+                s.counterRate("prism.dels"), s.counterRate("prism.scans"));
+    std::printf("pipeline   pwb-append %7.1f MB/s   reclaimed %7.0f "
+                "vals/s   gc-moved %7.1f MB/s\n",
+                s.counterRate("prism.pwb.append_bytes") / 1e6,
+                s.counterRate("prism.pwb.reclaimed_values"),
+                s.counterRate("prism.vs.gc_moved_bytes") / 1e6);
+    std::printf("devices    ssd-read %8.1f MB/s   ssd-write %8.1f MB/s"
+                "   bg-tasks %6.0f/s (queue %lld)\n\n",
+                s.counterRate("sim.ssd.bytes_read") / 1e6,
+                s.counterRate("sim.ssd.bytes_written") / 1e6,
+                s.counterRate("prism.bg.tasks"),
+                static_cast<long long>(s.gauge("prism.bg.queue_depth")));
+
+    const int64_t pwb_used = s.gauge("prism.pwb.used_bytes");
+    const int64_t pwb_cap = s.gauge("prism.pwb.capacity_bytes");
+    const int64_t svc_used = s.gauge("prism.svc.used_bytes");
+    const int64_t svc_cap = s.gauge("prism.svc.capacity_bytes");
+    std::printf("occupancy  pwb %6.1f / %6.1f MB (%3.0f%%)   "
+                "svc %6.1f / %6.1f MB (%3.0f%%)\n\n",
+                static_cast<double>(pwb_used) / 1e6,
+                static_cast<double>(pwb_cap) / 1e6,
+                pwb_cap > 0 ? 100.0 * static_cast<double>(pwb_used) /
+                                  static_cast<double>(pwb_cap)
+                            : 0.0,
+                static_cast<double>(svc_used) / 1e6,
+                static_cast<double>(svc_cap) / 1e6,
+                svc_cap > 0 ? 100.0 * static_cast<double>(svc_used) /
+                                  static_cast<double>(svc_cap)
+                            : 0.0);
+
+    std::printf("layer busy (cores)\n");
+    uint64_t total_busy = 0;
+    for (size_t i = 0; i < trace::kNumLayers; i++) {
+        total_busy += s.layer_busy_ns[i];
+        std::printf("  %-6s %6.2f\n", trace::layerName(i),
+                    static_cast<double>(s.layer_busy_ns[i]) /
+                        (dt_s * 1e9));
+    }
+    if (total_busy == 0 &&
+        !trace::TraceRegistry::global().enabled())
+        std::printf("  (all zero — CPU attribution needs tracing; run "
+                    "'trace on')\n");
+
+    if (!s.devices.empty()) {
+        std::printf("\n%-6s %12s %12s %6s\n", "device", "read MB/s",
+                    "write MB/s", "util");
+        for (const auto &d : s.devices)
+            std::printf("%-6s %12.1f %12.1f %5.0f%%\n", d.name.c_str(),
+                        static_cast<double>(d.read_bytes) / dt_s / 1e6,
+                        static_cast<double>(d.written_bytes) / dt_s / 1e6,
+                        d.util * 100.0);
+    }
+    std::fflush(stdout);
+}
+
+/**
+ * Live telemetry view: drives the sampler manually at @p interval_ms
+ * and repaints until the user quits or @p frames windows were shown
+ * (0 = until quit). Works whether or not the background sampler thread
+ * is running — both tick into the same ring.
+ */
+void
+runTop(uint64_t interval_ms, uint64_t frames)
+{
+    auto &tel = telemetry::Telemetry::global();
+    const bool ansi = isatty(STDOUT_FILENO) != 0;
+    tel.sampleNow();  // prime the baseline if there is none yet
+    for (uint64_t i = 0; frames == 0 || i < frames; i++) {
+        if (waitQuitOrTimeout(interval_ms))
+            break;
+        tel.sampleNow();
+        const auto series = tel.series();
+        if (series.empty())
+            continue;
+        renderTopFrame(series.back(), ansi);
+    }
+}
+
 ycsb::Mix
 mixByName(const std::string &name)
 {
@@ -154,6 +274,15 @@ help()
         "  trace slow <us>            capture ops slower than <us> "
         "(0 = off)\n"
         "  trace clear                drop recorded events + slow ops\n"
+        "  top [ms] [frames]          live per-layer rate/occupancy "
+        "view (default 1000 ms)\n"
+        "  telemetry on [ms]          start the background sampler "
+        "(default 100 ms)\n"
+        "  telemetry off              stop the sampler (series kept)\n"
+        "  telemetry dump <file>      export the series JSON "
+        "(scripts/telemetry_report.py)\n"
+        "  telemetry status           sampler state + recorded windows\n"
+        "  telemetry clear            drop the recorded series\n"
         "  slowops                    show captured slow ops, worst "
         "first\n"
         "  tracegen <mix> <n> <file>  synthesize a YCSB trace "
@@ -310,6 +439,58 @@ main(int argc, char **argv)
                 std::printf(
                     "usage: trace on|off|dump <file>|slow <us>|clear\n");
             }
+        } else if (cmd == "top") {
+            uint64_t ms = 1000, frames = 0;
+            in >> ms >> frames;
+            if (ms == 0)
+                ms = 1000;
+            runTop(ms, frames);
+        } else if (cmd == "telemetry") {
+            std::string sub;
+            in >> sub;
+            auto &tel = telemetry::Telemetry::global();
+            if (sub == "on") {
+                uint64_t ms = 100;
+                in >> ms;
+                if (tel.start(ms == 0 ? 100 : ms))
+                    std::printf("telemetry sampling every %llu ms\n",
+                                static_cast<unsigned long long>(
+                                    tel.intervalMs()));
+                else
+                    std::printf("already running (every %llu ms)\n",
+                                static_cast<unsigned long long>(
+                                    tel.intervalMs()));
+            } else if (sub == "off") {
+                tel.stop();
+                std::printf("telemetry stopped (%zu windows kept)\n",
+                            tel.sampleCount());
+            } else if (sub == "dump") {
+                std::string file;
+                if (!(in >> file)) {
+                    std::printf("usage: telemetry dump <file>\n");
+                    continue;
+                }
+                if (tel.exportSeriesJsonToFile(file))
+                    std::printf("series (%zu windows) written to %s "
+                                "(render with "
+                                "scripts/telemetry_report.py)\n",
+                                tel.sampleCount(), file.c_str());
+                else
+                    std::printf("cannot write %s\n", file.c_str());
+            } else if (sub == "status") {
+                std::printf("sampler %s, interval %llu ms, %zu/%zu "
+                            "windows recorded\n",
+                            tel.running() ? "running" : "stopped",
+                            static_cast<unsigned long long>(
+                                tel.intervalMs()),
+                            tel.sampleCount(), tel.capacity());
+            } else if (sub == "clear") {
+                tel.clear();
+                std::printf("OK\n");
+            } else {
+                std::printf("usage: telemetry on [ms]|off|dump "
+                            "<file>|status|clear\n");
+            }
         } else if (cmd == "slowops") {
             printSlowOps(store.db().slowOps());
         } else if (cmd == "tracegen") {
@@ -343,6 +524,7 @@ main(int argc, char **argv)
                         cmd.c_str());
         }
     }
+    telemetry::Telemetry::global().stop();
     if (dump_stats) {
         const auto snap = stats::StatsRegistry::global().snapshot();
         if (dump_json)

@@ -1,19 +1,27 @@
 #!/bin/bash
 # Runs bench binaries sequentially, echoing a banner per binary, and
 # assembles the machine-readable rows the benches emit (via
-# PRISM_BENCH_JSON, see bench/bench_util.h) into per-PR documents:
-#   BENCH_pr2.json — fig16 scalability (throughput + pwb_stalls per
-#     thread count) and the fig12 WAF summary;
-#   BENCH_pr3.json — fig17 GC/reclaim timeline (tracer-driven, with the
-#     trace layer-coverage row), tab03 latency incl. slow-op counts,
-#     and the fig16 rows again as the tracing-disabled regression
-#     reference.
+# PRISM_BENCH_JSON, see bench/bench_util.h) into ONE document, grouped
+# by figure tag: $PRISM_BENCH_OUT, default BENCH_pr4.json.
+#
+# Committed BENCH_pr<N>.json files from earlier PRs are immutable
+# baselines for scripts/bench_compare.py — this script never rewrites
+# them. (It used to regenerate every document on every run, so a
+# filtered run would silently replace a full baseline with a partial
+# row set.) To regenerate an old document on purpose:
+#   PRISM_BENCH_OUT=BENCH_pr2.json ./run_benches.sh fig16 fig12
 #
 # Usage: ./run_benches.sh [name-filter ...]
-#   With no arguments every build/bench/* binary runs; otherwise only
-#   binaries whose basename contains one of the filters, e.g.
-#   `./run_benches.sh fig16 fig12` for just the BENCH_pr2.json inputs.
+#   With no arguments every build/bench/* binary runs and the document
+#   is assembled; with filters, only matching binaries run and the
+#   document is only assembled when PRISM_BENCH_OUT is set (a partial
+#   run makes a partial document, which must be opted into).
 cd /root/repo
+
+OUT="${PRISM_BENCH_OUT:-}"
+if [ -z "$OUT" ] && [ "$#" -eq 0 ]; then
+  OUT=BENCH_pr4.json
+fi
 
 ROWS=$(mktemp /tmp/prism_bench_rows.XXXXXX)
 trap 'rm -f "$ROWS"' EXIT
@@ -34,45 +42,32 @@ for b in build/bench/*; do
   echo "##### exit=$? #####"
 done
 
-# Regroup the JSON-lines rows by figure into one document per PR.
-if [ -s "$ROWS" ]; then
+# Regroup the JSON-lines rows into one document, one array per figure
+# tag, in first-seen order.
+if [ -n "$OUT" ] && [ -s "$ROWS" ]; then
   awk '
-    /"figure": ?"fig16"/ { f16[n16++] = $0 }
-    /"figure": ?"fig12"/ { f12[n12++] = $0 }
+    match($0, /"figure": ?"[A-Za-z0-9_]+"/) {
+      tag = substr($0, RSTART, RLENGTH)
+      sub(/^"figure": ?"/, "", tag)
+      sub(/"$/, "", tag)
+      if (!(tag in cnt)) order[n++] = tag
+      rows[tag, cnt[tag]++] = $0
+    }
     END {
       print "{"
-      printf "  \"fig16_scalability\": [\n"
-      for (i = 0; i < n16; i++)
-        printf "    %s%s\n", f16[i], (i + 1 < n16 ? "," : "")
-      print "  ],"
-      printf "  \"fig12_waf\": [\n"
-      for (i = 0; i < n12; i++)
-        printf "    %s%s\n", f12[i], (i + 1 < n12 ? "," : "")
-      print "  ]"
+      for (i = 0; i < n; i++) {
+        tag = order[i]
+        printf "  \"%s\": [\n", tag
+        for (j = 0; j < cnt[tag]; j++)
+          printf "    %s%s\n", rows[tag, j], (j + 1 < cnt[tag] ? "," : "")
+        printf "  ]%s\n", (i + 1 < n ? "," : "")
+      }
       print "}"
     }
-  ' "$ROWS" > BENCH_pr2.json
-  awk '
-    /"figure": ?"fig17"/ { f17[n17++] = $0 }
-    /"figure": ?"tab03"/ { t03[n03++] = $0 }
-    /"figure": ?"fig16"/ { f16[n16++] = $0 }
-    END {
-      print "{"
-      printf "  \"fig17_gc_timeline\": [\n"
-      for (i = 0; i < n17; i++)
-        printf "    %s%s\n", f17[i], (i + 1 < n17 ? "," : "")
-      print "  ],"
-      printf "  \"tab03_latency\": [\n"
-      for (i = 0; i < n03; i++)
-        printf "    %s%s\n", t03[i], (i + 1 < n03 ? "," : "")
-      print "  ],"
-      printf "  \"fig16_tracing_disabled_reference\": [\n"
-      for (i = 0; i < n16; i++)
-        printf "    %s%s\n", f16[i], (i + 1 < n16 ? "," : "")
-      print "  ]"
-      print "}"
-    }
-  ' "$ROWS" > BENCH_pr3.json
+  ' "$ROWS" > "$OUT"
   echo ""
-  echo "##### wrote BENCH_pr2.json + BENCH_pr3.json ($(grep -c '"figure"' "$ROWS") rows) #####"
+  echo "##### wrote $OUT ($(grep -c '"figure"' "$ROWS") rows) #####"
+elif [ -s "$ROWS" ]; then
+  echo ""
+  echo "##### filtered run: not assembling a document (set PRISM_BENCH_OUT to opt in) #####"
 fi

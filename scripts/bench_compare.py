@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Compare two bench result files and flag regressions.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--warn-only] [--tol METRIC=FRAC]
+
+Each file is either an assembled ``BENCH_pr<N>.json`` document (a JSON
+object whose values are arrays of row objects, as written by
+``run_benches.sh``) or a raw JSON-lines rows file (one row object per
+line, as written by the benches via ``PRISM_BENCH_JSON``). Rows are
+matched across the two files by their identity fields (figure, store,
+mix/workload, threads, ...), then every gated metric present in both
+rows is compared against a per-metric tolerance:
+
+    metric     direction       default tolerance
+    kops       higher better   15%
+    p50_us     lower better    30%
+    p90_us     lower better    30%
+    p99_us     lower better    30%
+    p999_us    lower better    40%
+    avg_us     lower better    30%
+    waf        lower better    10%
+
+Tolerances are deliberately loose: the benches are reduced-scale
+simulations and run on shared CI machines, so the gate is meant to
+catch step-change regressions (a lock added to a hot path, an
+accidental O(n) scan), not single-digit noise.
+
+fig17 timeline rows (those with a ``t_s`` field) are per-window
+samples, not steady-state results, and are skipped. Other fields that
+are neither identity nor gated metrics (pwb_stalls, bg_tasks,
+gc_passes, slow_ops, ...) are informational and ignored.
+
+Exit status: 0 = no regression (or --warn-only), 1 = at least one
+metric regressed beyond tolerance, 2 = bad invocation or unreadable
+input. Prints a delta table either way.
+"""
+
+import json
+import sys
+
+# metric -> (higher_is_better, default tolerance as a fraction)
+METRICS = {
+    "kops": (True, 0.15),
+    "p50_us": (False, 0.30),
+    "p90_us": (False, 0.30),
+    "p99_us": (False, 0.30),
+    "p999_us": (False, 0.40),
+    "avg_us": (False, 0.30),
+    "waf": (False, 0.10),
+}
+
+# Row fields that identify *what* was measured. Everything else in a
+# row is either a gated metric (METRICS) or informational.
+IDENTITY_FIELDS = (
+    "figure",
+    "store",
+    "mix",
+    "workload",
+    "threads",
+    "row",
+    "value_bytes",
+    "theta",
+    "ssds",
+)
+
+
+def load_rows(path):
+    """Return the list of row dicts in *path* (document or JSON-lines)."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    text = text.strip()
+    if not text:
+        return []
+    if text.startswith("{") and not text.startswith('{"figure"'):
+        doc = json.loads(text)
+        rows = []
+        for value in doc.values():
+            if isinstance(value, list):
+                rows.extend(r for r in value if isinstance(r, dict))
+        return rows
+    rows = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def row_key(row):
+    return tuple(
+        (f, row[f]) for f in IDENTITY_FIELDS if f in row
+    )
+
+
+def index_rows(rows):
+    """Key rows by identity; skip timeline samples; last write wins."""
+    out = {}
+    skipped = 0
+    for row in rows:
+        if "t_s" in row:  # fig17 per-window timeline sample
+            skipped += 1
+            continue
+        if not any(m in row for m in METRICS):
+            skipped += 1
+            continue
+        out[row_key(row)] = row
+    return out, skipped
+
+
+def fmt_key(key):
+    return " ".join(
+        str(v) for f, v in key if f != "figure"
+    ) or "(unnamed)"
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = [a for a in argv[1:] if a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+
+    warn_only = False
+    tolerances = {m: tol for m, (_, tol) in METRICS.items()}
+    for opt in opts:
+        if opt == "--warn-only":
+            warn_only = True
+        elif opt.startswith("--tol"):
+            try:
+                spec = opt.split("=", 1)[1] if "=" in opt else ""
+                metric, frac = spec.split(":") if ":" in spec else spec.split(
+                    ",")
+            except ValueError:
+                print(f"bad option {opt!r}: use --tol=METRIC:FRAC",
+                      file=sys.stderr)
+                return 2
+            if metric not in METRICS:
+                print(f"unknown metric {metric!r} "
+                      f"(known: {', '.join(METRICS)})", file=sys.stderr)
+                return 2
+            tolerances[metric] = float(frac)
+        else:
+            print(f"unknown option {opt!r}", file=sys.stderr)
+            return 2
+
+    try:
+        base_rows = load_rows(args[0])
+        cur_rows = load_rows(args[1])
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot load input: {e}", file=sys.stderr)
+        return 2
+
+    base, base_skipped = index_rows(base_rows)
+    cur, cur_skipped = index_rows(cur_rows)
+    common = [k for k in base if k in cur]
+    if not common:
+        print("no comparable rows "
+              f"(baseline: {len(base)} keyed rows, {base_skipped} skipped; "
+              f"current: {len(cur)} keyed rows, {cur_skipped} skipped)",
+              file=sys.stderr)
+        return 2
+
+    print(f"{'figure':<8} {'row':<34} {'metric':<8} "
+          f"{'baseline':>10} {'current':>10} {'delta':>8}  status")
+    regressions = 0
+    improvements = 0
+    compared = 0
+    for key in common:
+        b_row, c_row = base[key], cur[key]
+        figure = dict(key).get("figure", "?")
+        for metric, (higher_better, _) in METRICS.items():
+            if metric not in b_row or metric not in c_row:
+                continue
+            b, c = float(b_row[metric]), float(c_row[metric])
+            compared += 1
+            if b == 0.0:
+                delta = 0.0 if c == 0.0 else float("inf")
+            else:
+                delta = (c - b) / b
+            worse = -delta if higher_better else delta
+            tol = tolerances[metric]
+            if worse > tol:
+                status = "REGRESSION"
+                regressions += 1
+            elif worse < -tol:
+                status = "improved"
+                improvements += 1
+            else:
+                status = "ok"
+            print(f"{figure:<8} {fmt_key(key):<34.34} {metric:<8} "
+                  f"{b:>10.1f} {c:>10.1f} {delta:>+7.1%}  {status}")
+
+    unmatched = (len(base) - len(common)) + (len(cur) - len(common))
+    print(f"\n{compared} metrics compared across {len(common)} rows "
+          f"({unmatched} unmatched rows); "
+          f"{regressions} regression(s), {improvements} improvement(s)")
+    if regressions and warn_only:
+        print("--warn-only: not failing the gate")
+        return 0
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Render a telemetry series JSON into a self-contained HTML report.
+
+Usage:
+    telemetry_report.py SERIES.json [-o REPORT.html]
+
+SERIES.json is the columnar "prism.telemetry.v1" document written by
+``Telemetry::exportSeriesJsonToFile`` (every bench's
+``--telemetry=<file>`` flag, or ``telemetry dump`` in prism_cli). The
+report is one HTML file with inline SVG line charts — no external
+assets, no third-party libraries — so it can be attached to a CI run
+or mailed around:
+
+  * operation rates (puts/gets/dels/scans per second),
+  * per-layer CPU attribution (busy cores per layer, from tracer
+    span self-time; all-zero unless tracing was enabled),
+  * occupancy (PWB fill and SVC bytes against capacity),
+  * per-device throughput and utilization,
+  * background pipeline rates (PWB reclaim, value-storage GC, SSD
+    bytes), which is where fig17-style GC/reclaim phases show up,
+  * a table of the busiest counters over the whole run.
+
+See docs/OBSERVABILITY.md, "Time series & resource attribution".
+"""
+
+import json
+import sys
+
+CHART_W, CHART_H, PAD = 720, 180, 42
+
+PALETTE = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+]
+
+
+def esc(s):
+    return (str(s).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def fmt_si(v):
+    for cut, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(v) >= cut:
+            return f"{v / cut:.3g}{suffix}"
+    return f"{v:.3g}"
+
+
+def svg_chart(title, t_s, series, unit=""):
+    """One SVG line chart. series = [(label, [float values]), ...]."""
+    series = [(lab, vals) for lab, vals in series if vals]
+    if not t_s or not series:
+        return ""
+    t0, t1 = t_s[0], t_s[-1]
+    t_span = (t1 - t0) or 1.0
+    vmax = max(max(vals) for _, vals in series)
+    vmin = min(0.0, min(min(vals) for _, vals in series))
+    v_span = (vmax - vmin) or 1.0
+
+    def x(t):
+        return PAD + (t - t0) / t_span * (CHART_W - 2 * PAD)
+
+    def y(v):
+        return CHART_H - PAD / 2 - (v - vmin) / v_span * (CHART_H - PAD)
+
+    parts = [
+        f'<svg width="{CHART_W}" height="{CHART_H + 20 * len(series)}" '
+        f'xmlns="http://www.w3.org/2000/svg" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<text x="{PAD}" y="14" font-size="13" font-weight="bold">'
+        f'{esc(title)}</text>',
+        f'<line x1="{PAD}" y1="{y(vmin)}" x2="{CHART_W - PAD}" '
+        f'y2="{y(vmin)}" stroke="#999"/>',
+        f'<line x1="{PAD}" y1="{y(vmin)}" x2="{PAD}" y2="{y(vmax)}" '
+        f'stroke="#999"/>',
+        f'<text x="{PAD - 4}" y="{y(vmax) + 4}" text-anchor="end">'
+        f'{fmt_si(vmax)}{esc(unit)}</text>',
+        f'<text x="{PAD - 4}" y="{y(vmin) + 4}" text-anchor="end">'
+        f'{fmt_si(vmin)}</text>',
+        f'<text x="{PAD}" y="{CHART_H - 2}">{t0:.1f}s</text>',
+        f'<text x="{CHART_W - PAD}" y="{CHART_H - 2}" '
+        f'text-anchor="end">{t1:.1f}s</text>',
+    ]
+    for i, (label, vals) in enumerate(series):
+        color = PALETTE[i % len(PALETTE)]
+        pts = " ".join(
+            f"{x(t):.1f},{y(v):.1f}" for t, v in zip(t_s, vals))
+        parts.append(f'<polyline points="{pts}" fill="none" '
+                     f'stroke="{color}" stroke-width="1.5"/>')
+        ly = CHART_H + 14 + 20 * i
+        parts.append(f'<rect x="{PAD}" y="{ly - 9}" width="12" '
+                     f'height="3" fill="{color}"/>')
+        total = sum(vals)
+        parts.append(f'<text x="{PAD + 18}" y="{ly}">{esc(label)} '
+                     f'(peak {fmt_si(max(vals))}{esc(unit)}, '
+                     f'total {fmt_si(total)})</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def rates(doc, name):
+    """Counter deltas -> per-second rates; None when the series is
+    absent or all-zero."""
+    deltas = doc.get("counters", {}).get(name)
+    if not deltas or not any(deltas):
+        return None
+    return [d / dt if dt > 0 else 0.0
+            for d, dt in zip(deltas, doc["dt_s"])]
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("-")]
+    out_path = "telemetry-report.html"
+    for i, a in enumerate(argv[1:], 1):
+        if a == "-o" and i < len(argv) - 1:
+            out_path = argv[i + 1]
+            args = [x for x in args if x != argv[i + 1]]
+    if len(args) != 1:
+        print("usage: telemetry_report.py SERIES.json [-o REPORT.html]",
+              file=sys.stderr)
+        return 2
+
+    with open(args[0], "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "prism.telemetry.v1":
+        print(f"unrecognized schema {doc.get('schema')!r}",
+              file=sys.stderr)
+        return 2
+    t_s = doc.get("t_s", [])
+    if not t_s:
+        print("series is empty — nothing to render", file=sys.stderr)
+        return 2
+
+    charts = []
+
+    charts.append(svg_chart(
+        "Operation rates (ops/s)", t_s,
+        [(n.split(".")[-1], rates(doc, n) or [])
+         for n in ("prism.puts", "prism.gets", "prism.dels",
+                   "prism.scans")]))
+
+    layers = doc.get("layers_busy_ns", {})
+    charts.append(svg_chart(
+        "CPU attribution (busy cores per layer; needs tracing)", t_s,
+        [(lay, [ns / (dt * 1e9) if dt > 0 else 0.0
+                for ns, dt in zip(vals, doc["dt_s"])])
+         for lay, vals in layers.items() if any(vals)]))
+
+    gauges = doc.get("gauges", {})
+    occ = []
+    for label, name in (("pwb used", "prism.pwb.used_bytes"),
+                        ("pwb capacity", "prism.pwb.capacity_bytes"),
+                        ("svc used", "prism.svc.used_bytes"),
+                        ("svc capacity", "prism.svc.capacity_bytes")):
+        vals = gauges.get(name)
+        if vals and any(vals):
+            occ.append((label, [v / 1e6 for v in vals]))
+    charts.append(svg_chart("Occupancy (MB)", t_s, occ, "MB"))
+
+    dev_series = []
+    for dev, fields in sorted(doc.get("devices", {}).items()):
+        dev_series.append((f"{dev} read", [
+            b / dt / 1e6 if dt > 0 else 0.0
+            for b, dt in zip(fields.get("read_bytes", []), doc["dt_s"])]))
+        dev_series.append((f"{dev} write", [
+            b / dt / 1e6 if dt > 0 else 0.0
+            for b, dt in zip(fields.get("written_bytes", []),
+                             doc["dt_s"])]))
+    charts.append(svg_chart("Device throughput (MB/s)", t_s,
+                            [s for s in dev_series if any(s[1])]))
+    charts.append(svg_chart(
+        "Device utilization", t_s,
+        [(dev, fields.get("util", []))
+         for dev, fields in sorted(doc.get("devices", {}).items())
+         if any(fields.get("util", []))]))
+
+    bg = [(label, rates(doc, n)) for label, n in
+          (("pwb reclaimed values", "prism.pwb.reclaimed_values"),
+           ("gc passes", "prism.vs.gc_passes"),
+           ("bg tasks", "prism.bg.tasks"))]
+    gc_bytes = rates(doc, "prism.vs.gc_moved_bytes")
+    if gc_bytes:
+        bg.append(("gc moved MB", [r / 1e6 for r in gc_bytes]))
+    charts.append(svg_chart(
+        "Background pipeline (per second)", t_s,
+        [(lab, vals) for lab, vals in bg if vals]))
+
+    charts.append(svg_chart(
+        "SSD bytes (MB/s)", t_s,
+        [(label, [r / 1e6 for r in rates(doc, n)])
+         for label, n in (("read", "sim.ssd.bytes_read"),
+                          ("written", "sim.ssd.bytes_written"))
+         if rates(doc, n)]))
+
+    totals = sorted(
+        ((name, sum(deltas))
+         for name, deltas in doc.get("counters", {}).items()
+         if sum(deltas) > 0),
+        key=lambda kv: -kv[1])[:30]
+    total_rows = "".join(
+        f"<tr><td><code>{esc(n)}</code></td>"
+        f"<td style='text-align:right'>{fmt_si(t)}</td></tr>"
+        for n, t in totals)
+
+    duration = t_s[-1] - t_s[0] + (doc["dt_s"][0] if doc["dt_s"] else 0)
+    html = f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>prism telemetry report</title>
+<style>
+ body {{ font-family: sans-serif; margin: 24px; max-width: 800px; }}
+ .chart {{ margin-bottom: 28px; }}
+ table {{ border-collapse: collapse; font-size: 13px; }}
+ td, th {{ border: 1px solid #ccc; padding: 3px 8px; }}
+</style></head><body>
+<h1>prism telemetry report</h1>
+<p>{esc(args[0])} — {doc.get('samples', len(t_s))} windows at
+{doc.get('interval_ms', '?')} ms, {duration:.1f}s covered.
+Schema {esc(doc.get('schema'))}.</p>
+{''.join(f'<div class="chart">{c}</div>' for c in charts if c)}
+<h2>Busiest counters (total over the run)</h2>
+<table><tr><th>counter</th><th>total</th></tr>{total_rows}</table>
+</body></html>
+"""
+    with open(out_path, "w", encoding="utf-8") as f:
+        f.write(html)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

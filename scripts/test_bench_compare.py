@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py (stdlib only; run via ctest or
+``python3 scripts/test_bench_compare.py``)."""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def row(figure="fig16", store="Prism", mix="YCSB-A", threads=8, **metrics):
+    r = {"figure": figure, "store": store, "mix": mix, "threads": threads}
+    r.update(metrics)
+    return r
+
+
+class BenchCompareTest(unittest.TestCase):
+    def run_compare(self, base_rows, cur_rows, *opts):
+        """Write both row sets as JSON-lines files and run main()."""
+        with tempfile.TemporaryDirectory() as d:
+            base = os.path.join(d, "base.jsonl")
+            cur = os.path.join(d, "cur.jsonl")
+            for path, rows in ((base, base_rows), (cur, cur_rows)):
+                with open(path, "w", encoding="utf-8") as f:
+                    for r in rows:
+                        f.write(json.dumps(r) + "\n")
+            out, err = io.StringIO(), io.StringIO()
+            with redirect_stdout(out), redirect_stderr(err):
+                code = bench_compare.main(
+                    ["bench_compare.py", base, cur, *opts])
+            return code, out.getvalue(), err.getvalue()
+
+    def test_identical_rows_pass(self):
+        rows = [row(kops=100.0), row(mix="YCSB-C", kops=200.0)]
+        code, out, _ = self.run_compare(rows, rows)
+        self.assertEqual(code, 0)
+        self.assertIn("0 regression(s)", out)
+
+    def test_throughput_drop_beyond_tolerance_fails(self):
+        code, out, _ = self.run_compare(
+            [row(kops=100.0)], [row(kops=80.0)])  # -20% > 15% tol
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        code, out, _ = self.run_compare(
+            [row(kops=100.0)], [row(kops=90.0)])  # -10% < 15% tol
+        self.assertEqual(code, 0)
+        self.assertNotIn("REGRESSION", out)
+
+    def test_throughput_gain_is_not_a_regression(self):
+        code, out, _ = self.run_compare(
+            [row(kops=100.0)], [row(kops=150.0)])
+        self.assertEqual(code, 0)
+        self.assertIn("improved", out)
+
+    def test_latency_rise_beyond_tolerance_fails(self):
+        code, out, _ = self.run_compare(
+            [row(figure="tab03", p99_us=1000.0)],
+            [row(figure="tab03", p99_us=1500.0)])  # +50% > 30% tol
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_latency_drop_is_not_a_regression(self):
+        code, _, _ = self.run_compare(
+            [row(figure="tab03", p99_us=1000.0)],
+            [row(figure="tab03", p99_us=500.0)])
+        self.assertEqual(code, 0)
+
+    def test_waf_rise_fails(self):
+        code, out, _ = self.run_compare(
+            [row(figure="fig12", waf=1.5)],
+            [row(figure="fig12", waf=1.8)])  # +20% > 10% tol
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_warn_only_reports_but_passes(self):
+        code, out, _ = self.run_compare(
+            [row(kops=100.0)], [row(kops=50.0)], "--warn-only")
+        self.assertEqual(code, 0)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("--warn-only", out)
+
+    def test_tolerance_override(self):
+        code, _, _ = self.run_compare(
+            [row(kops=100.0)], [row(kops=80.0)], "--tol=kops:0.5")
+        self.assertEqual(code, 0)
+
+    def test_rows_matched_by_identity_not_order(self):
+        base = [row(mix="YCSB-C", kops=200.0), row(mix="YCSB-A", kops=100.0)]
+        cur = [row(mix="YCSB-A", kops=100.0), row(mix="YCSB-C", kops=200.0)]
+        code, out, _ = self.run_compare(base, cur)
+        self.assertEqual(code, 0)
+        self.assertIn("2 metrics compared across 2 rows", out)
+
+    def test_timeline_rows_are_skipped(self):
+        base = [row(kops=100.0),
+                {"figure": "fig17", "t_s": 0.25, "kops": 98.0}]
+        cur = [row(kops=100.0),
+               {"figure": "fig17", "t_s": 0.25, "kops": 10.0}]
+        code, out, _ = self.run_compare(base, cur)
+        self.assertEqual(code, 0)
+        self.assertIn("1 metrics compared", out)
+
+    def test_document_and_jsonl_inputs_mix(self):
+        with tempfile.TemporaryDirectory() as d:
+            doc = os.path.join(d, "BENCH_prX.json")
+            lines = os.path.join(d, "rows.jsonl")
+            with open(doc, "w", encoding="utf-8") as f:
+                json.dump({"fig16": [row(kops=100.0)]}, f)
+            with open(lines, "w", encoding="utf-8") as f:
+                f.write(json.dumps(row(kops=60.0)) + "\n")
+            out = io.StringIO()
+            with redirect_stdout(out), redirect_stderr(io.StringIO()):
+                code = bench_compare.main(["bench_compare.py", doc, lines])
+            self.assertEqual(code, 1)
+            self.assertIn("REGRESSION", out.getvalue())
+
+    def test_no_common_rows_is_an_error(self):
+        code, _, err = self.run_compare(
+            [row(store="Prism", kops=1.0)],
+            [row(store="KVell", kops=1.0)])
+        self.assertEqual(code, 2)
+        self.assertIn("no comparable rows", err)
+
+    def test_zero_baseline_to_nonzero_regresses_lower_better(self):
+        code, _, _ = self.run_compare(
+            [row(figure="fig12", waf=0.0)],
+            [row(figure="fig12", waf=2.0)])
+        self.assertEqual(code, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

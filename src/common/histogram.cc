@@ -64,6 +64,31 @@ Histogram::merge(const Histogram &other)
 }
 
 void
+Histogram::subtract(const Histogram &earlier)
+{
+    min_ = UINT64_MAX;
+    max_ = 0;
+    for (size_t i = 0; i < buckets_.size(); i++) {
+        const uint64_t e = earlier.buckets_[i];
+        buckets_[i] -= std::min(buckets_[i], e);
+        if (buckets_[i] == 0)
+            continue;
+        const int idx = static_cast<int>(i);
+        // Lower edge of the lowest surviving bucket, upper edge of the
+        // highest: tightest bounds the bucketing can give.
+        if (min_ == UINT64_MAX)
+            min_ = idx == 0 ? 0 : bucketUpperBound(idx - 1) + 1;
+        max_ = bucketUpperBound(idx);
+    }
+    count_ -= std::min(count_, earlier.count_);
+    sum_ -= std::min(sum_, earlier.sum_);
+    if (count_ == 0) {
+        min_ = UINT64_MAX;
+        max_ = 0;
+    }
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);

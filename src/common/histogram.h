@@ -30,6 +30,17 @@ class Histogram {
     /** Merge another histogram into this one. */
     void merge(const Histogram &other);
 
+    /**
+     * Subtract an earlier copy of this histogram, leaving only the
+     * samples recorded in between (the interval-delta primitive the
+     * telemetry sampler builds rate windows from). Assumes @p earlier
+     * is a prefix of this histogram — same metric, snapshotted earlier
+     * — and clamps per bucket so a mismatched pair cannot underflow.
+     * count/sum (and hence mean) are exact; min/max are recomputed from
+     * the surviving buckets, so they carry bucket-resolution error.
+     */
+    void subtract(const Histogram &earlier);
+
     /** Remove all samples. */
     void reset();
 

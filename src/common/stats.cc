@@ -85,14 +85,15 @@ StatsRegistry::snapshot() const
             m.gauge = e.g->value();
             break;
           case MetricType::kHistogram: {
-            const Histogram h = e.h->merged();
-            m.count = h.count();
-            m.mean = h.mean();
-            m.p50 = h.percentile(0.5);
-            m.p90 = h.percentile(0.9);
-            m.p99 = h.percentile(0.99);
-            m.p999 = h.percentile(0.999);
-            m.max = h.max();
+            auto h = std::make_shared<Histogram>(e.h->merged());
+            m.count = h->count();
+            m.mean = h->mean();
+            m.p50 = h->percentile(0.5);
+            m.p90 = h->percentile(0.9);
+            m.p99 = h->percentile(0.99);
+            m.p999 = h->percentile(0.999);
+            m.max = h->max();
+            m.hist = std::move(h);
             break;
           }
         }
@@ -165,6 +166,21 @@ StatsSnapshot::counterDelta(const StatsSnapshot &earlier,
     const uint64_t now = counter(name);
     const uint64_t before = earlier.counter(name);
     return now >= before ? now - before : 0;
+}
+
+Histogram
+StatsSnapshot::histogramDelta(const StatsSnapshot &earlier,
+                              std::string_view name) const
+{
+    Histogram out;
+    const MetricSnapshot *cur = histogram(name);
+    if (cur == nullptr || cur->hist == nullptr)
+        return out;
+    out.merge(*cur->hist);
+    const MetricSnapshot *was = earlier.histogram(name);
+    if (was != nullptr && was->hist != nullptr)
+        out.subtract(*was->hist);
+    return out;
 }
 
 std::string

@@ -162,6 +162,14 @@ struct MetricSnapshot {
     uint64_t p99 = 0;
     uint64_t p999 = 0;
     uint64_t max = 0;
+
+    /**
+     * kHistogram only: the full merged histogram behind the summary,
+     * shared across snapshot copies. Needed to compute *interval*
+     * histograms (Histogram::subtract) — percentiles of two absolute
+     * snapshots cannot be differenced, buckets can.
+     */
+    std::shared_ptr<const Histogram> hist;
 };
 
 /**
@@ -186,6 +194,14 @@ struct StatsSnapshot {
      */
     uint64_t counterDelta(const StatsSnapshot &earlier,
                           std::string_view name) const;
+
+    /**
+     * Interval histogram against an earlier snapshot: only the samples
+     * recorded between the two. Missing in @p earlier → this snapshot's
+     * histogram verbatim; missing here → empty histogram.
+     */
+    Histogram histogramDelta(const StatsSnapshot &earlier,
+                             std::string_view name) const;
 
     /** Aligned human-readable dump, one metric per line. */
     std::string toString() const;

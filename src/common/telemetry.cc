@@ -1,0 +1,561 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace prism::telemetry {
+
+// ---------------------------------------------------------------------
+// TelemetrySample lookups
+// ---------------------------------------------------------------------
+
+uint64_t
+TelemetrySample::counterDelta(std::string_view name) const
+{
+    const auto it = std::lower_bound(
+        counters.begin(), counters.end(), name,
+        [](const CounterPoint &p, std::string_view n) {
+            return p.name < n;
+        });
+    return (it != counters.end() && it->name == name) ? it->delta : 0;
+}
+
+double
+TelemetrySample::counterRate(std::string_view name) const
+{
+    const double dt = dtSeconds();
+    if (dt <= 0.0)
+        return 0.0;
+    return static_cast<double>(counterDelta(name)) / dt;
+}
+
+int64_t
+TelemetrySample::gauge(std::string_view name) const
+{
+    const auto it = std::lower_bound(
+        gauges.begin(), gauges.end(), name,
+        [](const GaugePoint &p, std::string_view n) {
+            return p.name < n;
+        });
+    return (it != gauges.end() && it->name == name) ? it->value : 0;
+}
+
+// ---------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------
+
+Telemetry &
+Telemetry::global()
+{
+    static Telemetry *g = new Telemetry();  // never destroyed
+    return *g;
+}
+
+uint64_t
+Telemetry::now() const
+{
+    uint64_t (*fn)() = clock_.load(std::memory_order_acquire);
+    return fn != nullptr ? fn() : nowNs();
+}
+
+void
+Telemetry::setClockForTest(uint64_t (*clock_fn)())
+{
+    clock_.store(clock_fn, std::memory_order_release);
+}
+
+void
+Telemetry::setCapacity(size_t windows)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = windows < 2 ? 2 : windows;
+    while (ring_.size() > capacity_)
+        ring_.pop_front();
+}
+
+size_t
+Telemetry::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+}
+
+size_t
+Telemetry::sampleCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+}
+
+int
+Telemetry::addProbe(std::function<void()> fn)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const int id = next_probe_id_++;
+    probes_.emplace(id, std::move(fn));
+    return id;
+}
+
+void
+Telemetry::removeProbe(int id)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        probes_.erase(id);
+    }
+    // Barrier: a tick in progress copied the probe list before the
+    // erase; waiting for sample_mu_ guarantees that by the time we
+    // return, no tick can still be running the removed probe — so the
+    // caller may safely tear down whatever the probe reads.
+    std::lock_guard<std::mutex> tick(sample_mu_);
+}
+
+void
+Telemetry::clear()
+{
+    std::lock_guard<std::mutex> tick(sample_mu_);
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    has_prev_ = false;
+    next_seq_ = 0;
+}
+
+namespace {
+
+/**
+ * "sim.ssd.<n>.<field>" → device index, or -1. Per-device metrics are
+ * emitted by sim::SsdDevice; telemetry derives device attribution from
+ * them by name so common/ stays independent of sim/.
+ */
+int
+deviceIndexOf(std::string_view name, std::string_view *field)
+{
+    constexpr std::string_view kPrefix = "sim.ssd.";
+    if (name.substr(0, kPrefix.size()) != kPrefix)
+        return -1;
+    std::string_view rest = name.substr(kPrefix.size());
+    size_t i = 0;
+    int dev = 0;
+    while (i < rest.size() && rest[i] >= '0' && rest[i] <= '9') {
+        dev = dev * 10 + (rest[i] - '0');
+        i++;
+    }
+    if (i == 0 || i >= rest.size() || rest[i] != '.')
+        return -1;
+    *field = rest.substr(i + 1);
+    return dev;
+}
+
+}  // namespace
+
+uint64_t
+Telemetry::sampleNow()
+{
+    std::lock_guard<std::mutex> tick(sample_mu_);
+
+    // Let derived-occupancy publishers refresh their gauges, and push
+    // the tracer's own gauges, before the snapshot that reads them.
+    std::vector<std::function<void()>> probes;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        probes.reserve(probes_.size());
+        for (auto &[id, fn] : probes_)
+            probes.push_back(fn);
+    }
+    for (auto &fn : probes)
+        fn();
+    trace::TraceRegistry::global().publishStats();
+
+    const uint64_t t = now();
+    stats::StatsSnapshot snap = stats::StatsRegistry::global().snapshot();
+    std::array<uint64_t, trace::kNumLayers> layers{};
+    for (size_t l = 0; l < trace::kNumLayers; l++)
+        layers[l] = trace::layerBusyNs(l);
+
+    if (!has_prev_) {
+        prev_ = std::move(snap);
+        prev_t_ns_ = t;
+        prev_layer_ = layers;
+        has_prev_ = true;
+        std::lock_guard<std::mutex> lock(mu_);
+        return ring_.size();
+    }
+
+    TelemetrySample s;
+    s.t0_ns = prev_t_ns_;
+    s.t1_ns = t;
+    const uint64_t dt_ns = s.t1_ns > s.t0_ns ? s.t1_ns - s.t0_ns : 0;
+
+    std::map<int, DevicePoint> devs;
+    for (const auto &m : snap.metrics) {
+        switch (m.type) {
+          case stats::MetricType::kCounter: {
+            const uint64_t before = prev_.counter(m.name);
+            const uint64_t delta =
+                m.counter >= before ? m.counter - before : 0;
+            s.counters.push_back(CounterPoint{m.name, delta});
+            std::string_view field;
+            const int dev = deviceIndexOf(m.name, &field);
+            if (dev >= 0) {
+                DevicePoint &d = devs[dev];
+                if (field == "bytes_read")
+                    d.read_bytes = delta;
+                else if (field == "bytes_written")
+                    d.written_bytes = delta;
+                else if (field == "busy_ns" && dt_ns > 0) {
+                    const int64_t ch = snap.gauge(
+                        "sim.ssd." + std::to_string(dev) + ".channels");
+                    d.util = static_cast<double>(delta) /
+                             (static_cast<double>(dt_ns) *
+                              static_cast<double>(ch > 0 ? ch : 1));
+                }
+            }
+            break;
+          }
+          case stats::MetricType::kGauge:
+            s.gauges.push_back(GaugePoint{m.name, m.gauge});
+            break;
+          case stats::MetricType::kHistogram: {
+            const Histogram h = snap.histogramDelta(prev_, m.name);
+            HistPoint p;
+            p.name = m.name;
+            p.count = h.count();
+            p.mean = h.mean();
+            p.p50 = h.percentile(0.5);
+            p.p99 = h.percentile(0.99);
+            p.max = h.max();
+            s.hists.push_back(std::move(p));
+            break;
+          }
+        }
+    }
+    for (auto &[dev, d] : devs) {
+        d.name = "ssd" + std::to_string(dev);
+        s.devices.push_back(std::move(d));
+    }
+    for (size_t l = 0; l < trace::kNumLayers; l++) {
+        s.layer_busy_ns[l] = layers[l] >= prev_layer_[l]
+                                 ? layers[l] - prev_layer_[l]
+                                 : 0;
+    }
+
+    prev_ = std::move(snap);
+    prev_t_ns_ = t;
+    prev_layer_ = layers;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    s.seq = next_seq_++;
+    ring_.push_back(std::move(s));
+    while (ring_.size() > capacity_)
+        ring_.pop_front();
+    return ring_.size();
+}
+
+std::vector<TelemetrySample>
+Telemetry::series() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<TelemetrySample>(ring_.begin(), ring_.end());
+}
+
+// ---------------------------------------------------------------------
+// Sampler thread
+// ---------------------------------------------------------------------
+
+bool
+Telemetry::start(uint64_t interval_ms)
+{
+    std::lock_guard<std::mutex> ctl(ctl_mu_);
+    if (running_.load(std::memory_order_acquire))
+        return false;
+    interval_ms_.store(interval_ms < 1 ? 1 : interval_ms,
+                       std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(run_mu_);
+        stop_requested_ = false;
+    }
+    running_.store(true, std::memory_order_release);
+    sampler_ = std::thread([this] { samplerLoop(); });
+    return true;
+}
+
+void
+Telemetry::stop()
+{
+    std::lock_guard<std::mutex> ctl(ctl_mu_);
+    if (!running_.load(std::memory_order_acquire))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(run_mu_);
+        stop_requested_ = true;
+    }
+    run_cv_.notify_all();
+    if (sampler_.joinable())
+        sampler_.join();
+    running_.store(false, std::memory_order_release);
+}
+
+void
+Telemetry::samplerLoop()
+{
+    trace::TraceRegistry::global().setThreadName("telemetry-sampler");
+    sampleNow();  // prime the baseline at thread start
+    while (true) {
+        const auto ms = std::chrono::milliseconds(
+            interval_ms_.load(std::memory_order_relaxed));
+        {
+            std::unique_lock<std::mutex> lock(run_mu_);
+            if (run_cv_.wait_for(lock, ms,
+                                 [this] { return stop_requested_; }))
+                break;
+        }
+        sampleNow();
+    }
+    sampleNow();  // close the final partial window
+}
+
+// ---------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+}
+
+void
+appendKey(std::string &out, const std::string &name, bool &first)
+{
+    if (!first)
+        out += ",";
+    first = false;
+    out += "\"";
+    appendEscaped(out, name);
+    out += "\":";
+}
+
+template <typename T, typename Fmt>
+void
+appendArray(std::string &out, const std::vector<TelemetrySample> &ss,
+            T getter, Fmt fmt)
+{
+    out += "[";
+    for (size_t i = 0; i < ss.size(); i++) {
+        if (i != 0)
+            out += ",";
+        out += fmt(getter(ss[i]));
+    }
+    out += "]";
+}
+
+std::string
+fmtU64(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+fmtI64(int64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    return buf;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string
+Telemetry::exportSeriesJson() const
+{
+    const std::vector<TelemetrySample> ss = series();
+    const uint64_t base_ns = ss.empty() ? 0 : ss.front().t0_ns;
+
+    std::string out;
+    out.reserve(1 << 16);
+    out += "{\"schema\":\"prism.telemetry.v1\"";
+    out += ",\"interval_ms\":" + fmtU64(intervalMs());
+    out += ",\"samples\":" + fmtU64(ss.size());
+    out += ",\"t0_ns\":" + fmtU64(base_ns);
+    out += ",\"t_s\":";
+    appendArray(out, ss,
+                [&](const TelemetrySample &s) {
+                    return static_cast<double>(s.t1_ns - base_ns) / 1e9;
+                },
+                fmtDouble);
+    out += ",\"dt_s\":";
+    appendArray(out, ss,
+                [](const TelemetrySample &s) { return s.dtSeconds(); },
+                fmtDouble);
+
+    // Union of names per section: metrics can register mid-run, so
+    // early windows pad missing series with 0.
+    auto namesOf = [&](auto member) {
+        std::vector<std::string> names;
+        for (const auto &s : ss)
+            for (const auto &p : s.*member)
+                names.push_back(p.name);
+        std::sort(names.begin(), names.end());
+        names.erase(std::unique(names.begin(), names.end()),
+                    names.end());
+        return names;
+    };
+
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const std::string &n : namesOf(&TelemetrySample::counters)) {
+        appendKey(out, n, first);
+        appendArray(out, ss,
+                    [&](const TelemetrySample &s) {
+                        return s.counterDelta(n);
+                    },
+                    fmtU64);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const std::string &n : namesOf(&TelemetrySample::gauges)) {
+        appendKey(out, n, first);
+        appendArray(out, ss,
+                    [&](const TelemetrySample &s) { return s.gauge(n); },
+                    fmtI64);
+    }
+
+    out += "},\"histograms\":{";
+    first = true;
+    for (const std::string &n : namesOf(&TelemetrySample::hists)) {
+        auto histOf = [&](const TelemetrySample &s) -> const HistPoint * {
+            const auto it = std::lower_bound(
+                s.hists.begin(), s.hists.end(), n,
+                [](const HistPoint &p, const std::string &nm) {
+                    return p.name < nm;
+                });
+            return (it != s.hists.end() && it->name == n) ? &*it
+                                                          : nullptr;
+        };
+        appendKey(out, n, first);
+        out += "{\"count\":";
+        appendArray(out, ss,
+                    [&](const TelemetrySample &s) {
+                        const HistPoint *p = histOf(s);
+                        return p != nullptr ? p->count : 0;
+                    },
+                    fmtU64);
+        out += ",\"mean\":";
+        appendArray(out, ss,
+                    [&](const TelemetrySample &s) {
+                        const HistPoint *p = histOf(s);
+                        return p != nullptr ? p->mean : 0.0;
+                    },
+                    fmtDouble);
+        out += ",\"p50\":";
+        appendArray(out, ss,
+                    [&](const TelemetrySample &s) {
+                        const HistPoint *p = histOf(s);
+                        return p != nullptr ? p->p50 : 0;
+                    },
+                    fmtU64);
+        out += ",\"p99\":";
+        appendArray(out, ss,
+                    [&](const TelemetrySample &s) {
+                        const HistPoint *p = histOf(s);
+                        return p != nullptr ? p->p99 : 0;
+                    },
+                    fmtU64);
+        out += ",\"max\":";
+        appendArray(out, ss,
+                    [&](const TelemetrySample &s) {
+                        const HistPoint *p = histOf(s);
+                        return p != nullptr ? p->max : 0;
+                    },
+                    fmtU64);
+        out += "}";
+    }
+
+    out += "},\"layers_busy_ns\":{";
+    first = true;
+    for (size_t l = 0; l < trace::kNumLayers; l++) {
+        appendKey(out, trace::layerName(l), first);
+        appendArray(out, ss,
+                    [&](const TelemetrySample &s) {
+                        return s.layer_busy_ns[l];
+                    },
+                    fmtU64);
+    }
+
+    out += "},\"devices\":{";
+    first = true;
+    std::vector<std::string> dev_names;
+    for (const auto &s : ss)
+        for (const auto &d : s.devices)
+            dev_names.push_back(d.name);
+    std::sort(dev_names.begin(), dev_names.end());
+    dev_names.erase(std::unique(dev_names.begin(), dev_names.end()),
+                    dev_names.end());
+    for (const std::string &n : dev_names) {
+        auto devOf = [&](const TelemetrySample &s) -> const DevicePoint * {
+            for (const auto &d : s.devices)
+                if (d.name == n)
+                    return &d;
+            return nullptr;
+        };
+        appendKey(out, n, first);
+        out += "{\"read_bytes\":";
+        appendArray(out, ss,
+                    [&](const TelemetrySample &s) {
+                        const DevicePoint *d = devOf(s);
+                        return d != nullptr ? d->read_bytes : 0;
+                    },
+                    fmtU64);
+        out += ",\"written_bytes\":";
+        appendArray(out, ss,
+                    [&](const TelemetrySample &s) {
+                        const DevicePoint *d = devOf(s);
+                        return d != nullptr ? d->written_bytes : 0;
+                    },
+                    fmtU64);
+        out += ",\"util\":";
+        appendArray(out, ss,
+                    [&](const TelemetrySample &s) {
+                        const DevicePoint *d = devOf(s);
+                        return d != nullptr ? d->util : 0.0;
+                    },
+                    fmtDouble);
+        out += "}";
+    }
+    out += "}}\n";
+    return out;
+}
+
+bool
+Telemetry::exportSeriesJsonToFile(const std::string &path) const
+{
+    const std::string json = exportSeriesJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = (n == json.size()) && std::fclose(f) == 0;
+    if (n != json.size())
+        std::fclose(f);
+    return ok;
+}
+
+}  // namespace prism::telemetry

@@ -12,7 +12,15 @@
 
 namespace prism {
 
-/** Dense per-thread ids, assigned on first use, never reused. */
+/**
+ * Dense per-thread ids, assigned on first use. An exiting thread
+ * returns its id to a LIFO free list, so a later thread may adopt the
+ * id — and with it every per-id slot keyed by ThreadId (a PWB, a trace
+ * ring, a latency shard), *including its accumulated contents*.
+ * Consumers must treat adopted state as valid history, not as theirs:
+ * e.g. a TraceRing's head is a monotonic event count that keeps
+ * counting across adoption (see docs/OBSERVABILITY.md).
+ */
 class ThreadId {
   public:
     static constexpr int kMaxThreads = 256;

@@ -14,7 +14,110 @@ namespace detail {
 std::atomic<uint32_t> g_flags{0};
 thread_local uint32_t t_depth = 0;
 
+namespace {
+
+/** Deepest nesting level self-time accounting tracks per thread. */
+constexpr size_t kAcctDepth = 64;
+
+/**
+ * t_child_ns[d] = summed durations of already-closed child spans of
+ * the span currently open at depth d on this thread. Read and reset by
+ * that span's close; no span below kAcctDepth ever reads a stale cell
+ * because each close zeroes its own depth.
+ */
+thread_local uint64_t t_child_ns[kAcctDepth];
+
+/**
+ * Layer classification per interned name id (id-1 indexed), written
+ * once at intern time, read relaxed on every span close. Ids beyond
+ * the table (pathological intern churn) fall back to kOther.
+ */
+constexpr size_t kMaxClassifiedNames = 4096;
+std::atomic<uint8_t> g_layer_of[kMaxClassifiedNames];
+
+/** Per-layer cumulative self-time; sharded counters, read by telemetry. */
+std::array<stats::Counter, kNumLayers> &
+layerBusyCounters()
+{
+    static auto *c =
+        new std::array<stats::Counter, kNumLayers>();  // never destroyed
+    return *c;
+}
+
+Layer
+layerOfId(uint32_t name_id)
+{
+    if (name_id == 0 || name_id > kMaxClassifiedNames)
+        return Layer::kOther;
+    return static_cast<Layer>(
+        g_layer_of[name_id - 1].load(std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void
+accountSpanSelf(uint32_t name_id, uint8_t depth, uint64_t dur_ns)
+{
+    uint64_t child = 0;
+    if (depth < kAcctDepth) {
+        child = t_child_ns[depth];
+        t_child_ns[depth] = 0;
+    }
+    if (depth > 0 && depth - 1u < kAcctDepth)
+        t_child_ns[depth - 1] += dur_ns;
+    const uint64_t self = dur_ns > child ? dur_ns - child : 0;
+    layerBusyCounters()[static_cast<size_t>(layerOfId(name_id))].add(
+        self);
+}
+
+void
+classifyName(uint32_t name_id, std::string_view name)
+{
+    if (name_id == 0 || name_id > kMaxClassifiedNames)
+        return;
+    g_layer_of[name_id - 1].store(
+        static_cast<uint8_t>(layerOfSpanName(name)),
+        std::memory_order_relaxed);
+}
+
 }  // namespace detail
+
+const char *
+layerName(size_t layer)
+{
+    static const char *const kNames[kNumLayers] = {
+        "core", "pwb", "svc", "vs", "ssd", "bg", "other"};
+    return layer < kNumLayers ? kNames[layer] : "?";
+}
+
+Layer
+layerOfSpanName(std::string_view name)
+{
+    auto has = [&](std::string_view prefix) {
+        return name.substr(0, prefix.size()) == prefix;
+    };
+    if (has("prism.") || has("hsit."))
+        return Layer::kCore;
+    if (has("pwb."))
+        return Layer::kPwb;
+    if (has("svc."))
+        return Layer::kSvc;
+    if (has("vs."))
+        return Layer::kVs;
+    if (has("ssd."))
+        return Layer::kSsd;
+    if (has("bg."))
+        return Layer::kBg;
+    return Layer::kOther;
+}
+
+uint64_t
+layerBusyNs(size_t layer)
+{
+    if (layer >= kNumLayers)
+        return 0;
+    return detail::layerBusyCounters()[layer].value();
+}
 
 // ---------------------------------------------------------------------
 // TraceRing
@@ -186,6 +289,7 @@ TraceRegistry::internName(const char *name)
     names_.emplace_back(name);
     const uint32_t id = static_cast<uint32_t>(names_.size());
     name_ids_.emplace(name, id);
+    detail::classifyName(id, name);
     return id;
 }
 
@@ -555,6 +659,11 @@ TraceRegistry::publishStats() const
     reg.gauge("prism.trace.slow_ops_captured", "ops")
         .set(static_cast<int64_t>(
             slow_captured_.load(std::memory_order_relaxed)));
+    for (size_t l = 0; l < kNumLayers; l++) {
+        reg.gauge(std::string("prism.trace.busy_ns.") + layerName(l),
+                  "ns")
+            .set(static_cast<int64_t>(layerBusyNs(l)));
+    }
 }
 
 }  // namespace prism::trace

@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -48,6 +49,40 @@ enum class EventType : uint8_t {
     kAsyncBegin = 3,   ///< Chrome "b" (overlapping interval start)
     kAsyncEnd = 4,     ///< Chrome "e"
 };
+
+/**
+ * Subsystem layers CPU time is attributed to. Every interned span name
+ * is classified once (by prefix, at intern time); when tracing is on,
+ * each closing span adds its *self* time — duration minus the time
+ * spent in already-accounted child spans — to its layer's busy
+ * counter. Self-time accounting is what makes the per-layer sums
+ * comparable to wall-clock × threads: a nested pwb.chunk_write second
+ * is pwb time, not additionally bg time.
+ */
+enum class Layer : uint8_t {
+    kCore = 0,  ///< prism.* op paths + hsit.*
+    kPwb,       ///< pwb.* (append/stall/reclaim/chunk writes)
+    kSvc,       ///< svc.*
+    kVs,        ///< vs.* (value storage + GC)
+    kSsd,       ///< ssd.* (submit-side CPU; device time is separate)
+    kBg,        ///< bg.* (pool dispatch overhead outside subsystem work)
+    kOther,     ///< pmem.*, benches, anything unclassified
+};
+
+constexpr size_t kNumLayers = 7;
+
+/** Stable lowercase layer name ("core", "pwb", ...). */
+const char *layerName(size_t layer);
+
+/** Classify a span name by prefix (exposed for tests/telemetry). */
+Layer layerOfSpanName(std::string_view name);
+
+/**
+ * Cumulative self-time attributed to @p layer across all threads, in
+ * ns. Monotonic; only grows while tracing is enabled. Telemetry
+ * windows it into per-interval busy series.
+ */
+uint64_t layerBusyNs(size_t layer);
 
 /** A decoded event (snapshot/export side only). */
 struct Event {
@@ -96,6 +131,13 @@ inline bool anythingEnabled() {
 
 /** Per-thread span nesting depth (no atomicity needed). */
 extern thread_local uint32_t t_depth;
+
+/**
+ * Close-of-span bookkeeping for per-layer CPU attribution: charges
+ * `dur - time already charged to children at depth` to the span's
+ * layer and rolls `dur` up into the parent's child accumulator.
+ */
+void accountSpanSelf(uint32_t name_id, uint8_t depth, uint64_t dur_ns);
 
 }  // namespace detail
 
@@ -302,9 +344,11 @@ class Span {
         if (!active_)
             return;
         detail::t_depth--;
+        const uint64_t dur = nowNs() - start_ns_;
         TraceRegistry::global().ring().emit(
-            EventType::kSpan, name_id_, start_ns_, nowNs() - start_ns_,
-            depth_, 0, arg1_name_, arg1_, arg2_name_, arg2_);
+            EventType::kSpan, name_id_, start_ns_, dur, depth_, 0,
+            arg1_name_, arg1_, arg2_name_, arg2_);
+        detail::accountSpanSelf(name_id_, depth_, dur);
     }
 
     Span(const Span &) = delete;
@@ -369,6 +413,7 @@ class OpScope {
         auto &reg = TraceRegistry::global();
         reg.ring().emit(EventType::kSpan, name_id_, start_ns_, dur,
                         depth_, 0, arg1_name_, arg1_, 0, 0);
+        detail::accountSpanSelf(name_id_, depth_, dur);
         const uint64_t thr = reg.slowOpThresholdNs();
         if (thr != 0 && dur >= thr)
             reg.maybeCaptureSlowOp(name_id_, start_ns_, dur,

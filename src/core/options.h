@@ -135,6 +135,19 @@ struct PrismOptions {
     uint64_t trace_ring_events = 16384;
     /** How many worst slow ops to keep. */
     uint64_t trace_slow_op_keep = 32;
+    /**
+     * When > 0, start the process-wide telemetry sampler
+     * (src/common/telemetry.h) at this interval: every tick snapshots
+     * the stats registry into a ring of interval deltas (rate series,
+     * occupancy series, per-layer busy-ns, per-device utilization).
+     * Off (0) by default; ~100 ms is the intended granularity. The
+     * store that started the sampler stops it on close; the recorded
+     * series survives for export (PrismDb::telemetry()).
+     */
+    uint64_t telemetry_interval_ms = 0;
+    /** Telemetry ring capacity in sampling windows (default 600 ≈ one
+     *  minute at 100 ms). */
+    uint64_t telemetry_windows = 600;
     ///@}
 };
 

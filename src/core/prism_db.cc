@@ -95,10 +95,30 @@ PrismDb::PrismDb(const PrismOptions &opts,
     gc_thread_ = std::thread([this] { gcLoop(); });
     if (opts_.stats_dump_interval_ms > 0)
         stats_dumper_ = std::thread([this] { statsDumperLoop(); });
+
+    // Telemetry wiring: the sampler is process-wide (like the tracer),
+    // so options only ever raise its state. The occupancy probe is
+    // registered unconditionally so manual sampling (prism_cli `top`,
+    // tests) sees PWB/SVC fill even when the periodic sampler is off.
+    auto &tel = telemetry::Telemetry::global();
+    telemetry_probe_ = tel.addProbe([this] { publishOccupancy(); });
+    if (opts_.telemetry_interval_ms > 0) {
+        tel.setCapacity(opts_.telemetry_windows);
+        telemetry_started_ = tel.start(opts_.telemetry_interval_ms);
+    }
 }
 
 PrismDb::~PrismDb()
 {
+    // Unhook telemetry before any state the probe reads is torn down;
+    // stop the sampler only if this instance started it (the recorded
+    // series stays readable/exportable after close).
+    {
+        auto &tel = telemetry::Telemetry::global();
+        if (telemetry_started_)
+            tel.stop();
+        tel.removeProbe(telemetry_probe_);
+    }
     stop_.store(true, std::memory_order_release);
     reclaim_cv_.notify_all();
     dumper_cv_.notify_all();
@@ -1006,6 +1026,28 @@ PrismDb::statsDumperLoop()
     // Final snapshot at close: a run shorter than the dump interval
     // would otherwise exit without ever reporting.
     dumpOnce();
+}
+
+void
+PrismDb::publishOccupancy()
+{
+    uint64_t pwb_used = 0, pwb_cap = 0;
+    for (size_t i = 0; i < ThreadId::kMaxThreads; i++) {
+        const Pwb *p = pwbs_[i].load(std::memory_order_acquire);
+        if (p == nullptr)
+            continue;
+        pwb_used += p->usedBytes();
+        pwb_cap += p->capacity();
+    }
+    auto &reg = stats::StatsRegistry::global();
+    reg.gauge("prism.pwb.used_bytes", "bytes")
+        .set(static_cast<int64_t>(pwb_used));
+    reg.gauge("prism.pwb.capacity_bytes", "bytes")
+        .set(static_cast<int64_t>(pwb_cap));
+    reg.gauge("prism.svc.used_bytes", "bytes")
+        .set(static_cast<int64_t>(svc_->usedBytes()));
+    reg.gauge("prism.svc.capacity_bytes", "bytes")
+        .set(static_cast<int64_t>(svc_->capacityBytes()));
 }
 
 }  // namespace prism::core

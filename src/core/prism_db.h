@@ -45,6 +45,7 @@
 #include "common/epoch.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "common/thread_util.h"
 #include "core/bg_pool.h"
@@ -166,6 +167,18 @@ class PrismDb {
      */
     stats::StatsSnapshot stats() const;
 
+    /**
+     * The process-wide telemetry sampler/ring (common/telemetry.h):
+     * windowed rate series over every registry metric plus per-layer
+     * busy-ns and per-device utilization. Started automatically when
+     * PrismOptions::telemetry_interval_ms > 0; `telemetry().series()`
+     * reads the recorded windows, `telemetry().exportSeriesJsonToFile`
+     * writes the series consumed by scripts/telemetry_report.py.
+     */
+    telemetry::Telemetry &telemetry() const {
+        return telemetry::Telemetry::global();
+    }
+
     /** This instance's raw operation counters (tests, benches). */
     PrismDbStats &opStats() { return stats_; }
     SvcStats &svcStats() { return svc_->stats(); }
@@ -206,6 +219,12 @@ class PrismDb {
     void reclaimerLoop();
     void gcLoop();
     void statsDumperLoop();
+    /**
+     * Telemetry probe body: publishes the occupancy gauges that are
+     * derived rather than maintained (summed PWB ring fill, SVC bytes)
+     * right before each sampling tick reads them.
+     */
+    void publishOccupancy();
     /**
      * One reclamation pass over @p pwb (§5.2, Fig. 4), pipelined: up to
      * reclaim_pipeline_depth chunk writes stay in flight, each chunk
@@ -297,6 +316,11 @@ class PrismDb {
         stats::LatencyStat *pwb_stall_ns;
     };
     RegMetrics reg_;
+
+    /** Telemetry wiring: probe id for publishOccupancy(), and whether
+     *  this instance started the (process-wide) sampler. */
+    int telemetry_probe_ = -1;
+    bool telemetry_started_ = false;
 
     uint64_t recovery_ns_ = 0;
 };

@@ -24,6 +24,7 @@ SsdDevice::SsdDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
       channel_free_at_(static_cast<size_t>(profile.internal_parallelism), 0)
 {
     PRISM_CHECK(capacity_bytes > 0);
+    trace_dev_ = g_ssd_trace_seq.fetch_add(1, std::memory_order_relaxed);
     auto &reg = stats::StatsRegistry::global();
     reg_bytes_read_ = &reg.counter("sim.ssd.bytes_read", "bytes");
     reg_bytes_written_ = &reg.counter("sim.ssd.bytes_written", "bytes");
@@ -31,6 +32,12 @@ SsdDevice::SsdDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
     reg_write_ops_ = &reg.counter("sim.ssd.write_ops", "ops");
     reg_inflight_ = &reg.gauge("sim.ssd.inflight", "reqs");
     reg_latency_ = &reg.histogram("sim.ssd.latency_ns", "ns");
+    const std::string devp = "sim.ssd." + std::to_string(trace_dev_) + ".";
+    reg_dev_bytes_read_ = &reg.counter(devp + "bytes_read", "bytes");
+    reg_dev_bytes_written_ = &reg.counter(devp + "bytes_written", "bytes");
+    reg_dev_busy_ns_ = &reg.counter(devp + "busy_ns", "ns");
+    reg.gauge(devp + "channels", "channels")
+        .set(static_cast<int64_t>(channel_free_at_.size()));
     for (auto &p : pages_)
         p.store(nullptr, std::memory_order_relaxed);
     // Token-bucket rates are fixed at construction; benches set TimeScale
@@ -41,7 +48,6 @@ SsdDevice::SsdDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
         profile.read_bw_bytes_per_sec / scale, 8 * 1024 * 1024);
     write_bw_ = std::make_unique<TokenBucket>(
         profile.write_bw_bytes_per_sec / scale, 8 * 1024 * 1024);
-    trace_dev_ = g_ssd_trace_seq.fetch_add(1, std::memory_order_relaxed);
     auto &tracer = trace::TraceRegistry::global();
     trace_channel_tracks_.reserve(channel_free_at_.size());
     for (size_t c = 0; c < channel_free_at_.size(); c++) {
@@ -222,6 +228,7 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
                                            std::memory_order_relaxed);
             stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
             reg_bytes_written_->add(req.length);
+            reg_dev_bytes_written_->add(req.length);
             reg_write_ops_->inc();
         } else {
             PRISM_DCHECK(req.buf != nullptr);
@@ -230,6 +237,7 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
                                         std::memory_order_relaxed);
             stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
             reg_bytes_read_->add(req.length);
+            reg_dev_bytes_read_->add(req.length);
             reg_read_ops_->inc();
         }
     }
@@ -332,6 +340,10 @@ SsdDevice::workerLoop()
             }
         }
         {
+            uint64_t busy = 0;
+            for (const auto &p : ready)
+                busy += p.due_ns - p.start_ns;
+            reg_dev_busy_ns_->add(busy);
             std::lock_guard<std::mutex> cq_lock(cq_mu_);
             for (auto &p : ready) {
                 p.completion.latency_ns = now - p.submit_ns;
@@ -379,12 +391,15 @@ SsdDevice::readSync(uint64_t offset, void *buf, uint32_t length)
     stats_.bytes_read.fetch_add(length, std::memory_order_relaxed);
     stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
     reg_bytes_read_->add(length);
+    reg_dev_bytes_read_->add(length);
     reg_read_ops_->inc();
     if (model_timing_.load(std::memory_order_relaxed)) {
         SsdIoRequest req;
         req.op = SsdIoRequest::Op::kRead;
         req.length = length;
-        delayFor(serviceTimeNs(req, nowNs()));
+        const uint64_t service = serviceTimeNs(req, nowNs());
+        reg_dev_busy_ns_->add(service);
+        delayFor(service);
     }
     return Status::ok();
 }
@@ -398,12 +413,15 @@ SsdDevice::writeSync(uint64_t offset, const void *src, uint32_t length)
     stats_.bytes_written.fetch_add(length, std::memory_order_relaxed);
     stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
     reg_bytes_written_->add(length);
+    reg_dev_bytes_written_->add(length);
     reg_write_ops_->inc();
     if (model_timing_.load(std::memory_order_relaxed)) {
         SsdIoRequest req;
         req.op = SsdIoRequest::Op::kWrite;
         req.length = length;
-        delayFor(serviceTimeNs(req, nowNs()));
+        const uint64_t service = serviceTimeNs(req, nowNs());
+        reg_dev_busy_ns_->add(service);
+        delayFor(service);
     }
     return Status::ok();
 }

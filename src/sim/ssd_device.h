@@ -218,6 +218,15 @@ class SsdDevice {
     stats::Gauge *reg_inflight_;
     stats::LatencyStat *reg_latency_;
 
+    // Per-device variants ("sim.ssd.<n>.*", n = the process-wide device
+    // number): telemetry derives per-device bandwidth and utilization
+    // series from these. busy_ns accumulates channel service time, so
+    // utilization over a window is Δbusy ÷ (window × channels); the
+    // channel count is published as the "sim.ssd.<n>.channels" gauge.
+    stats::Counter *reg_dev_bytes_read_;
+    stats::Counter *reg_dev_bytes_written_;
+    stats::Counter *reg_dev_busy_ns_;
+
     // Tracing: a process-unique device number, one synthetic trace
     // track per internal channel (service spans are serialized per
     // channel, so they render as non-overlapping "X" events), and a

@@ -217,6 +217,18 @@ TEST(ThreadIdTest, DenseAndRecycled)
         s.join();
     }
     EXPECT_LT(ids.size(), 16u);  // heavy reuse expected
+
+    // The free list is LIFO, so strictly sequential spawn/join reuses
+    // the *same* id: per-id state (a PWB slot, a trace ring, a latency
+    // shard) is adopted by the successor thread. Anything indexed by
+    // ThreadId must therefore tolerate a fresh thread inheriting a
+    // predecessor's non-empty state — see docs/OBSERVABILITY.md.
+    int first = -1, second = -1;
+    std::thread a([&] { first = ThreadId::self(); });
+    a.join();
+    std::thread b([&] { second = ThreadId::self(); });
+    b.join();
+    EXPECT_EQ(first, second);
 }
 
 TEST(EpochTest, RetireeFreedOnlyAfterTwoEpochs)

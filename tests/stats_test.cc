@@ -186,6 +186,84 @@ TEST(StatsSnapshotTest, TextAndJsonRenderEveryMetric)
     EXPECT_GE(h->p999, h->p99);
 }
 
+TEST(HistogramSubtractTest, IntervalDeltaIsExactForSmallValues)
+{
+    // Values < 32 land in exact one-value buckets, so an interval
+    // delta on them has exact count/sum/mean and bucket-exact min/max.
+    Histogram earlier;
+    earlier.record(5);
+    earlier.record(7);
+    Histogram cur = earlier;
+    cur.record(5);
+    cur.record(9);
+    cur.record(20);
+
+    cur.subtract(earlier);
+    EXPECT_EQ(cur.count(), 3u);
+    EXPECT_DOUBLE_EQ(cur.mean(), (5.0 + 9.0 + 20.0) / 3.0);
+    EXPECT_EQ(cur.min(), 5u);
+    EXPECT_EQ(cur.max(), 20u);
+}
+
+TEST(HistogramSubtractTest, SubtractingEverythingYieldsEmpty)
+{
+    Histogram h;
+    h.record(100);
+    h.record(4000);
+    Histogram same = h;
+    h.subtract(same);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(StatsSnapshotTest, HistogramDeltaCoversOnlyTheWindow)
+{
+    StatsRegistry reg;
+    LatencyStat &lat = reg.histogram("delta.hist", "ns");
+    lat.record(5);
+    lat.record(7);
+    const StatsSnapshot before = reg.snapshot();
+
+    lat.record(3);
+    lat.record(11);
+    const StatsSnapshot after = reg.snapshot();
+
+    const Histogram w = after.histogramDelta(before, "delta.hist");
+    EXPECT_EQ(w.count(), 2u);
+    EXPECT_DOUBLE_EQ(w.mean(), 7.0);  // (3 + 11) / 2
+    EXPECT_EQ(w.min(), 3u);
+    EXPECT_EQ(w.max(), 11u);
+
+    // An empty window and an unknown name both give empty histograms.
+    EXPECT_EQ(after.histogramDelta(after, "delta.hist").count(), 0u);
+    EXPECT_EQ(after.histogramDelta(before, "no.such").count(), 0u);
+}
+
+TEST(StatsSnapshotTest, HistogramDeltaMergesAcrossThreadShards)
+{
+    // LatencyStat shards by thread; the snapshot merges the shards, so
+    // a window delta must see samples recorded on any thread.
+    StatsRegistry reg;
+    LatencyStat &lat = reg.histogram("delta.sharded", "ns");
+    const StatsSnapshot before = reg.snapshot();
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 500;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; t++) {
+        pool.emplace_back([&lat] {
+            for (uint64_t i = 0; i < kPerThread; i++)
+                lat.record(16);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    const StatsSnapshot after = reg.snapshot();
+    const Histogram w = after.histogramDelta(before, "delta.sharded");
+    EXPECT_EQ(w.count(), kThreads * kPerThread);
+    EXPECT_DOUBLE_EQ(w.mean(), 16.0);
+}
+
 TEST(StatsRegistryTest, GlobalRegistryHoldsEngineMetricsAcrossThreads)
 {
     // Increment one global metric from many threads and observe the
