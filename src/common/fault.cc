@@ -1,0 +1,376 @@
+#include "common/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rand.h"
+#include "common/stats.h"
+#include "common/trace.h"
+
+namespace prism::fault {
+
+namespace {
+// Process-wide "anything armed?" flag, read by every PRISM_FAULT_POINT.
+std::atomic<uint64_t> g_armed_count{0};
+}  // namespace
+
+bool
+enabled()
+{
+    return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+struct Site {
+    std::string name;
+    mutable std::mutex mu;
+    bool armed = false;
+    FaultSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    Xorshift rng{1};
+    std::function<void(uint64_t)> cb;
+    stats::Counter *fired_counter = nullptr;  // lazily bound on first arm
+};
+
+struct FaultRegistry::Impl {
+    mutable std::mutex mu;  // protects the name map and deque growth
+    std::unordered_map<std::string, uint32_t> ids;
+    std::deque<Site> sites;  // stable addresses; indexed by site id
+    uint64_t seed = 1;
+    stats::Counter *reg_hits = nullptr;
+    stats::Counter *reg_fires = nullptr;
+    stats::Gauge *reg_armed = nullptr;
+
+    Site *byName(std::string_view name)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = ids.find(std::string(name));
+        return it == ids.end() ? nullptr : &sites[it->second];
+    }
+
+    // Deque references are stable, but indexing concurrently with growth
+    // is not; take the registry lock for the lookup only.
+    Site &byId(uint32_t id)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return sites[id];
+    }
+};
+
+FaultRegistry::FaultRegistry() : impl_(new Impl)
+{
+    auto &reg = stats::StatsRegistry::global();
+    impl_->reg_hits = &reg.counter("prism.fault.hits", "ops");
+    impl_->reg_fires = &reg.counter("prism.fault.fired", "ops");
+    impl_->reg_armed = &reg.gauge("prism.fault.armed_sites", "sites");
+}
+
+FaultRegistry &
+FaultRegistry::global()
+{
+    static FaultRegistry *r = new FaultRegistry();  // leaked: process-wide
+    return *r;
+}
+
+uint32_t
+FaultRegistry::siteId(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->ids.find(std::string(name));
+    if (it != impl_->ids.end())
+        return it->second;
+    const uint32_t id = static_cast<uint32_t>(impl_->sites.size());
+    impl_->sites.emplace_back();
+    Site &s = impl_->sites.back();
+    s.name = std::string(name);
+    s.rng = Xorshift(hash64(impl_->seed ^ hash64(id + 1)));
+    impl_->ids.emplace(s.name, id);
+    return id;
+}
+
+void
+FaultRegistry::arm(std::string_view site, const FaultSpec &spec)
+{
+    Site &s = impl_->byId(siteId(site));
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.armed)
+        g_armed_count.fetch_add(1, std::memory_order_relaxed);
+    s.armed = true;
+    s.spec = spec;
+    if (s.fired_counter == nullptr) {
+        s.fired_counter = &stats::StatsRegistry::global().counter(
+            "prism.fault.fired." + s.name, "ops");
+    }
+    impl_->reg_armed->set(
+        static_cast<int64_t>(g_armed_count.load(std::memory_order_relaxed)));
+}
+
+bool
+FaultRegistry::armFromString(std::string_view directive, std::string *err)
+{
+    auto fail = [err](const std::string &msg) {
+        if (err != nullptr)
+            *err = msg;
+        return false;
+    };
+    const size_t eq = directive.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+        return fail("expected site=trigger[,payload:V][,oneshot]: \"" +
+                    std::string(directive) + "\"");
+    const std::string site(directive.substr(0, eq));
+    FaultSpec spec;
+    std::string rest(directive.substr(eq + 1));
+    std::stringstream ss(rest);
+    std::string part;
+    bool have_trigger = false;
+    while (std::getline(ss, part, ',')) {
+        const size_t colon = part.find(':');
+        const std::string key = part.substr(0, colon);
+        const std::string val =
+            colon == std::string::npos ? "" : part.substr(colon + 1);
+        try {
+            if (key == "prob") {
+                spec.trigger = Trigger::kProbability;
+                spec.probability = std::stod(val);
+                have_trigger = true;
+            } else if (key == "nth") {
+                spec.trigger = Trigger::kNth;
+                spec.n = std::stoull(val);
+                have_trigger = true;
+            } else if (key == "every") {
+                spec.trigger = Trigger::kEvery;
+                spec.n = std::stoull(val);
+                have_trigger = true;
+            } else if (key == "once") {
+                spec.trigger = Trigger::kOnce;
+                spec.one_shot = true;
+                have_trigger = true;
+            } else if (key == "payload") {
+                spec.payload = std::stoull(val);
+            } else if (key == "oneshot") {
+                spec.one_shot = true;
+            } else {
+                return fail("unknown fault key \"" + key + "\" in \"" +
+                            std::string(directive) + "\"");
+            }
+        } catch (const std::exception &) {
+            return fail("bad number \"" + val + "\" in \"" +
+                        std::string(directive) + "\"");
+        }
+    }
+    if (!have_trigger)
+        return fail("no trigger (prob/nth/every/once) in \"" +
+                    std::string(directive) + "\"");
+    if (spec.trigger == Trigger::kProbability &&
+        (spec.probability < 0.0 || spec.probability > 1.0))
+        return fail("prob out of [0,1] in \"" + std::string(directive) +
+                    "\"");
+    if ((spec.trigger == Trigger::kNth || spec.trigger == Trigger::kEvery) &&
+        spec.n == 0)
+        return fail("nth/every must be >= 1 in \"" +
+                    std::string(directive) + "\"");
+    arm(site, spec);
+    return true;
+}
+
+bool
+FaultRegistry::armSchedule(std::string_view schedule, std::string *err)
+{
+    std::stringstream ss{std::string(schedule)};
+    std::string directive;
+    while (std::getline(ss, directive, ';')) {
+        if (directive.empty())
+            continue;
+        if (!armFromString(directive, err))
+            return false;
+    }
+    return true;
+}
+
+void
+FaultRegistry::armFromEnv()
+{
+    const char *env = std::getenv("PRISM_FAULTS");
+    if (env == nullptr || env[0] == '\0')
+        return;
+    std::string err;
+    if (!armSchedule(env, &err))
+        fatal("PRISM_FAULTS: %s", err.c_str());
+}
+
+void
+FaultRegistry::disarm(std::string_view site)
+{
+    Site *s = impl_->byName(site);
+    if (s == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->armed)
+        g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    s->armed = false;
+    impl_->reg_armed->set(
+        static_cast<int64_t>(g_armed_count.load(std::memory_order_relaxed)));
+}
+
+void
+FaultRegistry::disarmAll()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (Site &s : impl_->sites) {
+        std::lock_guard<std::mutex> slock(s.mu);
+        if (s.armed)
+            g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+        s.armed = false;
+        s.cb = nullptr;
+        s.hits = 0;
+        s.fires = 0;
+    }
+    impl_->reg_armed->set(0);
+}
+
+void
+FaultRegistry::setSeed(uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->seed = seed;
+    for (size_t i = 0; i < impl_->sites.size(); i++) {
+        Site &s = impl_->sites[i];
+        std::lock_guard<std::mutex> slock(s.mu);
+        s.rng = Xorshift(hash64(seed ^ hash64(i + 1)));
+        s.hits = 0;
+        s.fires = 0;
+    }
+}
+
+void
+FaultRegistry::onFire(std::string_view site,
+                      std::function<void(uint64_t)> cb)
+{
+    Site &s = impl_->byId(siteId(site));
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.cb = std::move(cb);
+}
+
+bool
+FaultRegistry::shouldFire(uint32_t site_id, uint64_t *payload_out)
+{
+    Site &s = impl_->byId(site_id);
+    std::function<void(uint64_t)> cb;
+    uint64_t payload = 0;
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.hits++;
+        if (!s.armed)
+            return false;
+        impl_->reg_hits->inc();
+        bool fire = false;
+        switch (s.spec.trigger) {
+        case Trigger::kProbability:
+            fire = s.rng.nextDouble() < s.spec.probability;
+            break;
+        case Trigger::kNth:
+            fire = s.hits == s.spec.n;
+            break;
+        case Trigger::kEvery:
+            fire = s.hits % s.spec.n == 0;
+            break;
+        case Trigger::kOnce:
+            fire = true;
+            break;
+        }
+        if (!fire)
+            return false;
+        s.fires++;
+        if (s.spec.one_shot || s.spec.trigger == Trigger::kOnce) {
+            s.armed = false;
+            g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+            impl_->reg_armed->set(static_cast<int64_t>(
+                g_armed_count.load(std::memory_order_relaxed)));
+        }
+        if (s.fired_counter != nullptr)
+            s.fired_counter->inc();
+        payload = s.spec.payload;
+        cb = s.cb;  // copy so the callback runs outside the site lock
+    }
+    if (payload_out != nullptr)
+        *payload_out = payload;
+    impl_->reg_fires->inc();
+    PRISM_TRACE_INSTANT("fault.fire");
+    if (cb)
+        cb(payload);
+    return true;
+}
+
+std::vector<SiteInfo>
+FaultRegistry::sites() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    std::vector<SiteInfo> out;
+    out.reserve(impl_->sites.size());
+    for (const Site &s : impl_->sites) {
+        std::lock_guard<std::mutex> slock(s.mu);
+        SiteInfo info;
+        info.name = s.name;
+        info.armed = s.armed;
+        info.spec = s.spec;
+        info.hits = s.hits;
+        info.fires = s.fires;
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
+std::string
+FaultRegistry::scheduleString() const
+{
+    std::string out;
+    for (const SiteInfo &info : sites()) {
+        if (!info.armed)
+            continue;
+        if (!out.empty())
+            out += ";";
+        out += info.name + "=" + specString(info.spec);
+    }
+    return out;
+}
+
+uint64_t
+FaultRegistry::totalFires() const
+{
+    uint64_t total = 0;
+    for (const SiteInfo &info : sites())
+        total += info.fires;
+    return total;
+}
+
+std::string
+specString(const FaultSpec &spec)
+{
+    std::ostringstream out;
+    switch (spec.trigger) {
+    case Trigger::kProbability:
+        out << "prob:" << spec.probability;
+        break;
+    case Trigger::kNth:
+        out << "nth:" << spec.n;
+        break;
+    case Trigger::kEvery:
+        out << "every:" << spec.n;
+        break;
+    case Trigger::kOnce:
+        out << "once";
+        break;
+    }
+    if (spec.payload != 0)
+        out << ",payload:" << spec.payload;
+    if (spec.one_shot && spec.trigger != Trigger::kOnce)
+        out << ",oneshot";
+    return out.str();
+}
+
+}  // namespace prism::fault

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Deterministic fault-injection registry.
+ *
+ * A process-wide registry of named fault *sites*. Production code marks a
+ * potential failure point with PRISM_FAULT_POINT("site.name"); the macro
+ * costs one relaxed atomic load when no faults are armed, so sites can sit
+ * on hot paths (device submit, pmem fence) at no measurable cost.
+ *
+ * Tests and the torture harness *arm* sites with a trigger:
+ *
+ *   - prob:P    fire each hit with probability P (deterministic per-site RNG)
+ *   - nth:N     fire exactly on the N-th hit (1-based)
+ *   - every:N   fire on every N-th hit
+ *   - once      fire on the first hit, then disarm
+ *
+ * plus an optional payload (site-defined meaning, e.g. latency in ns) and an
+ * optional `oneshot` modifier that disarms the site after its first fire.
+ * The string form is `site=trigger[,payload:V][,oneshot]`, accepted by
+ * armFromString() and the PRISM_FAULTS environment variable (`;`-separated).
+ *
+ * Determinism: each site owns an RNG seeded from hash(global seed, site
+ * name). setSeed() reseeds every site and resets hit/fire counts, so a fault
+ * schedule replays exactly given the same seed and the same sequence of site
+ * hits. Sites may also carry an on-fire callback (used by the crash-torture
+ * harness to capture a crash image the moment a pmem flush/fence site fires).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prism::fault {
+
+/** Trigger kinds for an armed site. */
+enum class Trigger : uint8_t {
+    kProbability,  ///< fire with probability `probability` per hit
+    kNth,          ///< fire exactly on hit number `n` (1-based)
+    kEvery,        ///< fire on every `n`-th hit
+    kOnce,         ///< fire on the first hit, then disarm
+};
+
+/** What to do when a site is hit. */
+struct FaultSpec {
+    Trigger trigger = Trigger::kOnce;
+    double probability = 0.0;  ///< for kProbability
+    uint64_t n = 1;            ///< for kNth / kEvery
+    uint64_t payload = 0;      ///< site-defined (e.g. extra latency in ns)
+    bool one_shot = false;     ///< disarm after the first fire
+};
+
+/** A fire event, as recorded for schedule/repro reporting. */
+struct SiteInfo {
+    std::string name;
+    bool armed = false;
+    FaultSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+};
+
+class FaultRegistry {
+  public:
+    static FaultRegistry &global();
+
+    /**
+     * Intern @p name, returning a stable dense id. Safe to call
+     * concurrently; the same name always maps to the same id.
+     */
+    uint32_t siteId(std::string_view name);
+
+    /** Arm @p site with @p spec. Interns the site if needed. */
+    void arm(std::string_view site, const FaultSpec &spec);
+
+    /**
+     * Arm from the string form `site=trigger[,payload:V][,oneshot]`
+     * (see file header for trigger syntax). Returns false and fills
+     * @p err on a parse error.
+     */
+    bool armFromString(std::string_view directive, std::string *err);
+
+    /**
+     * Arm every directive in a `;`-separated schedule (the PRISM_FAULTS
+     * / scheduleString() form). Returns false and fills @p err on the
+     * first parse error; directives before it stay armed.
+     */
+    bool armSchedule(std::string_view schedule, std::string *err);
+
+    /**
+     * Arm the schedule in the PRISM_FAULTS environment variable, if
+     * set. Malformed directives abort the process (a typo'd fault
+     * schedule silently testing nothing is worse than a crash).
+     */
+    void armFromEnv();
+
+    /** Disarm one site (keeps hit counts; callback is kept too). */
+    void disarm(std::string_view site);
+
+    /**
+     * Disarm every site, clear all callbacks, and reset hit/fire
+     * counters. The global enable flag drops, restoring the zero-cost
+     * disabled path.
+     */
+    void disarmAll();
+
+    /**
+     * Reseed every site's RNG from @p seed and reset hit/fire counters.
+     * Call before each deterministic iteration.
+     */
+    void setSeed(uint64_t seed);
+
+    /**
+     * Register @p cb to run (on the hitting thread, inside the fire
+     * path) whenever @p site fires. The payload argument is the armed
+     * spec's payload. Survives disarm()/setSeed() but not disarmAll().
+     */
+    void onFire(std::string_view site,
+                std::function<void(uint64_t payload)> cb);
+
+    /**
+     * Hot-path check: record a hit on @p site and decide whether it
+     * fires. Returns true when the fault fires (caller simulates the
+     * failure); also runs the site's on-fire callback, bumps
+     * prism.fault.* counters, and emits a trace instant. When
+     * @p payload is non-null and the fault fires, it receives the
+     * armed spec's payload value.
+     */
+    bool shouldFire(uint32_t site_id, uint64_t *payload = nullptr);
+
+    /** Snapshot of every interned site (armed or not). */
+    std::vector<SiteInfo> sites() const;
+
+    /**
+     * One-line schedule of the currently armed sites in armFromString
+     * syntax (`;`-separated), for failure repro messages. Empty string
+     * when nothing is armed.
+     */
+    std::string scheduleString() const;
+
+    /** Total fires since construction / last setSeed(). */
+    uint64_t totalFires() const;
+
+  private:
+    FaultRegistry();
+    struct Impl;
+    Impl *impl_;  // leaked on purpose: process-wide singleton
+};
+
+/** @return true when at least one site is armed, as one relaxed load. */
+bool enabled();
+
+/** Render @p spec in armFromString syntax (without the site name). */
+std::string specString(const FaultSpec &spec);
+
+}  // namespace prism::fault
+
+/** Interned fault-site id for a string literal, cached per call site. */
+#define PRISM_FAULT_SITE_ID(lit)                                        \
+    ([]() -> uint32_t {                                                 \
+        static const uint32_t id =                                      \
+            ::prism::fault::FaultRegistry::global().siteId(lit);        \
+        return id;                                                      \
+    }())
+
+/**
+ * Potential failure point. Evaluates to true when an armed fault fires
+ * here; one relaxed load + branch when the framework is idle.
+ */
+#define PRISM_FAULT_POINT(lit)                                          \
+    (::prism::fault::enabled() &&                                       \
+     ::prism::fault::FaultRegistry::global().shouldFire(                \
+         PRISM_FAULT_SITE_ID(lit)))

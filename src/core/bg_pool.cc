@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/trace.h"
 
@@ -13,6 +14,7 @@ BgPool::BgPool(int workers)
     PRISM_CHECK(workers >= 0);
     auto &reg = stats::StatsRegistry::global();
     reg_tasks_ = &reg.counter("prism.bg.tasks", "ops");
+    reg_task_faults_ = &reg.counter("prism.bg.task_faults", "ops");
     reg_task_ns_ = &reg.histogram("prism.bg.task_ns", "ns");
     reg_queue_depth_ = &reg.gauge("prism.bg.queue_depth", "tasks");
     reg_worker_busy_ns_.reserve(static_cast<size_t>(workers));
@@ -80,6 +82,22 @@ BgPool::submit(std::function<void()> fn)
 void
 BgPool::runTask(std::function<void()> &fn, stats::Counter *busy_ns)
 {
+    // Injected task failure: the task goes back on the queue instead of
+    // running. It must never be dropped — upstream dispatchers hold
+    // one-outstanding slots keyed on the task eventually running, so a
+    // dropped task would wedge reclaim/GC forever. The inline path (no
+    // workers, or shutdown drain) has no queue to defer to and runs the
+    // task regardless.
+    if (PRISM_FAULT_POINT("bg.task")) {
+        reg_task_faults_->inc();
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!threads_.empty() && !stop_) {
+            queue_.push_back(std::move(fn));
+            reg_queue_depth_->add(1);
+            cv_.notify_one();
+            return;
+        }
+    }
     PRISM_TRACE_SPAN("bg.task");
     const uint64_t t0 = nowNs();
     fn();

@@ -101,6 +101,7 @@ class BgPool {
 
     // Shared-by-name process-wide metrics (see common/stats.h).
     stats::Counter *reg_tasks_;
+    stats::Counter *reg_task_faults_;
     stats::LatencyStat *reg_task_ns_;
     stats::Gauge *reg_queue_depth_;
     std::vector<stats::Counter *> reg_worker_busy_ns_;

@@ -1,12 +1,22 @@
 #include "core/chunk_writer.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/clock.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/trace.h"
 
 namespace prism::core {
+
+namespace {
+/** Retry budget for a failing chunk write before it is abandoned. */
+constexpr int kMaxWriteRetries = 6;
+/** Capped exponential backoff between retries. */
+constexpr uint64_t kRetryBackoffBaseNs = 20'000;
+constexpr uint64_t kRetryBackoffCapNs = 1'000'000;
+}  // namespace
 
 ChunkWriter::ChunkWriter(std::vector<ValueStorage *> targets, uint64_t seed,
                          int max_inflight)
@@ -15,8 +25,11 @@ ChunkWriter::ChunkWriter(std::vector<ValueStorage *> targets, uint64_t seed,
       max_inflight_(max_inflight)
 {
     PRISM_CHECK(!targets_.empty());
-    reg_inflight_ = &stats::StatsRegistry::global().gauge(
-        "prism.chunkwriter.inflight", "chunks");
+    auto &reg = stats::StatsRegistry::global();
+    reg_inflight_ = &reg.gauge("prism.chunkwriter.inflight", "chunks");
+    reg_retries_ = &reg.counter("prism.pwb.retries", "ops");
+    reg_write_failures_ =
+        &reg.counter("prism.pwb.chunk_write_failures", "ops");
 }
 
 ChunkWriter::~ChunkWriter()
@@ -30,16 +43,25 @@ ChunkWriter::~ChunkWriter()
 bool
 ChunkWriter::openChunk()
 {
-    // Prefer an idle Value Storage (no in-flight requests), falling back
-    // to a random one — §5.2's load-spreading policy across SSDs.
+    // Prefer a healthy, idle Value Storage (no in-flight requests),
+    // falling back to any healthy one, then to a random target — §5.2's
+    // load-spreading policy across SSDs, degraded-aware: a dropped-out
+    // device only gets new chunks when every target is unhealthy (its
+    // writes will fail and re-queue, which at least preserves the data
+    // in the PWB ring).
     ValueStorage *pick = nullptr;
     const size_t start = rng_.nextUniform(targets_.size());
     for (size_t i = 0; i < targets_.size(); i++) {
         ValueStorage *vs = targets_[(start + i) % targets_.size()];
-        if (vs->device().isIdle()) {
+        if (vs->device().healthy() && vs->device().isIdle()) {
             pick = vs;
             break;
         }
+    }
+    for (size_t i = 0; pick == nullptr && i < targets_.size(); i++) {
+        ValueStorage *vs = targets_[(start + i) % targets_.size()];
+        if (vs->device().healthy())
+            pick = vs;
     }
     if (pick == nullptr)
         pick = targets_[start];
@@ -112,9 +134,36 @@ ChunkWriter::reapFront(bool block)
     PRISM_TRACE_SPAN_VAR(span, "pwb.chunk_write");
     if (block)
         f.ticket->wait();
+    // An errored completion (injected fault or device dropout) is
+    // retried in place with capped exponential backoff — same chunk,
+    // same offsets, so the addresses handed out by add() stay valid.
+    for (int attempt = 1;
+         f.ticket->failed() && attempt <= kMaxWriteRetries; attempt++) {
+        reg_retries_->inc();
+        PRISM_TRACE_INSTANT("pwb.chunk_retry");
+        delayFor(std::min(kRetryBackoffBaseNs << (attempt - 1),
+                          kRetryBackoffCapNs));
+        f.ticket->reset();
+        const Status st = submitTicketed(f);
+        if (!st.isOk()) {
+            f.ticket->waiter.signal(ReadWaiter::kIoError);
+            break;
+        }
+        f.ticket->wait();
+    }
     reg_inflight_->sub(1);
-    if (callback_)
+    if (f.ticket->failed()) {
+        // Permanent failure: these records never became durable on SSD.
+        // Recycle the chunk unwritten (nothing references it — the
+        // callback that would have published the addresses never fires)
+        // and remember the record range so the caller can re-queue or
+        // skip those records.
+        reg_write_failures_->inc();
+        failed_ranges_.emplace_back(f.first_record, f.record_count);
+        f.vs->freeChunkDeferred(f.chunk);
+    } else if (callback_) {
         callback_(f.vs, f.chunk, f.first_record, f.record_count);
+    }
     span.arg(PRISM_TRACE_NID("records"), f.record_count);
     span.arg(PRISM_TRACE_NID("wall_ns"), nowNs() - f.submit_ns);
     inflight_.pop_front();  // releases the chunk buffer
@@ -148,8 +197,7 @@ ChunkWriter::submitCurrent()
     f.record_count = records_added_ - cur_first_record_;
     f.submit_ns = nowNs();
     PRISM_TRACE_INSTANT("pwb.chunk_submit");
-    const Status st =
-        f.vs->submitChunkWrite(f.chunk, f.buf.get(), f.used, f.ticket.get());
+    const Status st = submitTicketed(f);
     if (!st.isOk())
         return st;
     f.vs->sealChunk(f.chunk, f.used);
@@ -213,6 +261,38 @@ ChunkWriter::finishFullChunksOnly()
     while (!inflight_.empty())
         reapFront(/*block=*/true);
     return submitted_records_;
+}
+
+Status
+ChunkWriter::submitTicketed(InFlight &f)
+{
+    if (PRISM_FAULT_POINT("pwb.chunk_write")) {
+        // Task-level injected failure: the ticket resolves as an I/O
+        // error without reaching the device; the retry path resubmits.
+        f.ticket->waiter.signal(ReadWaiter::kIoError);
+        return Status::ok();
+    }
+    return f.vs->submitChunkWrite(f.chunk, f.buf.get(), f.used,
+                                  f.ticket.get());
+}
+
+bool
+ChunkWriter::recordFailed(size_t idx) const
+{
+    for (const auto &[first, count] : failed_ranges_) {
+        if (idx >= first && idx < first + count)
+            return true;
+    }
+    return false;
+}
+
+size_t
+ChunkWriter::firstFailedRecord() const
+{
+    size_t lowest = SIZE_MAX;
+    for (const auto &[first, count] : failed_ranges_)
+        lowest = std::min(lowest, first);
+    return lowest;
 }
 
 void

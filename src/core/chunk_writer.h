@@ -88,7 +88,10 @@ class ChunkWriter {
     /**
      * Submit the final partial chunk and wait for every outstanding
      * chunk write to complete (firing remaining callbacks). After
-     * finish(), all addresses returned by add() are durable on SSD.
+     * finish(), every address returned by add() is durable on SSD —
+     * except records reported by recordFailed()/firstFailedRecord(),
+     * whose chunk writes failed permanently after retries (injected
+     * faults or device dropout) and which fired no callback.
      */
     Status finish();
 
@@ -121,6 +124,22 @@ class ChunkWriter {
     /** Number of records appended so far (callback record numbering). */
     size_t recordsAdded() const { return records_added_; }
 
+    /**
+     * True when record @p idx (add() numbering) was in a chunk whose
+     * write failed permanently (all retries exhausted). Its address is
+     * dead: the chunk was recycled unwritten and no callback fired for
+     * it. Meaningful after finish()/finishFullChunksOnly().
+     */
+    bool recordFailed(size_t idx) const;
+
+    /**
+     * Lowest permanently-failed record number, or SIZE_MAX when every
+     * submitted chunk landed. The PWB reclaimer clamps its new ring
+     * head here so failed records stay durable in the ring and are
+     * re-queued by the next pass.
+     */
+    size_t firstFailedRecord() const;
+
   private:
     struct InFlight {
         ValueStorage *vs;
@@ -133,11 +152,14 @@ class ChunkWriter {
         uint64_t submit_ns;  ///< when the device write was submitted
     };
 
-    /** Pick a Value Storage (idle preferred) and allocate a chunk. */
+    /** Pick a Value Storage (healthy + idle preferred), allocate a chunk. */
     bool openChunk();
 
     /** Submit the currently open chunk. */
     Status submitCurrent();
+
+    /** Device submit for @p f, honouring the pwb.chunk_write fault site. */
+    Status submitTicketed(InFlight &f);
 
     /** Reap the oldest outstanding write (blocking), fire its callback. */
     void reapFront(bool block);
@@ -160,10 +182,14 @@ class ChunkWriter {
     std::deque<InFlight> inflight_;
     /** Every chunk ever submitted, for settleAll(). */
     std::vector<std::pair<ValueStorage *, int64_t>> written_;
+    /** Record ranges whose chunk write failed permanently. */
+    std::vector<std::pair<size_t, size_t>> failed_ranges_;
     bool finished_ = false;
 
     // Process-wide gauge of chunk writes in flight across all writers.
     stats::Gauge *reg_inflight_;
+    stats::Counter *reg_retries_;
+    stats::Counter *reg_write_failures_;
 };
 
 }  // namespace prism::core

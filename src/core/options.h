@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace prism::core {
 
@@ -148,6 +149,19 @@ struct PrismOptions {
     /** Telemetry ring capacity in sampling windows (default 600 ≈ one
      *  minute at 100 ms). */
     uint64_t telemetry_windows = 600;
+    ///@}
+
+    /** @name Fault injection (docs/FAULTS.md) */
+    ///@{
+    /**
+     * Fault schedule armed at open, in PRISM_FAULTS syntax
+     * (`site=trigger[,payload:V][,oneshot];...`, see common/fault.h).
+     * The registry is process-wide, so this *adds to* whatever the
+     * environment or an earlier instance armed; empty arms nothing.
+     * Tests and the torture harness use it to script failures without
+     * touching the environment.
+     */
+    std::string fault_spec;
     ///@}
 };
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/trace.h"
 #include "core/chunk_writer.h"
@@ -14,6 +15,34 @@ namespace prism::core {
 
 using pmem::kNullOff;
 using pmem::POff;
+
+namespace {
+
+/**
+ * Wait out a raw batched-read completion; an errored completion
+ * (injected fault) is retried by resubmitting the same request with
+ * capped backoff. Reads are idempotent, so a retry is always safe.
+ */
+Status
+waitReadRetrying(sim::SsdDevice &dev, const sim::SsdIoRequest &req,
+                 ReadWaiter &waiter, stats::Counter *retries)
+{
+    constexpr int kReadRetries = 3;
+    for (int attempt = 0;; attempt++) {
+        if (waiter.waitNonzero() == ReadWaiter::kOk)
+            return Status::ok();
+        if (attempt >= kReadRetries)
+            return Status::ioError("batched read failed after retries");
+        retries->inc();
+        delayFor(20'000ull << attempt);
+        waiter.sig.store(0, std::memory_order_relaxed);
+        const Status st = dev.submit(req);
+        if (!st.isOk())
+            return st;
+    }
+}
+
+}  // namespace
 
 PrismDb::PrismDb(const PrismOptions &opts,
                  std::shared_ptr<pmem::PmemRegion> region,
@@ -47,7 +76,22 @@ PrismDb::PrismDb(const PrismOptions &opts,
     reg_.gc_dispatches = &reg.counter("prism.vs.gc_dispatches", "ops");
     reg_.reclaim_deferred_values =
         &reg.counter("prism.pwb.reclaim_deferred_values", "ops");
+    reg_.pwb_requeued_values =
+        &reg.counter("prism.pwb.requeued_values", "ops");
+    reg_.vs_read_retries = &reg.counter("prism.vs.retries", "ops");
     reg_.pwb_stall_ns = &reg.histogram("prism.pwb.stall_ns", "ns");
+
+    // Fault injection (docs/FAULTS.md): arm the environment schedule and
+    // any per-instance schedule from the options. The registry is
+    // process-wide and both are no-ops when empty, so the disabled path
+    // stays a single relaxed load at every fault site.
+    fault::FaultRegistry::global().armFromEnv();
+    if (!opts_.fault_spec.empty()) {
+        std::string err;
+        if (!fault::FaultRegistry::global().armSchedule(opts_.fault_spec,
+                                                        &err))
+            fatal("PrismOptions::fault_spec: %s", err.c_str());
+    }
 
     // Tracer wiring: the tracer is process-wide (like the stats
     // registry), so options only ever *raise* its state — a second
@@ -189,6 +233,10 @@ PrismDb::recoverState()
     });
     for (const uint64_t key : orphan_keys)
         index_->remove(key);
+    // Deterministic crash hook for the recovery-idempotence tests:
+    // fires after the durable repairs above (orphan pruning), so a
+    // crash image captured here reflects a half-finished recovery.
+    (void)PRISM_FAULT_POINT("db.recover.midpoint");
     std::vector<bool> reachable(hsit_->capacity());
     for (uint64_t i = 0; i < hsit_->capacity(); i++)
         reachable[i] = reachable_bytes[i] != 0;
@@ -481,6 +529,7 @@ PrismDb::scan(uint64_t start_key, size_t count,
             size_t first_req;
             size_t req_count;
             std::vector<uint8_t> buf;
+            sim::SsdIoRequest req;  ///< kept for error-path resubmission
             ReadWaiter waiter;
         };
         std::vector<std::unique_ptr<Span>> spans;
@@ -506,19 +555,30 @@ PrismDb::scan(uint64_t start_key, size_t count,
         }
         for (auto &s : spans) {
             s->buf.resize(s->end - s->start);
-            sim::SsdIoRequest req;
-            req.op = sim::SsdIoRequest::Op::kRead;
-            req.offset = s->start;
-            req.length = static_cast<uint32_t>(s->buf.size());
-            req.buf = s->buf.data();
-            req.user_data = reinterpret_cast<uint64_t>(&s->waiter);
+            s->req.op = sim::SsdIoRequest::Op::kRead;
+            s->req.offset = s->start;
+            s->req.length = static_cast<uint32_t>(s->buf.size());
+            s->req.buf = s->buf.data();
+            s->req.user_data = reinterpret_cast<uint64_t>(&s->waiter);
             const Status st =
-                value_storages_[s->ssd]->device().submit(req);
+                value_storages_[s->ssd]->device().submit(s->req);
             if (!st.isOk())
                 return st;
         }
+        // Reap *every* span before acting on any error: returning with a
+        // sibling span still in flight would let its completion signal a
+        // waiter in this destroyed frame.
+        Status io_st = Status::ok();
         for (auto &s : spans) {
-            s->waiter.waitNonzero();
+            const Status wait_st = waitReadRetrying(
+                value_storages_[s->ssd]->device(), s->req, s->waiter,
+                reg_.vs_read_retries);
+            if (io_st.isOk() && !wait_st.isOk())
+                io_st = wait_st;
+        }
+        if (!io_st.isOk())
+            return io_st;
+        for (auto &s : spans) {
             for (size_t i = s->first_req; i < s->first_req + s->req_count;
                  i++) {
                 const auto &r = vs_reqs[i];
@@ -572,6 +632,7 @@ PrismDb::multiGet(const std::vector<uint64_t> &keys,
         uint64_t h;
         ValueAddr addr;
         std::vector<uint8_t> buf;
+        sim::SsdIoRequest io;  ///< kept for error-path resubmission
         ReadWaiter waiter;
     };
     std::vector<std::unique_ptr<VsReq>> vs_reqs;
@@ -612,13 +673,12 @@ PrismDb::multiGet(const std::vector<uint64_t> &keys,
         for (auto &r : vs_reqs) {
             if (r->addr.ssdId() != vs_id)
                 continue;
-            sim::SsdIoRequest io;
-            io.op = sim::SsdIoRequest::Op::kRead;
-            io.offset = r->addr.offset();
-            io.length = static_cast<uint32_t>(r->buf.size());
-            io.buf = r->buf.data();
-            io.user_data = reinterpret_cast<uint64_t>(&r->waiter);
-            batch.push_back(io);
+            r->io.op = sim::SsdIoRequest::Op::kRead;
+            r->io.offset = r->addr.offset();
+            r->io.length = static_cast<uint32_t>(r->buf.size());
+            r->io.buf = r->buf.data();
+            r->io.user_data = reinterpret_cast<uint64_t>(&r->waiter);
+            batch.push_back(r->io);
         }
         if (batch.empty())
             continue;
@@ -627,8 +687,18 @@ PrismDb::multiGet(const std::vector<uint64_t> &keys,
         if (!st.isOk())
             return st;
     }
+    // Reap every request before acting on any error (see scan()).
+    Status io_st = Status::ok();
     for (auto &r : vs_reqs) {
-        r->waiter.waitNonzero();
+        const Status wait_st = waitReadRetrying(
+            value_storages_[r->addr.ssdId()]->device(), r->io, r->waiter,
+            reg_.vs_read_retries);
+        if (io_st.isOk() && !wait_st.isOk())
+            io_st = wait_st;
+    }
+    if (!io_st.isOk())
+        return io_st;
+    for (auto &r : vs_reqs) {
         const auto *hdr =
             reinterpret_cast<const ValueRecordHeader *>(r->buf.data());
         if (sizeof(ValueRecordHeader) + hdr->value_size > r->buf.size() ||
@@ -795,6 +865,23 @@ PrismDb::reclaimPwb(Pwb *pwb, bool force)
                     live.size() - published);
             }
         }
+        // A permanently-failed chunk write (injected fault or device
+        // dropout) published nothing: its callback never fired, so no
+        // HSIT entry points at the dead chunk and the records' only
+        // durable copy is still the ring. Clamp the head advance to
+        // stop short of the first such record — the next pass
+        // re-collects everything from there (already-published later
+        // records are skipped as stale by the well-coupled check).
+        const size_t first_failed = writer.firstFailedRecord();
+        if (first_failed < live.size()) {
+            const auto &ff = live[first_failed];
+            new_head = std::min(new_head, ff.logical_end -
+                                              ff.pwb_addr.recordBytes());
+            uint64_t requeued = 0;
+            for (size_t i = first_failed; i < live.size(); i++)
+                requeued += writer.recordFailed(i) ? 1 : 0;
+            reg_.pwb_requeued_values->add(requeued);
+        }
     }
 
     pass_span.arg(PRISM_TRACE_NID("live_records"), live.size());
@@ -921,7 +1008,11 @@ PrismDb::gcLoop()
         for (size_t i = 0; i < value_storages_.size(); i++) {
             if (stop_.load(std::memory_order_acquire))
                 return;
-            if (value_storages_[i]->needsGc())
+            // A dropped-out device cannot complete survivor rewrites;
+            // runGcPass would skip it anyway (prism.vs.degraded), so
+            // don't burn pool slots on it while it is sick.
+            if (value_storages_[i]->needsGc() &&
+                value_storages_[i]->device().healthy())
                 dispatchGc(i);
         }
         epochs_.tryAdvance();
@@ -959,7 +1050,10 @@ PrismDb::forceGc()
     for (int round = 0; round < 1024; round++) {
         std::vector<size_t> needy;
         for (size_t i = 0; i < value_storages_.size(); i++) {
-            if (value_storages_[i]->needsGc())
+            // Degrade gracefully: an over-watermark but dropped-out
+            // device is left alone rather than spun on forever.
+            if (value_storages_[i]->needsGc() &&
+                value_storages_[i]->device().healthy())
                 needy.push_back(i);
         }
         if (needy.empty())
@@ -999,6 +1093,28 @@ stats::StatsSnapshot
 PrismDb::stats() const
 {
     return stats::StatsRegistry::global().snapshot();
+}
+
+ErrorBudget
+PrismDb::errorBudget() const
+{
+    auto &reg = stats::StatsRegistry::global();
+    ErrorBudget b;
+    b.faults_fired = reg.counter("prism.fault.fired").value();
+    b.ssd_io_errors = reg.counter("sim.ssd.io_errors").value();
+    b.pwb_retries = reg.counter("prism.pwb.retries").value();
+    b.pwb_write_failures =
+        reg.counter("prism.pwb.chunk_write_failures").value();
+    b.pwb_requeued_values =
+        reg.counter("prism.pwb.requeued_values").value();
+    b.vs_retries = reg.counter("prism.vs.retries").value();
+    b.vs_degraded = reg.counter("prism.vs.degraded").value();
+    b.bg_task_faults = reg.counter("prism.bg.task_faults").value();
+    for (const auto &vs : value_storages_) {
+        if (!const_cast<ValueStorage &>(*vs).device().healthy())
+            b.degraded_devices++;
+    }
+    return b;
 }
 
 void

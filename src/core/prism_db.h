@@ -77,6 +77,28 @@ struct PrismDbStats {
     std::atomic<uint64_t> pwb_stalls{0};  ///< puts that waited for space
 };
 
+/**
+ * Aggregate fault/degradation posture of the store (docs/FAULTS.md):
+ * how much injected-fault and retry machinery has engaged since the
+ * process started, and whether any SSD is currently dropped out. The
+ * counters are process-wide (like the stats registry), so per-run
+ * accounting should diff two snapshots.
+ */
+struct ErrorBudget {
+    uint64_t faults_fired = 0;        ///< prism.fault.fired
+    uint64_t ssd_io_errors = 0;       ///< sim.ssd.io_errors (injected)
+    uint64_t pwb_retries = 0;         ///< chunk-write retry submissions
+    uint64_t pwb_write_failures = 0;  ///< chunks abandoned after retries
+    uint64_t pwb_requeued_values = 0; ///< records clamped back into rings
+    uint64_t vs_retries = 0;          ///< VS read retries / GC skips
+    uint64_t vs_degraded = 0;         ///< GC passes skipped, sick device
+    uint64_t bg_task_faults = 0;      ///< injected bg-task failures
+    uint64_t degraded_devices = 0;    ///< SSDs currently in dropout
+
+    /** True while at least one SSD is refusing writes. */
+    bool degraded() const { return degraded_devices > 0; }
+};
+
 /** A Prism key-value store instance. */
 class PrismDb {
   public:
@@ -178,6 +200,13 @@ class PrismDb {
     telemetry::Telemetry &telemetry() const {
         return telemetry::Telemetry::global();
     }
+
+    /**
+     * Current fault/degradation posture: injected-fault fires, retry and
+     * re-queue activity, and the number of currently dropped-out SSDs.
+     * Cheap enough to poll (a handful of counter sums).
+     */
+    ErrorBudget errorBudget() const;
 
     /** This instance's raw operation counters (tests, benches). */
     PrismDbStats &opStats() { return stats_; }
@@ -313,6 +342,8 @@ class PrismDb {
         stats::Counter *reclaim_dispatches;
         stats::Counter *gc_dispatches;
         stats::Counter *reclaim_deferred_values;
+        stats::Counter *pwb_requeued_values;
+        stats::Counter *vs_read_retries;
         stats::LatencyStat *pwb_stall_ns;
     };
     RegMetrics reg_;

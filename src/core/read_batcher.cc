@@ -61,8 +61,9 @@ ReadBatcher::readUnbatched(Node &node)
     requests_.fetch_add(1, std::memory_order_relaxed);
     reg_batches_->inc();
     reg_requests_->inc();
-    node.waiter.waitNonzero();
-    return Status::ok();
+    return node.waiter.waitNonzero() == ReadWaiter::kOk
+               ? Status::ok()
+               : Status::ioError("read completion error");
 }
 
 Status
@@ -79,9 +80,11 @@ ReadBatcher::readThreadCombining(Node &node)
     // leader hits the coalescing limit first, it promotes us to lead the
     // remainder of the queue.
     const uint32_t sig = node.waiter.waitNonzero();
-    if (sig == 1)
+    if (sig == ReadWaiter::kOk)
         return Status::ok();
-    PRISM_DCHECK(sig == 2);
+    if (sig == ReadWaiter::kIoError)
+        return Status::ioError("read completion error");
+    PRISM_DCHECK(sig == ReadWaiter::kPromoted);
     node.waiter.sig.store(0, std::memory_order_relaxed);
     return leadAndSubmit(node);
 }
@@ -149,8 +152,9 @@ ReadBatcher::leadAndSubmit(Node &self)
 
     // Followers return as soon as their completion arrives (delivered by
     // the Value Storage completion thread); the leader waits its own.
-    self.waiter.waitNonzero();
-    return Status::ok();
+    return self.waiter.waitNonzero() == ReadWaiter::kOk
+               ? Status::ok()
+               : Status::ioError("read completion error");
 }
 
 Status
@@ -161,8 +165,9 @@ ReadBatcher::readTimeoutAsync(Node &node)
         ta_pending_.push_back(&node);
     }
     ta_cv_.notify_one();
-    node.waiter.waitNonzero();
-    return Status::ok();
+    return node.waiter.waitNonzero() == ReadWaiter::kOk
+               ? Status::ok()
+               : Status::ioError("read completion error");
 }
 
 void

@@ -36,9 +36,14 @@ namespace prism::core {
 /**
  * Per-request completion flag. The device completion path signals it via
  * the request's user_data. Values: 0 = pending, 1 = completed,
- * 2 = promoted to leader (TC mode internal).
+ * 2 = promoted to leader (TC mode internal), 3 = completed with an I/O
+ * error (no data transferred; see common/fault.h).
  */
 struct ReadWaiter {
+    static constexpr uint32_t kOk = 1;
+    static constexpr uint32_t kPromoted = 2;
+    static constexpr uint32_t kIoError = 3;
+
     std::atomic<uint32_t> sig{0};
 
     void
@@ -82,12 +87,15 @@ class ReadBatcher {
 
     /**
      * Deliver a device completion whose user_data was produced by this
-     * module (called from the Value Storage completion thread).
+     * module (called from the Value Storage completion thread). @p ok
+     * is the completion's status; an error wakes the waiter with
+     * ReadWaiter::kIoError so the read returns Status::ioError.
      */
     static void
-    completeFromUserData(uint64_t user_data)
+    completeFromUserData(uint64_t user_data, bool ok = true)
     {
-        reinterpret_cast<ReadWaiter *>(user_data)->signal(1);
+        reinterpret_cast<ReadWaiter *>(user_data)->signal(
+            ok ? ReadWaiter::kOk : ReadWaiter::kIoError);
     }
 
     /** Total batches submitted / requests coalesced (for Fig. 11). */

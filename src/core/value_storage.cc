@@ -26,6 +26,8 @@ ValueStorage::ValueStorage(uint32_t ssd_id,
     reg_gc_reclaimed_chunks_ =
         &reg.counter("prism.vs.gc_reclaimed_chunks", "chunks");
     reg_gc_pass_ns_ = &reg.histogram("prism.vs.gc_pass_ns", "ns");
+    reg_retries_ = &reg.counter("prism.vs.retries", "ops");
+    reg_degraded_ = &reg.counter("prism.vs.degraded", "ops");
     const size_t words = (unitsPerChunk() + 63) / 64;
     for (size_t i = 0; i < metas_.size(); i++) {
         metas_[i].bitmap.reset(new std::atomic<uint64_t>[words]);
@@ -62,8 +64,10 @@ ValueStorage::completionLoop()
             continue;
         for (const auto &c : completions) {
             auto *w = reinterpret_cast<ReadWaiter *>(c.user_data & ~1ull);
-            if (w != nullptr)
-                w->signal(1);
+            if (w != nullptr) {
+                w->signal(c.status.isOk() ? ReadWaiter::kOk
+                                          : ReadWaiter::kIoError);
+            }
         }
     }
 }
@@ -207,8 +211,20 @@ ValueStorage::readRecord(ValueAddr addr, std::vector<uint8_t> &buf)
 {
     PRISM_DCHECK(addr.isVs() && addr.ssdId() == ssd_id_);
     buf.resize(addr.recordBytes());
-    return reader_->read(addr.offset(), buf.data(),
-                         static_cast<uint32_t>(addr.recordBytes()));
+    Status st;
+    for (int attempt = 0; attempt < 3; attempt++) {
+        if (attempt > 0) {
+            // Transient I/O error (injected fault / device hiccup):
+            // retry with a short backoff before surfacing it.
+            reg_retries_->inc();
+            delayFor(20'000ull << (attempt - 1));
+        }
+        st = reader_->read(addr.offset(), buf.data(),
+                           static_cast<uint32_t>(addr.recordBytes()));
+        if (st.code() != StatusCode::kIoError)
+            break;
+    }
+    return st;
 }
 
 bool
@@ -232,6 +248,14 @@ ValueStorage::runGcPass(Hsit &hsit)
     std::unique_lock<std::mutex> gc_lock(gc_mu_, std::try_to_lock);
     if (!gc_lock.owns_lock())
         return 0;
+    if (!device_->healthy()) {
+        // Skip-and-requeue: survivors are rewritten to this same device,
+        // so a dropout makes the pass futile. The dispatcher's next poll
+        // retries; meanwhile the store degrades to the healthy SSDs.
+        reg_degraded_->inc();
+        PRISM_TRACE_INSTANT("vs.gc_skip_degraded");
+        return 0;
+    }
     PRISM_TRACE_SPAN_VAR(gc_span, "vs.gc_pass");
     gc_span.arg(PRISM_TRACE_NID("ssd"), ssd_id_);
     const uint64_t gc_t0 = nowNs();
@@ -278,7 +302,15 @@ ValueStorage::runGcPass(Hsit &hsit)
         if (v.live == 0 || used == 0)
             continue;
         const uint64_t base = static_cast<uint64_t>(v.chunk) * chunk_bytes_;
-        device_->readSync(base, chunk_buf.data(), used);
+        const Status read_st = device_->readSync(base, chunk_buf.data(),
+                                                 used);
+        if (!read_st.isOk()) {
+            // Transient victim-read failure: leave the chunk as-is; its
+            // live records keep it from being freed below and the next
+            // pass retries it.
+            reg_retries_->inc();
+            continue;
+        }
         // Parse the chunk's records; the first-unit bit decides liveness
         // — no key-index traversal (§5.2).
         uint64_t off = 0;
@@ -326,12 +358,23 @@ ValueStorage::runGcPass(Hsit &hsit)
         PRISM_CHECK(st.isOk());
 
         // Pre-mark the copies live so a concurrent GC pass cannot judge
-        // the destination chunk empty before the CASes land.
-        for (size_t i = 0; i < survivors.size(); i++)
-            setValid(new_addrs[i].offset(), new_addrs[i].recordBytes());
+        // the destination chunk empty before the CASes land. A record
+        // whose rewrite failed permanently (device died mid-pass) keeps
+        // its old copy: skip both the pre-mark and the CAS, so the HSIT
+        // still points into the victim, the victim stays unfreed, and a
+        // later pass retries the move.
+        for (size_t i = 0; i < survivors.size(); i++) {
+            if (!writer.recordFailed(i))
+                setValid(new_addrs[i].offset(),
+                         new_addrs[i].recordBytes());
+        }
         writer.settleAll();
         for (size_t i = 0; i < survivors.size(); i++) {
             const auto &s = survivors[i];
+            if (writer.recordFailed(i)) {
+                reg_retries_->inc();
+                continue;
+            }
             if (hsit.casPrimaryDurable(s.hsit_idx, s.old_addr,
                                        new_addrs[i])) {
                 clearValid(s.old_addr.offset(), s.old_addr.recordBytes());

@@ -53,6 +53,15 @@ struct WriteTicket {
     bool done() const {
         return waiter.sig.load(std::memory_order_acquire) != 0;
     }
+
+    /** True when the completed write errored (injected or dropout). */
+    bool failed() const {
+        return waiter.sig.load(std::memory_order_acquire) ==
+               ReadWaiter::kIoError;
+    }
+
+    /** Re-arm for a retry submission. */
+    void reset() { waiter.sig.store(0, std::memory_order_relaxed); }
 };
 
 /** Log-structured chunk store on a single SSD. */
@@ -193,6 +202,8 @@ class ValueStorage {
     stats::Counter *reg_gc_moved_bytes_;
     stats::Counter *reg_gc_reclaimed_chunks_;
     stats::LatencyStat *reg_gc_pass_ns_;
+    stats::Counter *reg_retries_;   ///< victim reads / survivor rewrites
+    stats::Counter *reg_degraded_;  ///< passes skipped on a sick device
 };
 
 }  // namespace prism::core

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/thread_util.h"
 #include "common/trace.h"
@@ -43,6 +44,12 @@ PmemRegion::isFormatted(const sim::NvmDevice &device)
 void
 PmemRegion::flush(const void *addr, size_t len)
 {
+    // Crash-at-site hook: a fire here models the machine dying before
+    // this write-back took effect. The armed callback (the torture
+    // harness) captures the durable image via snapshotDurableTo() —
+    // which is safe concurrently — and the run continues; nothing in
+    // this call is committed at capture time.
+    (void)PRISM_FAULT_POINT("pmem.flush");
     flush_count_.fetch_add(1, std::memory_order_relaxed);
     reg_flushes_->inc();
     if (!tracking_.load(std::memory_order_acquire)) {
@@ -67,6 +74,9 @@ PmemRegion::fence()
     auto &mine = staged_[static_cast<size_t>(ThreadId::self())].ranges;
     if (mine.empty())
         return;
+    // Crash-at-site: fires only for fences about to commit staged lines
+    // (the interesting durability boundary); see flush() above.
+    (void)PRISM_FAULT_POINT("pmem.fence");
     // Traced only in tracking mode, where the fence does real work (the
     // shadow-image commit); fast mode's fence is a counter bump and
     // would just flood the rings with empty events.

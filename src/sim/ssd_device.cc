@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/clock.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/trace.h"
 
@@ -13,6 +14,13 @@ namespace prism::sim {
 namespace {
 /** Process-wide device numbering for trace track names. */
 std::atomic<int> g_ssd_trace_seq{0};
+
+/** Per-request injected-fault decision (see the pass in submit()). */
+struct IoFault {
+    Status status;         ///< completion status (ok = no fault)
+    uint32_t xfer = 0;     ///< bytes actually transferred
+    uint64_t extra_ns = 0; ///< added service latency
+};
 }  // namespace
 
 SsdDevice::SsdDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
@@ -38,6 +46,14 @@ SsdDevice::SsdDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
     reg_dev_busy_ns_ = &reg.counter(devp + "busy_ns", "ns");
     reg.gauge(devp + "channels", "channels")
         .set(static_cast<int64_t>(channel_free_at_.size()));
+    reg_io_errors_ = &reg.counter("sim.ssd.io_errors", "ops");
+    reg_dev_io_errors_ = &reg.counter(devp + "io_errors", "ops");
+    auto &freg = fault::FaultRegistry::global();
+    const std::string faultp = "ssd." + std::to_string(trace_dev_) + ".";
+    fs_io_error_ = freg.siteId(faultp + "io_error");
+    fs_torn_write_ = freg.siteId(faultp + "torn_write");
+    fs_latency_ = freg.siteId(faultp + "latency");
+    fs_dropout_ = freg.siteId(faultp + "dropout");
     for (auto &p : pages_)
         p.store(nullptr, std::memory_order_relaxed);
     // Token-bucket rates are fixed at construction; benches set TimeScale
@@ -215,29 +231,82 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
             return Status::invalidArgument("zero-length I/O");
     }
 
+    // Fault-decision pass. Empty (and skipped entirely) unless a fault
+    // site is armed or a dropout is active; each request may fail with
+    // an error completion (no data transfer), tear (prefix transferred,
+    // error completion — the torn bytes only matter across a crash
+    // image, since the client never treats an errored write as durable),
+    // or pick up extra service latency.
+    std::vector<IoFault> faults;
+    if (fault::enabled() ||
+        dropout_until_.load(std::memory_order_relaxed) != 0) {
+        faults.resize(batch.size());
+        auto &freg = fault::FaultRegistry::global();
+        for (size_t i = 0; i < batch.size(); i++) {
+            const auto &req = batch[i];
+            IoFault &f = faults[i];
+            f.xfer = req.length;
+            const bool is_write = req.op == SsdIoRequest::Op::kWrite;
+            uint64_t payload = 0;
+            if (is_write && fault::enabled() &&
+                freg.shouldFire(fs_dropout_, &payload)) {
+                dropout_until_.store(payload == 0 ? UINT64_MAX
+                                                  : nowNs() + payload,
+                                     std::memory_order_relaxed);
+            }
+            if (is_write && !healthy()) {
+                f.status = Status::ioError("device dropout");
+                f.xfer = 0;
+            } else if (fault::enabled() &&
+                       freg.shouldFire(fs_io_error_)) {
+                f.status = Status::ioError("injected I/O error");
+                f.xfer = 0;
+            } else if (is_write && fault::enabled() &&
+                       freg.shouldFire(fs_torn_write_, &payload)) {
+                // Torn multi-page write: a prefix reaches the media
+                // (payload bytes, default half the request rounded to
+                // 8), then the request errors out.
+                f.status = Status::ioError("injected torn write");
+                f.xfer = payload != 0
+                             ? static_cast<uint32_t>(std::min<uint64_t>(
+                                   payload, req.length))
+                             : (req.length / 2) & ~7u;
+            }
+            if (fault::enabled() && freg.shouldFire(fs_latency_, &payload))
+                f.extra_ns = payload != 0 ? payload : 2'000'000;
+            if (!f.status.isOk()) {
+                reg_io_errors_->inc();
+                reg_dev_io_errors_->inc();
+            }
+        }
+    }
+
     // Transfer data at submission; the completion only carries timing.
     // (Writes become durable at completion; an in-flight write lost to a
     // crash may thus survive in the backing store, which is benign: the
     // client treats it as unreferenced garbage, exactly as a completed-
     // but-unacknowledged write on real hardware.)
-    for (const auto &req : batch) {
+    for (size_t i = 0; i < batch.size(); i++) {
+        const auto &req = batch[i];
+        const uint32_t xfer = faults.empty() ? req.length : faults[i].xfer;
         if (req.op == SsdIoRequest::Op::kWrite) {
             PRISM_DCHECK(req.src != nullptr);
-            copyIn(req.offset, req.src, req.length);
-            stats_.bytes_written.fetch_add(req.length,
+            if (xfer > 0)
+                copyIn(req.offset, req.src, xfer);
+            stats_.bytes_written.fetch_add(xfer,
                                            std::memory_order_relaxed);
             stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
-            reg_bytes_written_->add(req.length);
-            reg_dev_bytes_written_->add(req.length);
+            reg_bytes_written_->add(xfer);
+            reg_dev_bytes_written_->add(xfer);
             reg_write_ops_->inc();
         } else {
             PRISM_DCHECK(req.buf != nullptr);
-            copyOut(req.offset, req.buf, req.length);
-            stats_.bytes_read.fetch_add(req.length,
-                                        std::memory_order_relaxed);
+            if (xfer > 0)
+                copyOut(req.offset, req.buf, xfer);
+            stats_.bytes_read.fetch_add(xfer, std::memory_order_relaxed);
             stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
-            reg_bytes_read_->add(req.length);
-            reg_dev_bytes_read_->add(req.length);
+            reg_bytes_read_->add(xfer);
+            reg_dev_bytes_read_->add(xfer);
             reg_read_ops_->inc();
         }
     }
@@ -256,8 +325,12 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
 
     if (!model_timing_.load(std::memory_order_relaxed)) {
         std::lock_guard<std::mutex> lock(cq_mu_);
-        for (const auto &req : batch)
-            cq_.push_back({req.user_data, Status::ok(), 0});
+        for (size_t i = 0; i < batch.size(); i++) {
+            cq_.push_back({batch[i].user_data,
+                           faults.empty() ? Status::ok()
+                                          : faults[i].status,
+                           0});
+        }
         inflight_.fetch_sub(batch.size(), std::memory_order_acq_rel);
         reg_inflight_->sub(static_cast<int64_t>(batch.size()));
         cq_cv_.notify_all();
@@ -266,8 +339,11 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
 
     {
         std::lock_guard<std::mutex> lock(sq_mu_);
-        for (const auto &req : batch) {
-            const uint64_t service = serviceTimeNs(req, now);
+        for (size_t i = 0; i < batch.size(); i++) {
+            const auto &req = batch[i];
+            uint64_t service = serviceTimeNs(req, now);
+            if (!faults.empty())
+                service += faults[i].extra_ns;
             // Earliest-free internal channel serves the request.
             auto it = std::min_element(channel_free_at_.begin(),
                                        channel_free_at_.end());
@@ -282,7 +358,10 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
             p.trace_id =
                 (static_cast<uint64_t>(trace_dev_) << 48) |
                 trace_req_seq_.fetch_add(1, std::memory_order_relaxed);
-            p.completion = {req.user_data, Status::ok(), 0};
+            p.completion = {req.user_data,
+                            faults.empty() ? Status::ok()
+                                           : faults[i].status,
+                            0};
             *it = due;
             pending_.push(std::move(p));
         }
@@ -386,6 +465,12 @@ SsdDevice::readSync(uint64_t offset, void *buf, uint32_t length)
 {
     if (offset + length > capacity_)
         return Status::invalidArgument("I/O beyond device capacity");
+    if (fault::enabled() &&
+        fault::FaultRegistry::global().shouldFire(fs_io_error_)) {
+        reg_io_errors_->inc();
+        reg_dev_io_errors_->inc();
+        return Status::ioError("injected I/O error");
+    }
     // Synchronous path: model the blocking pread an O_DIRECT caller sees.
     copyOut(offset, buf, length);
     stats_.bytes_read.fetch_add(length, std::memory_order_relaxed);
@@ -409,6 +494,14 @@ SsdDevice::writeSync(uint64_t offset, const void *src, uint32_t length)
 {
     if (offset + length > capacity_)
         return Status::invalidArgument("I/O beyond device capacity");
+    if (!healthy())
+        return Status::ioError("device dropout");
+    if (fault::enabled() &&
+        fault::FaultRegistry::global().shouldFire(fs_io_error_)) {
+        reg_io_errors_->inc();
+        reg_dev_io_errors_->inc();
+        return Status::ioError("injected I/O error");
+    }
     copyIn(offset, src, length);
     stats_.bytes_written.fetch_add(length, std::memory_order_relaxed);
     stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
@@ -424,6 +517,19 @@ SsdDevice::writeSync(uint64_t offset, const void *src, uint32_t length)
         delayFor(service);
     }
     return Status::ok();
+}
+
+bool
+SsdDevice::healthy() const
+{
+    const uint64_t until = dropout_until_.load(std::memory_order_relaxed);
+    return until == 0 || nowNs() >= until;
+}
+
+void
+SsdDevice::setDropout(bool on)
+{
+    dropout_until_.store(on ? UINT64_MAX : 0, std::memory_order_relaxed);
 }
 
 void

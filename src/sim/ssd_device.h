@@ -158,6 +158,20 @@ class SsdDevice {
     SsdStats &stats() { return stats_; }
     void setModelTiming(bool on) { model_timing_ = on; }
 
+    /** Process-wide device number (the <n> in sim.ssd.<n>.* metrics). */
+    int deviceNumber() const { return trace_dev_; }
+
+    /**
+     * True when the device accepts writes. A dropout (setDropout or the
+     * "ssd.<n>.dropout" fault site) fails every write with an I/O-error
+     * completion until it ends; reads still succeed, like a drive whose
+     * write path died but whose media is readable.
+     */
+    bool healthy() const;
+
+    /** Force (or clear) a dropout. Fault payload = duration in ns. */
+    void setDropout(bool on);
+
   private:
     static constexpr uint64_t kPageSize = 256 * 1024;
 
@@ -226,6 +240,19 @@ class SsdDevice {
     stats::Counter *reg_dev_bytes_read_;
     stats::Counter *reg_dev_bytes_written_;
     stats::Counter *reg_dev_busy_ns_;
+
+    // Fault injection (see common/fault.h). Site names are per-device
+    // ("ssd.<n>.io_error" etc.) so schedules can target one drive of a
+    // set; ids are interned once at construction. dropout_until_ is the
+    // monotonic-ns deadline of an active dropout (0 = none, UINT64_MAX =
+    // until setDropout(false)).
+    uint32_t fs_io_error_ = 0;
+    uint32_t fs_torn_write_ = 0;
+    uint32_t fs_latency_ = 0;
+    uint32_t fs_dropout_ = 0;
+    std::atomic<uint64_t> dropout_until_{0};
+    stats::Counter *reg_io_errors_;
+    stats::Counter *reg_dev_io_errors_;
 
     // Tracing: a process-unique device number, one synthetic trace
     // track per internal channel (service spans are serialized per

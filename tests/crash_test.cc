@@ -23,6 +23,7 @@
 
 #include <map>
 
+#include "common/fault.h"
 #include "common/rand.h"
 #include "core/prism_db.h"
 #include "sim/device_profile.h"
@@ -264,8 +265,9 @@ TEST(CrashTest, ConcurrentWritersNeverLoseAckedData)
             if (acked_floor[k] == 0) {
                 // Never acked: may or may not exist; if it does, it must
                 // still be well-formed.
-                if (st.isOk())
+                if (st.isOk()) {
                     EXPECT_GE(parseVersion(k, v), 1) << "key " << k;
+                }
                 continue;
             }
             ASSERT_TRUE(st.isOk()) << "round " << round << " key " << k
@@ -356,6 +358,81 @@ TEST(CrashTest, RecoveryIsIdempotent)
     for (uint64_t k = 0; k < 500; k += 17) {
         ASSERT_TRUE(second->get(k, &v).isOk());
         EXPECT_EQ(parseVersion(k, v), 3);
+    }
+}
+
+TEST(CrashTest, CrashDuringRecoveryIsIdempotent)
+{
+    // Crash *inside* recovery (at the db.recover.midpoint fault site,
+    // after the durable orphan repairs) and recover again from that
+    // image: the doubly-recovered store must match the straight-through
+    // recovery exactly. Recovery repairs must be idempotent.
+    CrashRig rig(crashOptions(), 2);
+    constexpr uint64_t kKeys = 600;
+    for (uint64_t k = 0; k < kKeys; k++)
+        ASSERT_TRUE(rig.db->put(k, versionedValue(k, 5)).isOk());
+
+    std::vector<uint8_t> nvm_img;
+    std::vector<std::vector<uint8_t>> ssd_imgs;
+    rig.captureCrashImage(nvm_img, ssd_imgs);
+
+    // First recovery, on a *tracked* region so the mid-recovery durable
+    // image can be captured the instant the fault site fires.
+    auto nvm2 = std::make_shared<sim::NvmDevice>(
+        kNvmBytes, sim::kOptaneDcpmmProfile, false);
+    nvm2->loadImage(nvm_img.data(), nvm_img.size());
+    auto region2 = std::make_shared<pmem::PmemRegion>(nvm2, false);
+    region2->enableTracking();
+    std::vector<std::shared_ptr<sim::SsdDevice>> ssds2;
+    for (const auto &img : ssd_imgs) {
+        auto d = std::make_shared<sim::SsdDevice>(
+            kSsdBytes, sim::kSamsung980ProProfile, false);
+        d->loadFrom(img);
+        ssds2.push_back(std::move(d));
+    }
+    auto &freg = fault::FaultRegistry::global();
+    std::vector<uint8_t> mid_img;
+    freg.onFire("db.recover.midpoint", [&](uint64_t) {
+        if (mid_img.empty())
+            region2->snapshotDurableTo(mid_img);
+    });
+    fault::FaultSpec once;
+    once.trigger = fault::Trigger::kOnce;
+    freg.arm("db.recover.midpoint", once);
+    auto first = PrismDb::recover(rig.opts, region2, ssds2);
+    freg.disarmAll();
+    ASSERT_FALSE(mid_img.empty()) << "recovery never hit the crash site";
+    ASSERT_EQ(first->size(), kKeys);
+
+    // Second recovery, from the image the mid-recovery crash left.
+    auto nvm3 = std::make_shared<sim::NvmDevice>(
+        kNvmBytes, sim::kOptaneDcpmmProfile, false);
+    nvm3->loadImage(mid_img.data(), mid_img.size());
+    auto region3 = std::make_shared<pmem::PmemRegion>(nvm3, false);
+    std::vector<std::shared_ptr<sim::SsdDevice>> ssds3;
+    for (const auto &img : ssd_imgs) {
+        auto d = std::make_shared<sim::SsdDevice>(
+            kSsdBytes, sim::kSamsung980ProProfile, false);
+        d->loadFrom(img);
+        ssds3.push_back(std::move(d));
+    }
+    auto second = PrismDb::recover(rig.opts, region3, ssds3);
+    ASSERT_EQ(second->size(), first->size());
+    for (uint64_t k = 0; k < kKeys; k++) {
+        std::string v1, v2;
+        ASSERT_TRUE(first->get(k, &v1).isOk()) << k;
+        ASSERT_TRUE(second->get(k, &v2).isOk()) << k;
+        EXPECT_EQ(v1, v2) << k;
+        EXPECT_EQ(parseVersion(k, v2), 5) << k;
+    }
+    // Scans must agree too (index structure, not just point lookups).
+    std::vector<std::pair<uint64_t, std::string>> s1, s2;
+    ASSERT_TRUE(first->scan(0, kKeys, &s1).isOk());
+    ASSERT_TRUE(second->scan(0, kKeys, &s2).isOk());
+    ASSERT_EQ(s1.size(), s2.size());
+    for (size_t i = 0; i < s1.size(); i++) {
+        EXPECT_EQ(s1[i].first, s2[i].first);
+        EXPECT_EQ(s1[i].second, s2[i].second);
     }
 }
 
