@@ -18,10 +18,13 @@ main(int argc, char **argv)
     maybeDumpStatsAtExit(argc, argv);
     maybeTraceToFileAtExit(argc, argv);
     maybeTelemetryToFileAtExit(argc, argv);
+    parseBackendFlag(argc, argv);  // --backend={sim,posix,uring,auto}
     BenchScale base;
     base.ops = envOr("PRISM_BENCH_OPS", 40000) / 2;
     printScale(base);
-    std::printf("== Figure 16: throughput vs client threads ==\n");
+    std::printf("== Figure 16: throughput vs client threads "
+                "(prism backend: %s) ==\n",
+                benchBackendName());
 
     const int thread_counts[] = {1, 2, 4, 8};
     for (const char *name :

@@ -12,6 +12,8 @@
  *   PRISM_BENCH_OPS      operations per run     (default 40000)
  *   PRISM_BENCH_THREADS  client threads         (default 8)
  *   PRISM_BENCH_SSDS     number of SSDs         (default 4)
+ *   PRISM_BENCH_BACKEND  Prism I/O backend      (default sim;
+ *                        sim|posix|uring|auto — docs/IO_BACKENDS.md)
  */
 #pragma once
 
@@ -24,6 +26,7 @@
 #include "common/stats.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
+#include "io/io_backend.h"
 #include "ycsb/driver.h"
 #include "ycsb/stores.h"
 
@@ -199,6 +202,58 @@ maybeTelemetryToFileAtExit(int argc, char **argv)
 /** @} */
 
 /**
+ * @name --backend support (docs/IO_BACKENDS.md)
+ *
+ * Every bench accepts `--backend={sim,posix,uring,auto}` (or
+ * `PRISM_BENCH_BACKEND=<kind>`) to pick the io::IoBackend Prism's
+ * Value Storage runs on: the timing-modelled simulator (default) or
+ * real files via the POSIX pool / io_uring. Only the Prism store is
+ * switchable; the baselines always simulate. Non-sim runs tag every
+ * JSON row with a `"backend"` field so their rows never collide with
+ * the committed simulator baselines in scripts/bench_compare.py.
+ * @{
+ */
+
+namespace detail {
+inline std::string g_backend;
+}  // namespace detail
+
+/** Call first thing in main(), next to maybeDumpStatsAtExit(). */
+inline void
+parseBackendFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        const std::string_view a = argv[i];
+        if (a.rfind("--backend=", 0) == 0)
+            detail::g_backend = std::string(a.substr(10));
+    }
+    if (detail::g_backend.empty()) {
+        if (const char *env = std::getenv("PRISM_BENCH_BACKEND"))
+            detail::g_backend = env;
+    }
+}
+
+/** Selector for PrismOptions::io_backend ("" = default resolution). */
+inline const std::string &
+benchBackend()
+{
+    return detail::g_backend;
+}
+
+/**
+ * Resolved backend kind name for logs/rows ("sim", "posix", "uring" —
+ * "auto" resolves to what the kernel probe picked).
+ */
+inline const char *
+benchBackendName()
+{
+    return io::backendKindName(
+        io::resolveBackendKind(detail::g_backend));
+}
+
+/** @} */
+
+/**
  * @name Machine-readable results (`PRISM_BENCH_JSON`)
  *
  * When `PRISM_BENCH_JSON=<path>` is set, benches that support it append
@@ -218,7 +273,16 @@ benchJsonRow(const std::string &obj)
     FILE *f = std::fopen(path, "a");
     if (f == nullptr)
         return;
-    std::fprintf(f, "%s\n", obj.c_str());
+    // Non-sim runs get a "backend" identity field appended to every
+    // row. Simulator rows stay byte-identical to the committed
+    // BENCH_pr*.json baselines (bench_compare.py keys rows on their
+    // field set, so adding the field only off the default path keeps
+    // default runs comparable against old documents).
+    std::string row = obj;
+    const std::string kind = benchBackendName();
+    if (kind != "sim" && !row.empty() && row.back() == '}')
+        row.insert(row.size() - 1, ", \"backend\": \"" + kind + "\"");
+    std::fprintf(f, "%s\n", row.c_str());
     std::fclose(f);
 }
 
@@ -250,9 +314,11 @@ fixtureFor(const BenchScale &s)
 inline std::unique_ptr<KvStore>
 makeStore(const std::string &which, const FixtureOptions &fx)
 {
-    if (which == "Prism")
-        return std::make_unique<ycsb::PrismStore>(fx,
-                                                  core::PrismOptions{});
+    if (which == "Prism") {
+        core::PrismOptions po;
+        po.io_backend = benchBackend();  // "" = sim/$PRISM_IO_BACKEND
+        return std::make_unique<ycsb::PrismStore>(fx, po);
+    }
     if (which == "KVell")
         return std::make_unique<ycsb::KvellStore>(fx,
                                                   kvell::KvellOptions{});

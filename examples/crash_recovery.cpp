@@ -65,7 +65,8 @@ main()
     auto ssd2 = std::make_shared<sim::SsdDevice>(
         kSsdBytes, sim::kSamsung980ProProfile, false);
     ssd2->loadFrom(ssd_image);
-    auto recovered = core::PrismDb::recover(opts, region2, {ssd2});
+    std::vector<std::shared_ptr<sim::SsdDevice>> ssds2{ssd2};
+    auto recovered = core::PrismDb::recover(opts, region2, ssds2);
 
     std::printf("recovery completed in %.2f ms\n",
                 static_cast<double>(recovered->recoveryTimeNs()) / 1e6);

@@ -310,9 +310,10 @@ main(int argc, char **argv)
     fx.dataset_bytes = 128ull << 20;
     fx.model_timing = true;
     ycsb::PrismStore store(fx, core::PrismOptions{});
-    std::printf("prism_cli: store open on 1 NVM region + %d simulated "
-                "SSDs. Type 'help'.\n",
-                fx.num_ssds);
+    std::printf("prism_cli: store open on 1 NVM region + %d %s SSDs. "
+                "Type 'help'.\n",
+                fx.num_ssds,
+                std::string(store.devices().front()->kind()).c_str());
 
     std::string line;
     while (true) {

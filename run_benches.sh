@@ -16,10 +16,17 @@
 #   is assembled; with filters, only matching binaries run and the
 #   document is only assembled when PRISM_BENCH_OUT is set (a partial
 #   run makes a partial document, which must be opted into).
+#
+# PRISM_BENCH_BACKEND={sim,posix,uring,auto} runs Prism against a real-
+# file I/O backend instead of the simulator (docs/IO_BACKENDS.md); the
+# rows then carry a "backend" field and the default document is NOT
+# assembled — real-file rows are a different machine, not a new
+# simulator baseline. Set PRISM_BENCH_OUT explicitly to collect them.
 cd /root/repo
 
 OUT="${PRISM_BENCH_OUT:-}"
-if [ -z "$OUT" ] && [ "$#" -eq 0 ]; then
+BACKEND="${PRISM_BENCH_BACKEND:-${PRISM_IO_BACKEND:-sim}}"
+if [ -z "$OUT" ] && [ "$#" -eq 0 ] && [ "$BACKEND" = sim ]; then
   OUT=BENCH_pr4.json
 fi
 
@@ -69,5 +76,5 @@ if [ -n "$OUT" ] && [ -s "$ROWS" ]; then
   echo "##### wrote $OUT ($(grep -c '"figure"' "$ROWS") rows) #####"
 elif [ -s "$ROWS" ]; then
   echo ""
-  echo "##### filtered run: not assembling a document (set PRISM_BENCH_OUT to opt in) #####"
+  echo "##### filtered or non-sim run: not assembling a document (set PRISM_BENCH_OUT to opt in) #####"
 fi

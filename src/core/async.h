@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Completion-driven request handles for the async PrismDb API.
+ *
+ * An async operation (PrismDb::asyncGet and friends) returns an OpFuture:
+ * a shared handle to the operation's result slot. One caller thread can
+ * start hundreds of operations, keep the futures, and drain them later —
+ * which is how the paper's per-SSD queue depths get filled without one
+ * blocked thread per outstanding read (§5.3).
+ *
+ * Lifecycle:
+ *
+ *   caller thread                         completion thread (per VS)
+ *   ─────────────                         ──────────────────────────
+ *   asyncGet(key)
+ *     ├─ synchronous prefix: index /
+ *     │  HSIT / SVC / PWB under an
+ *     │  EpochGuard; may complete here
+ *     └─ SSD miss path: submit a tagged
+ *        read, return the future   ───▶   device completion arrives
+ *                                         ├─ AsyncIoHandler::onIoComplete
+ *                                         ├─ validate + publish to SVC
+ *                                         └─ AsyncOpState::complete()
+ *   future.wait() / future.ready()  ◀──   (futex wake + user callback)
+ *
+ * The blocking API is the degenerate case: put()/get()/del() run the same
+ * implementation and wait the future before returning.
+ *
+ * Threading contract: the user callback (when set) runs on whichever
+ * thread completes the operation — the *caller* thread when the op
+ * finishes in its synchronous prefix (NVM hit, SVC hit, immediate error),
+ * a Value Storage completion thread or background worker otherwise. Keep
+ * callbacks short and non-blocking; they run inside the completion loop
+ * that services every other in-flight I/O on that SSD.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prism::core {
+
+/** Optional completion hook; see the threading contract above. */
+using AsyncCallback = std::function<void(const Status &)>;
+
+/**
+ * Result slot shared between the issuing thread and whichever thread
+ * completes the operation. `done` is the publication flag: complete()
+ * release-stores it after filling every other field, so a ready()
+ * observer may read them without further synchronisation.
+ */
+struct AsyncOpState {
+    std::atomic<uint32_t> done{0};
+    Status status;
+    std::string value;  ///< asyncGet result
+    std::vector<std::pair<uint64_t, std::string>> rows;  ///< asyncScan
+    AsyncCallback callback;
+
+    void
+    complete(Status st)
+    {
+        status = std::move(st);
+        done.store(1, std::memory_order_release);
+        done.notify_all();
+        if (callback)
+            callback(status);
+    }
+
+    bool
+    ready() const
+    {
+        return done.load(std::memory_order_acquire) != 0;
+    }
+
+    void
+    wait() const
+    {
+        while (done.load(std::memory_order_acquire) == 0)
+            done.wait(0, std::memory_order_acquire);
+    }
+};
+
+/**
+ * Caller-side handle to an async operation. Copyable (shared state);
+ * cheap to move. A default-constructed future is invalid.
+ */
+class OpFuture {
+  public:
+    OpFuture() = default;
+    explicit OpFuture(std::shared_ptr<AsyncOpState> s)
+        : state_(std::move(s))
+    {
+    }
+
+    bool valid() const { return state_ != nullptr; }
+
+    /** Non-blocking: has the operation finished? */
+    bool ready() const { return state_->ready(); }
+
+    /** Block until finished; returns the final status. */
+    const Status &
+    wait() const
+    {
+        state_->wait();
+        return state_->status;
+    }
+
+    /** Final status; only meaningful once ready(). */
+    const Status &status() const { return state_->status; }
+
+    /** asyncGet payload; only meaningful once ready() and ok. */
+    const std::string &value() const { return state_->value; }
+    std::string &&takeValue() { return std::move(state_->value); }
+
+    /** asyncScan rows; only meaningful once ready() and ok. */
+    const std::vector<std::pair<uint64_t, std::string>> &
+    rows() const
+    {
+        return state_->rows;
+    }
+    std::vector<std::pair<uint64_t, std::string>> &&
+    takeRows()
+    {
+        return std::move(state_->rows);
+    }
+
+  private:
+    std::shared_ptr<AsyncOpState> state_;
+};
+
+/**
+ * Completion-side dispatch hook between the io::IoBackend completion
+ * stream and the async API.
+ *
+ * user_data tagging on device requests (pointers are 8-byte aligned, so
+ * the low three bits are free):
+ *   - bit 0 set: ReadWaiter of a chunk-write ticket (value_storage.cc)
+ *   - bit 1 set: AsyncIoHandler* — the VS completion loop strips the tag
+ *     and calls onIoComplete(status) on its own thread
+ *   - untagged:  ReadWaiter of a blocking batched read (read_batcher.cc)
+ *
+ * onIoComplete owns the continuation: it may resubmit the I/O (transient
+ * error retry), restart the lookup (the record moved mid-flight), or
+ * finish the op. The handler frees itself when the op leaves the device.
+ */
+class AsyncIoHandler {
+  public:
+    static constexpr uint64_t kTag = 2;
+    /** Mask clearing every low tag bit before the pointer cast. */
+    static constexpr uint64_t kTagMask = 7;
+
+    virtual ~AsyncIoHandler() = default;
+    virtual void onIoComplete(const Status &st) = 0;
+};
+
+}  // namespace prism::core

@@ -70,6 +70,28 @@ struct PrismOptions {
     uint64_t hsit_capacity = 4ull * 1024 * 1024;
     ///@}
 
+    /** @name I/O backend (docs/IO_BACKENDS.md, src/io/io_backend.h) */
+    ///@{
+    /**
+     * Which io::IoBackend implementation harnesses that construct their
+     * own devices (YCSB stores, benches, the CLI) should build:
+     * "sim" (timing-modelled simulator, the default), "posix"
+     * (pwrite/pread thread pool over real files), "uring" (io_uring;
+     * falls back to posix with a warning when the kernel lacks it), or
+     * "auto" (uring when available, else posix, silently). Empty defers
+     * to $PRISM_IO_BACKEND, then "sim".
+     * Library users who pass their own device vector to PrismDb are
+     * unaffected — the store never consults this.
+     */
+    std::string io_backend;
+    /**
+     * Directory for the real-file backends' backing files (one
+     * .img per device). Empty uses $PRISM_IO_DIR, then /tmp/prism-io.
+     * Point it at a tmpfs (e.g. /dev/shm) to keep CI hermetic.
+     */
+    std::string io_backend_dir;
+    ///@}
+
     /** Largest supported value (one record must fit a chunk and the
      *  packed address size field). */
     uint32_t max_value_bytes = 60 * 1024;

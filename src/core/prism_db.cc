@@ -24,7 +24,7 @@ namespace {
  * capped backoff. Reads are idempotent, so a retry is always safe.
  */
 Status
-waitReadRetrying(sim::SsdDevice &dev, const sim::SsdIoRequest &req,
+waitReadRetrying(io::IoBackend &dev, const io::IoRequest &req,
                  ReadWaiter &waiter, stats::Counter *retries)
 {
     constexpr int kReadRetries = 3;
@@ -42,16 +42,20 @@ waitReadRetrying(sim::SsdDevice &dev, const sim::SsdIoRequest &req,
     }
 }
 
+/** Async VS read: transient-error resubmits / mid-flight-move re-lookups. */
+constexpr int kAsyncIoRetries = 3;
+constexpr int kAsyncLookupRetries = 8;
+
 }  // namespace
 
 PrismDb::PrismDb(const PrismOptions &opts,
                  std::shared_ptr<pmem::PmemRegion> region,
-                 std::vector<std::shared_ptr<sim::SsdDevice>> ssds,
+                 std::vector<std::shared_ptr<io::IoBackend>> devices,
                  bool format)
     : opts_(opts), region_(std::move(region))
 {
-    PRISM_CHECK(!ssds.empty());
-    PRISM_CHECK(ssds.size() <= ValueAddr::kSsdMask + 1);
+    PRISM_CHECK(!devices.empty());
+    PRISM_CHECK(devices.size() <= ValueAddr::kSsdMask + 1);
     alloc_ = std::make_unique<pmem::PmemAllocator>(*region_);
 
     auto &reg = stats::StatsRegistry::global();
@@ -105,9 +109,9 @@ PrismDb::PrismDb(const PrismOptions &opts,
     if (opts_.trace_enabled)
         tracer.setEnabled(true);
 
-    for (size_t i = 0; i < ssds.size(); i++) {
+    for (size_t i = 0; i < devices.size(); i++) {
         value_storages_.push_back(std::make_unique<ValueStorage>(
-            static_cast<uint32_t>(i), ssds[i], opts_, epochs_));
+            static_cast<uint32_t>(i), devices[i], opts_, epochs_));
         vs_ptrs_.push_back(value_storages_.back().get());
     }
 
@@ -154,6 +158,11 @@ PrismDb::PrismDb(const PrismOptions &opts,
 
 PrismDb::~PrismDb()
 {
+    // Wait out in-flight async operations first: their completion paths
+    // (VS completion threads, bg-pool scan tasks) touch the SVC, HSIT,
+    // epochs and the pool, all of which are torn down below.
+    while (async_inflight_.load(std::memory_order_acquire) != 0)
+        std::this_thread::yield();
     // Unhook telemetry before any state the probe reads is torn down;
     // stop the sampler only if this instance started it (the recorded
     // series stays readable/exportable after close).
@@ -415,25 +424,46 @@ PrismDb::readValue(uint64_t hsit_idx, uint64_t key, ValueAddr addr,
     return Status::ok();
 }
 
+bool
+PrismDb::getPrefix(uint64_t key, std::string *out, Status *st, uint64_t *h,
+                   ValueAddr *addr)
+{
+    const auto found = index_->lookup(key);
+    if (!found.has_value()) {
+        *st = Status::notFound();
+        return true;
+    }
+    *h = *found;
+    *addr = hsit_->loadPrimary(*h);
+    if (addr->isNull()) {
+        *st = Status::notFound();
+        return true;
+    }
+    if (svc_->lookup(*h, addr->raw(), out)) {
+        stats_.svc_hits.fetch_add(1, std::memory_order_relaxed);
+        reg_.svc_hits->inc();
+        *st = Status::ok();
+        return true;
+    }
+    return false;
+}
+
 Status
 PrismDb::get(uint64_t key, std::string *value)
 {
+    // The blocking path is the degenerate async get: same prefix, but
+    // an SSD miss is resolved through the TCQ (the caller is going to
+    // block anyway, so it lends its thread to the read batcher).
     PRISM_TRACE_OP(op_scope, "prism.get");
     stats_.gets.fetch_add(1, std::memory_order_relaxed);
     reg_.gets->inc();
     EpochGuard guard(epochs_);
-    const auto h = index_->lookup(key);
-    if (!h.has_value())
-        return Status::notFound();
-    const ValueAddr addr = hsit_->loadPrimary(*h);
-    if (addr.isNull())
-        return Status::notFound();
-    if (svc_->lookup(*h, addr.raw(), value)) {
-        stats_.svc_hits.fetch_add(1, std::memory_order_relaxed);
-        reg_.svc_hits->inc();
-        return Status::ok();
-    }
-    return readValue(*h, key, addr, value, /*admit_to_svc=*/true);
+    Status st;
+    uint64_t h;
+    ValueAddr addr;
+    if (getPrefix(key, value, &st, &h, &addr))
+        return st;
+    return readValue(h, key, addr, value, /*admit_to_svc=*/true);
 }
 
 Status
@@ -466,6 +496,223 @@ PrismDb::del(uint64_t key)
     cas_span.arg(PRISM_TRACE_NID("retries"), retries);
     hsit_->freeEntryDeferred(*h, epochs_);
     return Status::ok();
+}
+
+/**
+ * Heap context of one in-flight tagged Value Storage read. Its address
+ * (as an AsyncIoHandler, with bit 1 set) rides the device request's
+ * user_data; the VS completion loop strips the tag and calls
+ * onIoComplete, which forwards here. The context owns the read buffer,
+ * so nothing on any caller's stack is referenced while the I/O flies.
+ */
+struct PrismDb::AsyncGetCtx final : AsyncIoHandler {
+    PrismDb *db = nullptr;
+    std::shared_ptr<AsyncOpState> st;
+    uint64_t key = 0;
+    uint64_t h = 0;
+    ValueAddr addr;
+    std::vector<uint8_t> buf;
+    io::IoRequest io;
+    int io_attempts = 0;      ///< transient-error resubmissions so far
+    int lookup_attempts = 0;  ///< re-lookups after mid-flight moves
+
+    void
+    onIoComplete(const Status &s) override
+    {
+        db->onAsyncVsRead(this, s);
+    }
+};
+
+void
+PrismDb::completeAsync(const std::shared_ptr<AsyncOpState> &st, Status s)
+{
+    st->complete(std::move(s));
+    // Release the in-flight slot only after the state is published: the
+    // destructor's drain gates teardown on this counter.
+    async_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+OpFuture
+PrismDb::asyncPut(uint64_t key, std::string_view value, AsyncCallback cb)
+{
+    auto st = std::make_shared<AsyncOpState>();
+    st->callback = std::move(cb);
+    async_inflight_.fetch_add(1, std::memory_order_acq_rel);
+    // The put path is an NVM append + durable CAS (§4.3): there is no
+    // device round-trip to overlap, so the future completes inline.
+    completeAsync(st, put(key, value));
+    return OpFuture(std::move(st));
+}
+
+OpFuture
+PrismDb::asyncDel(uint64_t key, AsyncCallback cb)
+{
+    auto st = std::make_shared<AsyncOpState>();
+    st->callback = std::move(cb);
+    async_inflight_.fetch_add(1, std::memory_order_acq_rel);
+    completeAsync(st, del(key));
+    return OpFuture(std::move(st));
+}
+
+OpFuture
+PrismDb::asyncGet(uint64_t key, AsyncCallback cb)
+{
+    // The op trace scope covers the synchronous prefix only; the flight
+    // itself is visible as the device's submit/service spans.
+    PRISM_TRACE_OP(op_scope, "prism.async_get");
+    stats_.gets.fetch_add(1, std::memory_order_relaxed);
+    reg_.gets->inc();
+    auto st = std::make_shared<AsyncOpState>();
+    st->callback = std::move(cb);
+    async_inflight_.fetch_add(1, std::memory_order_acq_rel);
+    OpFuture f(st);
+    startAsyncGet(st, key, /*lookup_attempts=*/0);
+    return f;
+}
+
+OpFuture
+PrismDb::asyncScan(uint64_t start_key, size_t count, AsyncCallback cb)
+{
+    auto st = std::make_shared<AsyncOpState>();
+    st->callback = std::move(cb);
+    async_inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (bg_pool_->workers() == 0) {
+        // No pool (serial ablation): degenerate to a blocking scan.
+        completeAsync(st, scan(start_key, count, &st->rows));
+        return OpFuture(std::move(st));
+    }
+    OpFuture f(st);
+    bg_pool_->submit([this, st, start_key, count] {
+        completeAsync(st, scan(start_key, count, &st->rows));
+    });
+    return f;
+}
+
+void
+PrismDb::startAsyncGet(const std::shared_ptr<AsyncOpState> &st,
+                       uint64_t key, int lookup_attempts)
+{
+    Status s;
+    bool done = false;
+    {
+        EpochGuard guard(epochs_);
+        uint64_t h;
+        ValueAddr addr;
+        if (getPrefix(key, &st->value, &s, &h, &addr)) {
+            done = true;
+        } else if (addr.isPwb()) {
+            // NVM-resident: nothing to overlap; serve it inline.
+            s = readValue(h, key, addr, &st->value, /*admit_to_svc=*/true);
+            done = true;
+        } else if (addr.ssdId() >= value_storages_.size()) {
+            s = Status::corruption("bad SSD id in HSIT entry");
+            done = true;
+        } else {
+            // SSD-resident: tagged read with *no epoch held across the
+            // flight* — pinning an epoch per in-flight op would stall
+            // every reclaimer behind the slowest I/O. Safety comes from
+            // the completion-side re-validation instead (onAsyncVsRead).
+            auto *ctx = new AsyncGetCtx;
+            ctx->db = this;
+            ctx->st = st;
+            ctx->key = key;
+            ctx->h = h;
+            ctx->addr = addr;
+            ctx->lookup_attempts = lookup_attempts;
+            ctx->buf.resize(addr.recordBytes());
+            ctx->io.op = io::IoRequest::Op::kRead;
+            ctx->io.offset = addr.offset();
+            ctx->io.length = static_cast<uint32_t>(ctx->buf.size());
+            ctx->io.buf = ctx->buf.data();
+            ctx->io.user_data =
+                reinterpret_cast<uint64_t>(
+                    static_cast<AsyncIoHandler *>(ctx)) |
+                AsyncIoHandler::kTag;
+            s = value_storages_[addr.ssdId()]->device().submit(ctx->io);
+            if (!s.isOk()) {
+                delete ctx;
+                done = true;
+            }
+        }
+    }
+    // Complete outside the epoch guard: the user callback must not run
+    // inside a read-side critical section.
+    if (done)
+        completeAsync(st, s);
+}
+
+void
+PrismDb::onAsyncVsRead(AsyncGetCtx *ctx, const Status &io_st)
+{
+    if (!io_st.isOk()) {
+        // Transient I/O error (injected fault / device hiccup): reads
+        // are idempotent, so resubmit with the sync path's backoff. The
+        // wait briefly stalls this completion loop; errors are rare
+        // enough that simplicity wins over a timer wheel.
+        if (io_st.code() == StatusCode::kIoError &&
+            ctx->io_attempts < kAsyncIoRetries) {
+            ctx->io_attempts++;
+            reg_.vs_read_retries->inc();
+            delayFor(20'000ull << (ctx->io_attempts - 1));
+            const Status sub =
+                value_storages_[ctx->addr.ssdId()]->device().submit(
+                    ctx->io);
+            if (sub.isOk())
+                return;  // the retry's completion re-enters here
+            completeAsync(ctx->st, sub);
+        } else {
+            completeAsync(ctx->st, io_st);
+        }
+        delete ctx;
+        return;
+    }
+
+    bool published = false;
+    {
+        // The flight held no epoch, so the record may have been
+        // relocated (update, reclamation, GC) and its chunk recycled —
+        // even recycled *and rewritten* — under us. Validate under an
+        // epoch guard: the record must parse (coupling + CRC) and the
+        // HSIT must still point at the exact address we read; otherwise
+        // nothing is published and the lookup is retried.
+        EpochGuard guard(epochs_);
+        const auto *hdr = reinterpret_cast<const ValueRecordHeader *>(
+            ctx->buf.data());
+        const auto *payload = ctx->buf.data() + sizeof(ValueRecordHeader);
+        const bool parse_ok =
+            sizeof(ValueRecordHeader) + hdr->value_size <=
+                ctx->buf.size() &&
+            hdr->backward == ctx->h && recordCrcOk(*hdr, payload);
+        if (parse_ok && hsit_->loadPrimary(ctx->h) == ctx->addr) {
+            ctx->st->value.assign(reinterpret_cast<const char *>(payload),
+                                  hdr->value_size);
+            stats_.vs_reads.fetch_add(1, std::memory_order_relaxed);
+            reg_.vs_reads->inc();
+            svc_->admit(ctx->h, ctx->key, ctx->addr, payload,
+                        hdr->value_size);
+            published = true;
+        }
+    }
+    if (published) {
+        completeAsync(ctx->st, Status::ok());
+        delete ctx;
+        return;
+    }
+
+    // The value moved mid-flight; chase it with a fresh lookup. Each
+    // round re-resolves index -> HSIT -> SVC/PWB/VS, so a value that
+    // migrated into the PWB or SVC completes inline this time.
+    if (ctx->lookup_attempts < kAsyncLookupRetries) {
+        const std::shared_ptr<AsyncOpState> st = std::move(ctx->st);
+        const uint64_t key = ctx->key;
+        const int attempts = ctx->lookup_attempts + 1;
+        delete ctx;
+        startAsyncGet(st, key, attempts);
+        return;
+    }
+    completeAsync(ctx->st,
+                  Status::corruption("async get: record kept moving"));
+    delete ctx;
 }
 
 Status
@@ -529,7 +776,7 @@ PrismDb::scan(uint64_t start_key, size_t count,
             size_t first_req;
             size_t req_count;
             std::vector<uint8_t> buf;
-            sim::SsdIoRequest req;  ///< kept for error-path resubmission
+            io::IoRequest req;  ///< kept for error-path resubmission
             ReadWaiter waiter;
         };
         std::vector<std::unique_ptr<Span>> spans;
@@ -555,7 +802,7 @@ PrismDb::scan(uint64_t start_key, size_t count,
         }
         for (auto &s : spans) {
             s->buf.resize(s->end - s->start);
-            s->req.op = sim::SsdIoRequest::Op::kRead;
+            s->req.op = io::IoRequest::Op::kRead;
             s->req.offset = s->start;
             s->req.length = static_cast<uint32_t>(s->buf.size());
             s->req.buf = s->buf.data();
@@ -632,7 +879,7 @@ PrismDb::multiGet(const std::vector<uint64_t> &keys,
         uint64_t h;
         ValueAddr addr;
         std::vector<uint8_t> buf;
-        sim::SsdIoRequest io;  ///< kept for error-path resubmission
+        io::IoRequest io;  ///< kept for error-path resubmission
         ReadWaiter waiter;
     };
     std::vector<std::unique_ptr<VsReq>> vs_reqs;
@@ -669,11 +916,11 @@ PrismDb::multiGet(const std::vector<uint64_t> &keys,
 
     // One submission per Value Storage covering all its requests.
     for (size_t vs_id = 0; vs_id < value_storages_.size(); vs_id++) {
-        std::vector<sim::SsdIoRequest> batch;
+        std::vector<io::IoRequest> batch;
         for (auto &r : vs_reqs) {
             if (r->addr.ssdId() != vs_id)
                 continue;
-            r->io.op = sim::SsdIoRequest::Op::kRead;
+            r->io.op = io::IoRequest::Op::kRead;
             r->io.offset = r->addr.offset();
             r->io.length = static_cast<uint32_t>(r->buf.size());
             r->io.buf = r->buf.data();

@@ -48,6 +48,7 @@
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "common/thread_util.h"
+#include "core/async.h"
 #include "core/bg_pool.h"
 #include "core/hsit.h"
 #include "core/options.h"
@@ -55,6 +56,7 @@
 #include "core/svc.h"
 #include "core/value_storage.h"
 #include "index/pactree.h"
+#include "io/io_backend.h"
 #include "pmem/pmem_allocator.h"
 #include "pmem/pmem_region.h"
 #include "sim/ssd_device.h"
@@ -105,37 +107,69 @@ class PrismDb {
     /**
      * Open a store.
      *
-     * @param opts   tunables and ablation flags.
-     * @param region the NVM pool (caller keeps ownership shared so crash
-     *               tests can snapshot/restore it).
-     * @param ssds   one Value Storage is created per device.
-     * @param format true = initialise fresh; false = recover (§5.5).
+     * @param opts    tunables and ablation flags.
+     * @param region  the NVM pool (caller keeps ownership shared so crash
+     *                tests can snapshot/restore it).
+     * @param devices one Value Storage is created per device. Any
+     *                io::IoBackend works: the simulator, a real file via
+     *                io::createFileBackend, or a mix (docs/IO_BACKENDS.md).
+     * @param format  true = initialise fresh; false = recover (§5.5).
      */
     PrismDb(const PrismOptions &opts,
             std::shared_ptr<pmem::PmemRegion> region,
-            std::vector<std::shared_ptr<sim::SsdDevice>> ssds, bool format);
+            std::vector<std::shared_ptr<io::IoBackend>> devices,
+            bool format);
+
+    /** Simulator-fleet convenience (the historical signature). */
+    PrismDb(const PrismOptions &opts,
+            std::shared_ptr<pmem::PmemRegion> region,
+            std::vector<std::shared_ptr<sim::SsdDevice>> ssds, bool format)
+        : PrismDb(opts, std::move(region), asBackends(ssds), format)
+    {
+    }
+
     ~PrismDb();
 
     PrismDb(const PrismDb &) = delete;
     PrismDb &operator=(const PrismDb &) = delete;
 
+    /** Widen a simulator fleet to the device-agnostic backend vector. */
+    static std::vector<std::shared_ptr<io::IoBackend>>
+    asBackends(const std::vector<std::shared_ptr<sim::SsdDevice>> &ssds)
+    {
+        return {ssds.begin(), ssds.end()};
+    }
+
     /** Convenience: fresh store. */
     static std::unique_ptr<PrismDb>
     open(const PrismOptions &opts, std::shared_ptr<pmem::PmemRegion> region,
-         std::vector<std::shared_ptr<sim::SsdDevice>> ssds)
+         std::vector<std::shared_ptr<io::IoBackend>> devices)
     {
         return std::make_unique<PrismDb>(opts, std::move(region),
-                                         std::move(ssds), true);
+                                         std::move(devices), true);
+    }
+    static std::unique_ptr<PrismDb>
+    open(const PrismOptions &opts, std::shared_ptr<pmem::PmemRegion> region,
+         const std::vector<std::shared_ptr<sim::SsdDevice>> &ssds)
+    {
+        return open(opts, std::move(region), asBackends(ssds));
     }
 
     /** Convenience: recover an existing store after crash/restart. */
     static std::unique_ptr<PrismDb>
     recover(const PrismOptions &opts,
             std::shared_ptr<pmem::PmemRegion> region,
-            std::vector<std::shared_ptr<sim::SsdDevice>> ssds)
+            std::vector<std::shared_ptr<io::IoBackend>> devices)
     {
         return std::make_unique<PrismDb>(opts, std::move(region),
-                                         std::move(ssds), false);
+                                         std::move(devices), false);
+    }
+    static std::unique_ptr<PrismDb>
+    recover(const PrismOptions &opts,
+            std::shared_ptr<pmem::PmemRegion> region,
+            const std::vector<std::shared_ptr<sim::SsdDevice>> &ssds)
+    {
+        return recover(opts, std::move(region), asBackends(ssds));
     }
 
     /** @name Store operations */
@@ -164,6 +198,58 @@ class PrismDb {
      */
     Status multiGet(const std::vector<uint64_t> &keys,
                     std::vector<std::optional<std::string>> *out);
+    ///@}
+
+    /**
+     * @name Asynchronous operations (core/async.h)
+     *
+     * Completion-driven variants of the store operations. Each returns
+     * an OpFuture immediately; the operation finishes on a completion
+     * thread when its device I/O lands (or inline when no device I/O is
+     * needed). One caller thread can keep hundreds of gets in flight —
+     * the queue-depth-filling discipline of §5.3 without one blocked
+     * thread per read. The blocking API above is the degenerate case:
+     * same implementation, caller waits.
+     *
+     * The optional callback runs on whichever thread completes the op
+     * (see core/async.h for the threading contract).
+     */
+    ///@{
+    /**
+     * Asynchronous put. Completes before returning: the write path is an
+     * NVM append + durable CAS (§4.3) with no device round-trip to
+     * overlap, so the future is always ready. Provided for API symmetry
+     * (mixed async batches need not special-case writes).
+     */
+    OpFuture asyncPut(uint64_t key, std::string_view value,
+                      AsyncCallback cb = nullptr);
+
+    /**
+     * Asynchronous point lookup. NVM/DRAM hits (PWB, SVC) complete
+     * inline; an SSD-resident value is fetched with a tagged device read
+     * and the future completes from the Value Storage completion thread,
+     * holding no epoch (and no caller thread) while the I/O is in
+     * flight. The completion path re-validates the record against the
+     * HSIT before publishing it, retrying the lookup if the value moved
+     * (GC / update) mid-flight.
+     */
+    OpFuture asyncGet(uint64_t key, AsyncCallback cb = nullptr);
+
+    /** Asynchronous delete. Completes before returning (NVM-only). */
+    OpFuture asyncDel(uint64_t key, AsyncCallback cb = nullptr);
+
+    /**
+     * Asynchronous range scan: runs on the background pool (a scan is a
+     * multi-batch pipeline, not a single I/O), completing the future
+     * with the rows when done.
+     */
+    OpFuture asyncScan(uint64_t start_key, size_t count,
+                       AsyncCallback cb = nullptr);
+
+    /** Async operations started but not yet completed. */
+    uint64_t asyncInflight() const {
+        return async_inflight_.load(std::memory_order_acquire);
+    }
     ///@}
 
     /** Number of live keys. */
@@ -244,6 +330,35 @@ class PrismDb {
 
     Status readValue(uint64_t hsit_idx, uint64_t key, ValueAddr addr,
                      std::string *out, bool admit_to_svc);
+
+    /** @name Async engine (prism_db.cc, core/async.h) */
+    ///@{
+    /** In-flight tagged-read context; defined in prism_db.cc. */
+    struct AsyncGetCtx;
+
+    /**
+     * Shared synchronous prefix of get()/asyncGet(): resolve the key and
+     * serve the SVC hit. Caller must hold an EpochGuard.
+     * @return true when the op finished (st/out are set); false with
+     *         *h and *addr filled when the value must be read (PWB/VS).
+     */
+    bool getPrefix(uint64_t key, std::string *out, Status *st, uint64_t *h,
+                   ValueAddr *addr);
+
+    /**
+     * Run one async-get round: prefix, then either complete inline or
+     * submit the tagged VS read. Re-entered from the completion thread
+     * when mid-flight relocation forces a re-lookup.
+     */
+    void startAsyncGet(const std::shared_ptr<AsyncOpState> &st,
+                       uint64_t key, int lookup_attempts);
+
+    /** Tagged-read continuation (runs on a VS completion thread). */
+    void onAsyncVsRead(AsyncGetCtx *ctx, const Status &st);
+
+    /** Publish a result and release the in-flight slot. */
+    void completeAsync(const std::shared_ptr<AsyncOpState> &st, Status s);
+    ///@}
 
     void reclaimerLoop();
     void gcLoop();
@@ -352,6 +467,10 @@ class PrismDb {
      *  this instance started the (process-wide) sampler. */
     int telemetry_probe_ = -1;
     bool telemetry_started_ = false;
+
+    /** Async ops in flight; the destructor waits it out before teardown
+     *  (their completion paths touch the SVC, HSIT and bg pool). */
+    std::atomic<uint64_t> async_inflight_{0};
 
     uint64_t recovery_ns_ = 0;
 };

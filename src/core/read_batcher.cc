@@ -5,7 +5,7 @@
 
 namespace prism::core {
 
-ReadBatcher::ReadBatcher(sim::SsdDevice &device, ReadBatchMode mode,
+ReadBatcher::ReadBatcher(io::IoBackend &device, ReadBatchMode mode,
                          int queue_depth, uint64_t timeout_us)
     : device_(device), mode_(mode), queue_depth_(queue_depth),
       timeout_us_(timeout_us)
@@ -34,7 +34,7 @@ Status
 ReadBatcher::read(uint64_t offset, void *buf, uint32_t len)
 {
     Node node;
-    node.req.op = sim::SsdIoRequest::Op::kRead;
+    node.req.op = io::IoRequest::Op::kRead;
     node.req.offset = offset;
     node.req.length = len;
     node.req.buf = buf;
@@ -92,7 +92,7 @@ ReadBatcher::readThreadCombining(Node &node)
 Status
 ReadBatcher::leadAndSubmit(Node &self)
 {
-    std::vector<sim::SsdIoRequest> batch;
+    std::vector<io::IoRequest> batch;
     batch.reserve(static_cast<size_t>(queue_depth_));
     batch.push_back(self.req);
 
@@ -191,7 +191,7 @@ ReadBatcher::taLoop()
                                    ta_pending_.size() >=
                                        static_cast<size_t>(queue_depth_);
                         });
-        std::vector<sim::SsdIoRequest> batch;
+        std::vector<io::IoRequest> batch;
         const size_t n = std::min(ta_pending_.size(),
                                   static_cast<size_t>(queue_depth_));
         batch.reserve(n);

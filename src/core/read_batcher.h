@@ -29,7 +29,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "core/options.h"
-#include "sim/ssd_device.h"
+#include "io/io_backend.h"
 
 namespace prism::core {
 
@@ -67,12 +67,12 @@ struct ReadWaiter {
 class ReadBatcher {
   public:
     /**
-     * @param device     the Value Storage's SSD.
+     * @param device     the Value Storage's device (any io::IoBackend).
      * @param mode       combining scheme.
      * @param queue_depth coalescing limit (paper: 64).
      * @param timeout_us TA mode batching window.
      */
-    ReadBatcher(sim::SsdDevice &device, ReadBatchMode mode, int queue_depth,
+    ReadBatcher(io::IoBackend &device, ReadBatchMode mode, int queue_depth,
                 uint64_t timeout_us);
     ~ReadBatcher();
 
@@ -108,7 +108,7 @@ class ReadBatcher {
 
   private:
     struct Node {
-        sim::SsdIoRequest req;
+        io::IoRequest req;
         ReadWaiter waiter;
         std::atomic<Node *> next{nullptr};
     };
@@ -122,7 +122,7 @@ class ReadBatcher {
 
     void taLoop();
 
-    sim::SsdDevice &device_;
+    io::IoBackend &device_;
     ReadBatchMode mode_;
     int queue_depth_;
     uint64_t timeout_us_;

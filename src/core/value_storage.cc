@@ -6,12 +6,13 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/trace.h"
+#include "core/async.h"
 #include "core/chunk_writer.h"
 
 namespace prism::core {
 
 ValueStorage::ValueStorage(uint32_t ssd_id,
-                           std::shared_ptr<sim::SsdDevice> device,
+                           std::shared_ptr<io::IoBackend> device,
                            const PrismOptions &opts, EpochManager &epochs)
     : ssd_id_(ssd_id), device_(std::move(device)),
       chunk_bytes_(opts.chunk_bytes), gc_watermark_(opts.vs_gc_watermark),
@@ -57,12 +58,21 @@ ValueStorage::completionLoop()
     // wake the waiter identified by each completion's user_data.
     trace::TraceRegistry::global().setThreadName(
         "vs-completion-" + std::to_string(ssd_id_));
-    std::vector<sim::SsdCompletion> completions;
+    std::vector<io::IoCompletion> completions;
     while (!stop_.load(std::memory_order_acquire)) {
         completions.clear();
         if (device_->waitCompletions(completions, 256, 200) == 0)
             continue;
         for (const auto &c : completions) {
+            if (c.user_data & AsyncIoHandler::kTag) {
+                // Async-API read (core/async.h): hand the completion to
+                // its handler; it validates, retries or completes the op
+                // on this thread.
+                auto *h = reinterpret_cast<AsyncIoHandler *>(
+                    c.user_data & ~AsyncIoHandler::kTagMask);
+                h->onIoComplete(c.status);
+                continue;
+            }
             auto *w = reinterpret_cast<ReadWaiter *>(c.user_data & ~1ull);
             if (w != nullptr) {
                 w->signal(c.status.isOk() ? ReadWaiter::kOk
@@ -103,8 +113,8 @@ ValueStorage::submitChunkWrite(int64_t chunk, const uint8_t *buf,
                                uint32_t len, WriteTicket *ticket)
 {
     PRISM_DCHECK(len <= chunk_bytes_);
-    sim::SsdIoRequest req;
-    req.op = sim::SsdIoRequest::Op::kWrite;
+    io::IoRequest req;
+    req.op = io::IoRequest::Op::kWrite;
     req.offset = static_cast<uint64_t>(chunk) * chunk_bytes_;
     req.length = len;
     req.src = buf;

@@ -39,7 +39,7 @@
 #include "core/hsit.h"
 #include "core/options.h"
 #include "core/read_batcher.h"
-#include "sim/ssd_device.h"
+#include "io/io_backend.h"
 
 namespace prism::core {
 
@@ -74,7 +74,7 @@ class ValueStorage {
         kFreeing = 3,  ///< retired, waiting out the epoch grace period
     };
 
-    ValueStorage(uint32_t ssd_id, std::shared_ptr<sim::SsdDevice> device,
+    ValueStorage(uint32_t ssd_id, std::shared_ptr<io::IoBackend> device,
                  const PrismOptions &opts, EpochManager &epochs);
     ~ValueStorage();
 
@@ -82,7 +82,7 @@ class ValueStorage {
     ValueStorage &operator=(const ValueStorage &) = delete;
 
     uint32_t ssdId() const { return ssd_id_; }
-    sim::SsdDevice &device() { return *device_; }
+    io::IoBackend &device() { return *device_; }
     ReadBatcher &reader() { return *reader_; }
     uint64_t chunkBytes() const { return chunk_bytes_; }
     size_t totalChunks() const { return metas_.size(); }
@@ -180,7 +180,7 @@ class ValueStorage {
     }
 
     uint32_t ssd_id_;
-    std::shared_ptr<sim::SsdDevice> device_;
+    std::shared_ptr<io::IoBackend> device_;
     uint64_t chunk_bytes_;
     double gc_watermark_;
     int gc_victims_per_pass_;

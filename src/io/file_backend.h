@@ -1,0 +1,115 @@
+/**
+ * @file
+ * File-backed IoBackend implementations: the shared base (one backing
+ * file + the common completion queue) and the POSIX pread/pwrite
+ * worker-pool backend that works on any kernel. The io_uring variant
+ * derives from the same base in uring_backend.h.
+ *
+ * Durability: a completed write has reached the OS page cache;
+ * FileBackendOptions::sync_each_write adds an fdatasync per write, and
+ * flush() forces everything down on demand. See docs/IO_BACKENDS.md.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "io/io_backend.h"
+
+namespace prism::io {
+
+/** Create @p dir (and parents) if it does not exist. */
+void makeBackendDir(const std::string &dir);
+
+/** Common state of the file-backed backends. */
+class FileBackendBase : public IoBackend {
+  public:
+    FileBackendBase(const FileBackendOptions &opts, int channels);
+    ~FileBackendBase() override;
+
+    FileBackendBase(const FileBackendBase &) = delete;
+    FileBackendBase &operator=(const FileBackendBase &) = delete;
+
+    using IoBackend::submit;
+
+    size_t pollCompletions(std::vector<IoCompletion> &out,
+                           size_t max) override;
+    size_t waitCompletions(std::vector<IoCompletion> &out, size_t max,
+                           uint64_t timeout_us) override;
+    Status readSync(uint64_t offset, void *buf, uint32_t length) override;
+    Status writeSync(uint64_t offset, const void *src,
+                     uint32_t length) override;
+    Status flush() override;
+
+    uint64_t capacity() const override { return capacity_; }
+    uint64_t inflight() const override {
+        return inflight_.load(std::memory_order_acquire);
+    }
+    bool healthy() const override { return ins_.healthy(); }
+    void setDropout(bool on) override { ins_.setDropout(on); }
+    int deviceNumber() const override { return ins_.dev; }
+    IoDeviceStats &stats() override { return stats_; }
+
+    const std::string &path() const { return path_; }
+
+  protected:
+    /** Whole-batch validation; a rejected batch enqueues nothing. */
+    Status validateBatch(std::span<const IoRequest> batch) const;
+
+    /** Loop pread/pwrite until @p len transferred; Status on error. */
+    Status fullPread(uint64_t offset, void *buf, uint32_t len);
+    Status fullPwrite(uint64_t offset, const void *src, uint32_t len);
+
+    /** Push completions to the CQ and wake waiters. */
+    void deliver(std::vector<IoCompletion> &batch);
+
+    std::string path_;
+    int fd_ = -1;
+    uint64_t capacity_ = 0;
+    bool sync_each_write_ = false;
+
+    DeviceInstruments ins_;
+    IoDeviceStats stats_;
+    std::atomic<uint64_t> inflight_{0};
+
+    std::mutex cq_mu_;
+    std::condition_variable cq_cv_;
+    std::vector<IoCompletion> cq_;
+};
+
+/**
+ * Thread-pool fallback backend: submit() enqueues to a small worker
+ * pool that performs blocking pread/pwrite and delivers completions.
+ * Queue-pair semantics (batching, out-of-order completion) match the
+ * contract; concurrency is capped by the worker count.
+ */
+class PosixFileBackend final : public FileBackendBase {
+  public:
+    explicit PosixFileBackend(const FileBackendOptions &opts);
+    ~PosixFileBackend() override;
+
+    using IoBackend::submit;
+    Status submit(std::span<const IoRequest> batch) override;
+    std::string_view kind() const override { return "posix"; }
+
+  private:
+    struct Job {
+        IoRequest req;
+        Status forced;       ///< injected-fault outcome (ok = none)
+        uint32_t xfer = 0;   ///< bytes to actually transfer
+        uint64_t extra_ns = 0;
+        uint64_t submit_ns = 0;
+    };
+
+    void workerLoop(int worker_id);
+
+    std::mutex q_mu_;
+    std::condition_variable q_cv_;
+    std::deque<Job> queue_;
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace prism::io

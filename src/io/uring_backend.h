@@ -1,0 +1,114 @@
+/**
+ * @file
+ * io_uring IoBackend: real-file I/O through a raw io_uring queue pair
+ * (no liburing dependency — the ring is set up with the
+ * io_uring_setup/io_uring_enter syscalls and mmap'd directly).
+ *
+ * Availability is a *runtime* property: the kernel must be >= 5.6
+ * (IORING_OP_READ/WRITE) and the syscalls must not be blocked by
+ * seccomp (many container runtimes deny them). uringAvailable() probes
+ * once; createFileBackend() falls back to the POSIX backend when the
+ * probe fails, and the conformance tests skip. See docs/IO_BACKENDS.md.
+ *
+ * Injected faults are decided at submission like every backend:
+ * error-without-transfer requests never reach the kernel (their error
+ * completion is delivered directly), torn writes are submitted with the
+ * truncated length, and latency faults defer completion delivery.
+ */
+#pragma once
+
+#include "io/file_backend.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define PRISM_HAVE_URING 1
+#else
+#define PRISM_HAVE_URING 0
+#endif
+
+#if PRISM_HAVE_URING
+struct io_uring_sqe;
+struct io_uring_cqe;
+#endif
+
+namespace prism::io {
+
+#if PRISM_HAVE_URING
+
+/** Real-file backend on a raw io_uring queue pair. */
+class UringBackend final : public FileBackendBase {
+  public:
+    explicit UringBackend(const FileBackendOptions &opts);
+    ~UringBackend() override;
+
+    using IoBackend::submit;
+    Status submit(std::span<const IoRequest> batch) override;
+    std::string_view kind() const override { return "uring"; }
+
+  private:
+    /** Per-request kernel-side context (sqe user_data points here). */
+    struct OpCtx {
+        uint64_t user_data = 0;  ///< caller's tag
+        uint64_t submit_ns = 0;
+        uint32_t expected = 0;   ///< transfer size the sqe asked for
+        bool is_write = false;
+        Status forced;           ///< injected outcome (ok = none)
+        uint64_t extra_ns = 0;   ///< injected completion delay
+    };
+
+    void reaperLoop();
+    /** Drain the kernel CQ; deliver or defer each completion.
+     *  @return number of CQEs consumed. */
+    size_t drainKernelCq(std::vector<IoCompletion> &out);
+    /** Reserve the next SQE slot, flushing the SQ if full (sq_mu_ held). */
+    struct io_uring_sqe *nextSqe();
+    /** io_uring_enter wrapper submitting the pending SQ tail. */
+    void flushSq();
+
+    int ring_fd_ = -1;
+    unsigned sq_entries_ = 0;
+    unsigned cq_entries_ = 0;
+
+    void *sq_ring_ = nullptr;
+    size_t sq_ring_bytes_ = 0;
+    void *cq_ring_ = nullptr;
+    size_t cq_ring_bytes_ = 0;
+    bool single_mmap_ = false;
+    struct io_uring_sqe *sqes_ = nullptr;
+    size_t sqes_bytes_ = 0;
+
+    // Mapped ring fields (offsets from io_uring_params).
+    std::atomic<unsigned> *sq_head_ = nullptr;
+    std::atomic<unsigned> *sq_tail_ = nullptr;
+    unsigned *sq_mask_ = nullptr;
+    unsigned *sq_array_ = nullptr;
+    std::atomic<unsigned> *cq_head_ = nullptr;
+    std::atomic<unsigned> *cq_tail_ = nullptr;
+    unsigned *cq_mask_ = nullptr;
+    struct io_uring_cqe *cqes_ = nullptr;
+
+    std::mutex sq_mu_;           ///< serializes SQE filling + enter
+    unsigned pending_sqes_ = 0;  ///< filled but not yet entered
+    std::atomic<bool> stop_{false};
+
+    /** Latency-fault completions held until their due time. */
+    std::mutex deferred_mu_;
+    std::vector<std::pair<uint64_t, IoCompletion>> deferred_;
+
+    std::thread reaper_;
+};
+
+#else  // !PRISM_HAVE_URING
+
+/** Stub for platforms without <linux/io_uring.h>; never constructible
+ *  (uringAvailable() is false, so the factory picks POSIX). */
+class UringBackend final : public FileBackendBase {
+  public:
+    explicit UringBackend(const FileBackendOptions &opts);
+    using IoBackend::submit;
+    Status submit(std::span<const IoRequest> batch) override;
+    std::string_view kind() const override { return "uring"; }
+};
+
+#endif  // PRISM_HAVE_URING
+
+}  // namespace prism::io

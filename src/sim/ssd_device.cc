@@ -11,49 +11,16 @@
 
 namespace prism::sim {
 
-namespace {
-/** Process-wide device numbering for trace track names. */
-std::atomic<int> g_ssd_trace_seq{0};
-
-/** Per-request injected-fault decision (see the pass in submit()). */
-struct IoFault {
-    Status status;         ///< completion status (ok = no fault)
-    uint32_t xfer = 0;     ///< bytes actually transferred
-    uint64_t extra_ns = 0; ///< added service latency
-};
-}  // namespace
-
 SsdDevice::SsdDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
                      bool model_timing)
     : capacity_((capacity_bytes + kBlockSize - 1) & ~(kBlockSize - 1)),
       profile_(profile),
       model_timing_(model_timing),
       pages_((capacity_ + kPageSize - 1) / kPageSize),
-      channel_free_at_(static_cast<size_t>(profile.internal_parallelism), 0)
+      channel_free_at_(static_cast<size_t>(profile.internal_parallelism), 0),
+      ins_(profile.internal_parallelism)
 {
     PRISM_CHECK(capacity_bytes > 0);
-    trace_dev_ = g_ssd_trace_seq.fetch_add(1, std::memory_order_relaxed);
-    auto &reg = stats::StatsRegistry::global();
-    reg_bytes_read_ = &reg.counter("sim.ssd.bytes_read", "bytes");
-    reg_bytes_written_ = &reg.counter("sim.ssd.bytes_written", "bytes");
-    reg_read_ops_ = &reg.counter("sim.ssd.read_ops", "ops");
-    reg_write_ops_ = &reg.counter("sim.ssd.write_ops", "ops");
-    reg_inflight_ = &reg.gauge("sim.ssd.inflight", "reqs");
-    reg_latency_ = &reg.histogram("sim.ssd.latency_ns", "ns");
-    const std::string devp = "sim.ssd." + std::to_string(trace_dev_) + ".";
-    reg_dev_bytes_read_ = &reg.counter(devp + "bytes_read", "bytes");
-    reg_dev_bytes_written_ = &reg.counter(devp + "bytes_written", "bytes");
-    reg_dev_busy_ns_ = &reg.counter(devp + "busy_ns", "ns");
-    reg.gauge(devp + "channels", "channels")
-        .set(static_cast<int64_t>(channel_free_at_.size()));
-    reg_io_errors_ = &reg.counter("sim.ssd.io_errors", "ops");
-    reg_dev_io_errors_ = &reg.counter(devp + "io_errors", "ops");
-    auto &freg = fault::FaultRegistry::global();
-    const std::string faultp = "ssd." + std::to_string(trace_dev_) + ".";
-    fs_io_error_ = freg.siteId(faultp + "io_error");
-    fs_torn_write_ = freg.siteId(faultp + "torn_write");
-    fs_latency_ = freg.siteId(faultp + "latency");
-    fs_dropout_ = freg.siteId(faultp + "dropout");
     for (auto &p : pages_)
         p.store(nullptr, std::memory_order_relaxed);
     // Token-bucket rates are fixed at construction; benches set TimeScale
@@ -68,7 +35,7 @@ SsdDevice::SsdDevice(uint64_t capacity_bytes, const DeviceProfile &profile,
     trace_channel_tracks_.reserve(channel_free_at_.size());
     for (size_t c = 0; c < channel_free_at_.size(); c++) {
         trace_channel_tracks_.push_back(tracer.registerTrack(
-            "ssd" + std::to_string(trace_dev_) + ".ch" +
+            "ssd" + std::to_string(ins_.dev) + ".ch" +
             std::to_string(c)));
     }
     worker_ = std::thread([this] { workerLoop(); });
@@ -231,55 +198,10 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
             return Status::invalidArgument("zero-length I/O");
     }
 
-    // Fault-decision pass. Empty (and skipped entirely) unless a fault
-    // site is armed or a dropout is active; each request may fail with
-    // an error completion (no data transfer), tear (prefix transferred,
-    // error completion — the torn bytes only matter across a crash
-    // image, since the client never treats an errored write as durable),
-    // or pick up extra service latency.
-    std::vector<IoFault> faults;
-    if (fault::enabled() ||
-        dropout_until_.load(std::memory_order_relaxed) != 0) {
-        faults.resize(batch.size());
-        auto &freg = fault::FaultRegistry::global();
-        for (size_t i = 0; i < batch.size(); i++) {
-            const auto &req = batch[i];
-            IoFault &f = faults[i];
-            f.xfer = req.length;
-            const bool is_write = req.op == SsdIoRequest::Op::kWrite;
-            uint64_t payload = 0;
-            if (is_write && fault::enabled() &&
-                freg.shouldFire(fs_dropout_, &payload)) {
-                dropout_until_.store(payload == 0 ? UINT64_MAX
-                                                  : nowNs() + payload,
-                                     std::memory_order_relaxed);
-            }
-            if (is_write && !healthy()) {
-                f.status = Status::ioError("device dropout");
-                f.xfer = 0;
-            } else if (fault::enabled() &&
-                       freg.shouldFire(fs_io_error_)) {
-                f.status = Status::ioError("injected I/O error");
-                f.xfer = 0;
-            } else if (is_write && fault::enabled() &&
-                       freg.shouldFire(fs_torn_write_, &payload)) {
-                // Torn multi-page write: a prefix reaches the media
-                // (payload bytes, default half the request rounded to
-                // 8), then the request errors out.
-                f.status = Status::ioError("injected torn write");
-                f.xfer = payload != 0
-                             ? static_cast<uint32_t>(std::min<uint64_t>(
-                                   payload, req.length))
-                             : (req.length / 2) & ~7u;
-            }
-            if (fault::enabled() && freg.shouldFire(fs_latency_, &payload))
-                f.extra_ns = payload != 0 ? payload : 2'000'000;
-            if (!f.status.isOk()) {
-                reg_io_errors_->inc();
-                reg_dev_io_errors_->inc();
-            }
-        }
-    }
+    // Fault-decision pass (io::DeviceInstruments): empty, and skipped
+    // entirely, unless a fault site is armed or a dropout is active.
+    std::vector<io::IoFault> faults;
+    ins_.decideFaults(batch, faults);
 
     // Transfer data at submission; the completion only carries timing.
     // (Writes become durable at completion; an in-flight write lost to a
@@ -293,35 +215,20 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
             PRISM_DCHECK(req.src != nullptr);
             if (xfer > 0)
                 copyIn(req.offset, req.src, xfer);
-            stats_.bytes_written.fetch_add(xfer,
-                                           std::memory_order_relaxed);
-            stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
-            reg_bytes_written_->add(xfer);
-            reg_dev_bytes_written_->add(xfer);
-            reg_write_ops_->inc();
         } else {
             PRISM_DCHECK(req.buf != nullptr);
             if (xfer > 0)
                 copyOut(req.offset, req.buf, xfer);
-            stats_.bytes_read.fetch_add(xfer, std::memory_order_relaxed);
-            stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
-            reg_bytes_read_->add(xfer);
-            reg_dev_bytes_read_->add(xfer);
-            reg_read_ops_->inc();
         }
+        ins_.account(stats_, req, xfer);
     }
 
     const uint64_t now = nowNs();
     const uint64_t depth =
         inflight_.fetch_add(batch.size(), std::memory_order_acq_rel) +
         batch.size();
-    reg_inflight_->add(static_cast<int64_t>(batch.size()));
-    uint64_t prev_max = stats_.max_queue_depth.load(
-        std::memory_order_relaxed);
-    while (depth > prev_max &&
-           !stats_.max_queue_depth.compare_exchange_weak(
-               prev_max, depth, std::memory_order_relaxed)) {
-    }
+    ins_.inflight->add(static_cast<int64_t>(batch.size()));
+    io::DeviceInstruments::noteDepth(stats_, depth);
 
     if (!model_timing_.load(std::memory_order_relaxed)) {
         std::lock_guard<std::mutex> lock(cq_mu_);
@@ -332,7 +239,7 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
                            0});
         }
         inflight_.fetch_sub(batch.size(), std::memory_order_acq_rel);
-        reg_inflight_->sub(static_cast<int64_t>(batch.size()));
+        ins_.inflight->sub(static_cast<int64_t>(batch.size()));
         cq_cv_.notify_all();
         return Status::ok();
     }
@@ -356,7 +263,7 @@ SsdDevice::submit(std::span<const SsdIoRequest> batch)
             p.channel = static_cast<uint32_t>(
                 it - channel_free_at_.begin());
             p.trace_id =
-                (static_cast<uint64_t>(trace_dev_) << 48) |
+                (static_cast<uint64_t>(ins_.dev) << 48) |
                 trace_req_seq_.fetch_add(1, std::memory_order_relaxed);
             p.completion = {req.user_data,
                             faults.empty() ? Status::ok()
@@ -374,7 +281,7 @@ void
 SsdDevice::workerLoop()
 {
     trace::TraceRegistry::global().setThreadName(
-        "ssd" + std::to_string(trace_dev_) + "-worker");
+        "ssd" + std::to_string(ins_.dev) + "-worker");
     std::unique_lock<std::mutex> lock(sq_mu_);
     while (true) {
         if (stop_.load(std::memory_order_acquire))
@@ -422,16 +329,16 @@ SsdDevice::workerLoop()
             uint64_t busy = 0;
             for (const auto &p : ready)
                 busy += p.due_ns - p.start_ns;
-            reg_dev_busy_ns_->add(busy);
+            ins_.dev_busy_ns->add(busy);
             std::lock_guard<std::mutex> cq_lock(cq_mu_);
             for (auto &p : ready) {
                 p.completion.latency_ns = now - p.submit_ns;
-                reg_latency_->record(p.completion.latency_ns);
+                ins_.latency->record(p.completion.latency_ns);
                 cq_.push_back(p.completion);
             }
         }
         inflight_.fetch_sub(ready.size(), std::memory_order_acq_rel);
-        reg_inflight_->sub(static_cast<int64_t>(ready.size()));
+        ins_.inflight->sub(static_cast<int64_t>(ready.size()));
         cq_cv_.notify_all();
         lock.lock();
     }
@@ -465,25 +372,18 @@ SsdDevice::readSync(uint64_t offset, void *buf, uint32_t length)
 {
     if (offset + length > capacity_)
         return Status::invalidArgument("I/O beyond device capacity");
-    if (fault::enabled() &&
-        fault::FaultRegistry::global().shouldFire(fs_io_error_)) {
-        reg_io_errors_->inc();
-        reg_dev_io_errors_->inc();
-        return Status::ioError("injected I/O error");
-    }
+    const Status fault_st = ins_.syncFaultCheck(/*is_write=*/false);
+    if (!fault_st.isOk())
+        return fault_st;
     // Synchronous path: model the blocking pread an O_DIRECT caller sees.
     copyOut(offset, buf, length);
-    stats_.bytes_read.fetch_add(length, std::memory_order_relaxed);
-    stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
-    reg_bytes_read_->add(length);
-    reg_dev_bytes_read_->add(length);
-    reg_read_ops_->inc();
+    SsdIoRequest req;
+    req.op = SsdIoRequest::Op::kRead;
+    req.length = length;
+    ins_.account(stats_, req, length);
     if (model_timing_.load(std::memory_order_relaxed)) {
-        SsdIoRequest req;
-        req.op = SsdIoRequest::Op::kRead;
-        req.length = length;
         const uint64_t service = serviceTimeNs(req, nowNs());
-        reg_dev_busy_ns_->add(service);
+        ins_.dev_busy_ns->add(service);
         delayFor(service);
     }
     return Status::ok();
@@ -494,42 +394,20 @@ SsdDevice::writeSync(uint64_t offset, const void *src, uint32_t length)
 {
     if (offset + length > capacity_)
         return Status::invalidArgument("I/O beyond device capacity");
-    if (!healthy())
-        return Status::ioError("device dropout");
-    if (fault::enabled() &&
-        fault::FaultRegistry::global().shouldFire(fs_io_error_)) {
-        reg_io_errors_->inc();
-        reg_dev_io_errors_->inc();
-        return Status::ioError("injected I/O error");
-    }
+    const Status fault_st = ins_.syncFaultCheck(/*is_write=*/true);
+    if (!fault_st.isOk())
+        return fault_st;
     copyIn(offset, src, length);
-    stats_.bytes_written.fetch_add(length, std::memory_order_relaxed);
-    stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
-    reg_bytes_written_->add(length);
-    reg_dev_bytes_written_->add(length);
-    reg_write_ops_->inc();
+    SsdIoRequest req;
+    req.op = SsdIoRequest::Op::kWrite;
+    req.length = length;
+    ins_.account(stats_, req, length);
     if (model_timing_.load(std::memory_order_relaxed)) {
-        SsdIoRequest req;
-        req.op = SsdIoRequest::Op::kWrite;
-        req.length = length;
         const uint64_t service = serviceTimeNs(req, nowNs());
-        reg_dev_busy_ns_->add(service);
+        ins_.dev_busy_ns->add(service);
         delayFor(service);
     }
     return Status::ok();
-}
-
-bool
-SsdDevice::healthy() const
-{
-    const uint64_t until = dropout_until_.load(std::memory_order_relaxed);
-    return until == 0 || nowNs() >= until;
-}
-
-void
-SsdDevice::setDropout(bool on)
-{
-    dropout_until_.store(on ? UINT64_MAX : 0, std::memory_order_relaxed);
 }
 
 void
@@ -543,7 +421,7 @@ SsdDevice::simulateCrash()
     dropped += cq_.size();
     cq_.clear();
     inflight_.fetch_sub(dropped, std::memory_order_acq_rel);
-    reg_inflight_->sub(static_cast<int64_t>(dropped));
+    ins_.inflight->sub(static_cast<int64_t>(dropped));
     std::fill(channel_free_at_.begin(), channel_free_at_.end(), 0);
 }
 

@@ -1,22 +1,24 @@
 /**
  * @file
- * Simulated NVMe flash SSD with an io_uring-like queue-pair interface.
+ * Simulated NVMe flash SSD — the timing-modelled io::IoBackend.
  *
  * Substitutes for the Samsung 980 PRO drives behind Prism's Value Storage
- * and the baselines' data files. The device exposes:
+ * and the baselines' data files. The queue-pair surface (submission
+ * batches in, completions reaped out) is no longer defined here: it is
+ * the io::IoBackend contract in io/io_backend.h, which this device
+ * implements alongside the real-file backends (io::PosixFileBackend,
+ * io::UringBackend). Code above this layer — ValueStorage, ChunkWriter,
+ * GC, ReadBatcher, the async API — holds an IoBackend and never knows
+ * which one it got.
  *
- *  - a Submission Queue: submit() accepts a batch of read/write requests,
- *    exactly like io_uring_submit() after preparing N SQEs;
- *  - a Completion Queue: pollCompletions() drains finished requests, like
- *    reaping CQEs.
- *
- * Service timing follows a channel model: the device has
- * `internal_parallelism` service units; a request occupies the
- * earliest-free unit for (media latency + size / per-unit share of device
- * bandwidth), and a device-wide token bucket caps aggregate bandwidth.
- * This reproduces the behaviours the paper's design reacts to: batching
- * raises throughput but queues grow and tail latency rises (§4.2, Fig 11),
- * and aggregate bandwidth scales with the number of devices (Fig 13).
+ * What this implementation adds over the contract is the *timing model*:
+ * the device has `internal_parallelism` service units; a request occupies
+ * the earliest-free unit for (media latency + size / per-unit share of
+ * device bandwidth), and a device-wide token bucket caps aggregate
+ * bandwidth. This reproduces the behaviours the paper's design reacts
+ * to: batching raises throughput but queues grow and tail latency rises
+ * (§4.2, Fig 11), and aggregate bandwidth scales with the number of
+ * devices (Fig 13).
  *
  * Data is stored in sparse in-process pages, so a multi-gigabyte device
  * only consumes memory for blocks actually written. Completed writes
@@ -34,46 +36,22 @@
 #include <thread>
 #include <vector>
 
-#include "common/stats.h"
 #include "common/status.h"
 #include "common/token_bucket.h"
+#include "io/io_backend.h"
 #include "sim/device_profile.h"
 
 namespace prism::sim {
 
-/** One submission-queue entry. */
-struct SsdIoRequest {
-    enum class Op : uint8_t { kRead, kWrite };
-
-    Op op = Op::kRead;
-    uint64_t offset = 0;       ///< byte offset on the device
-    uint32_t length = 0;       ///< transfer size in bytes
-    void *buf = nullptr;       ///< destination (reads)
-    const void *src = nullptr; ///< source (writes)
-    uint64_t user_data = 0;    ///< opaque tag returned in the completion
-};
-
-/** One completion-queue entry. */
-struct SsdCompletion {
-    uint64_t user_data = 0;
-    Status status;
-    uint64_t latency_ns = 0;   ///< submit-to-complete modelled latency
-};
-
-/** Host-visible I/O counters (used for the WAF experiment, Fig. 12). */
-struct SsdStats {
-    std::atomic<uint64_t> bytes_read{0};
-    std::atomic<uint64_t> bytes_written{0};
-    std::atomic<uint64_t> read_ops{0};
-    std::atomic<uint64_t> write_ops{0};
-    std::atomic<uint64_t> max_queue_depth{0};
-};
+// Historical names, kept for the simulator-era call sites; the structs
+// themselves live in io/io_backend.h and are shared by every backend.
+using SsdIoRequest = io::IoRequest;
+using SsdCompletion = io::IoCompletion;
+using SsdStats = io::IoDeviceStats;
 
 /** A single simulated NVMe SSD. */
-class SsdDevice {
+class SsdDevice : public io::IoBackend {
   public:
-    static constexpr uint64_t kBlockSize = 4096;
-
     /**
      * CPU cost charged to the submitting thread per submit() call —
      * the io_uring_submit syscall plus SQE preparation. Batching
@@ -90,50 +68,38 @@ class SsdDevice {
     explicit SsdDevice(uint64_t capacity_bytes,
                        const DeviceProfile &profile = kSamsung980ProProfile,
                        bool model_timing = true);
-    ~SsdDevice();
+    ~SsdDevice() override;
 
     SsdDevice(const SsdDevice &) = delete;
     SsdDevice &operator=(const SsdDevice &) = delete;
 
-    uint64_t capacity() const { return capacity_; }
+    uint64_t capacity() const override { return capacity_; }
     const DeviceProfile &profile() const { return profile_; }
+
+    using IoBackend::submit;
 
     /**
      * Submit a batch of requests (the io_uring_submit analogue).
      * Data is transferred atomically per request; the completion is
      * delivered once the modelled device time has elapsed.
      */
-    Status submit(std::span<const SsdIoRequest> batch);
+    Status submit(std::span<const SsdIoRequest> batch) override;
 
-    /** Submit a single request. */
-    Status submit(const SsdIoRequest &req) { return submit({&req, 1}); }
-
-    /**
-     * Drain up to @p max completions into @p out.
-     * @return number of completions reaped (may be 0).
-     */
-    size_t pollCompletions(std::vector<SsdCompletion> &out, size_t max);
-
-    /**
-     * Block until at least one completion is available or @p timeout_us
-     * elapses, then drain like pollCompletions.
-     */
+    size_t pollCompletions(std::vector<SsdCompletion> &out,
+                           size_t max) override;
     size_t waitCompletions(std::vector<SsdCompletion> &out, size_t max,
-                           uint64_t timeout_us);
+                           uint64_t timeout_us) override;
 
-    /** Synchronous read helper (submit + wait for this request). */
-    Status readSync(uint64_t offset, void *buf, uint32_t length);
+    /** Synchronous read helper (modelled blocking pread). */
+    Status readSync(uint64_t offset, void *buf, uint32_t length) override;
 
     /** Synchronous write helper. */
-    Status writeSync(uint64_t offset, const void *src, uint32_t length);
+    Status writeSync(uint64_t offset, const void *src,
+                     uint32_t length) override;
 
-    /** Number of submitted-but-not-reaped requests. */
-    uint64_t inflight() const {
+    uint64_t inflight() const override {
         return inflight_.load(std::memory_order_acquire);
     }
-
-    /** True when the device has no in-flight requests (idle selection). */
-    bool isIdle() const { return inflight() == 0; }
 
     /**
      * Simulated power failure: pending (incomplete) requests are dropped.
@@ -155,22 +121,13 @@ class SsdDevice {
     /** Replace the device contents with a previously captured image. */
     void loadFrom(const std::vector<uint8_t> &image);
 
-    SsdStats &stats() { return stats_; }
+    SsdStats &stats() override { return stats_; }
     void setModelTiming(bool on) { model_timing_ = on; }
 
-    /** Process-wide device number (the <n> in sim.ssd.<n>.* metrics). */
-    int deviceNumber() const { return trace_dev_; }
-
-    /**
-     * True when the device accepts writes. A dropout (setDropout or the
-     * "ssd.<n>.dropout" fault site) fails every write with an I/O-error
-     * completion until it ends; reads still succeed, like a drive whose
-     * write path died but whose media is readable.
-     */
-    bool healthy() const;
-
-    /** Force (or clear) a dropout. Fault payload = duration in ns. */
-    void setDropout(bool on);
+    int deviceNumber() const override { return ins_.dev; }
+    bool healthy() const override { return ins_.healthy(); }
+    void setDropout(bool on) override { ins_.setDropout(on); }
+    std::string_view kind() const override { return "sim"; }
 
   private:
     static constexpr uint64_t kPageSize = 256 * 1024;
@@ -222,43 +179,16 @@ class SsdDevice {
 
     SsdStats stats_;
 
-    // Process-wide registry metrics, shared by name across all SSD
-    // instances so multi-device totals aggregate naturally (Fig. 12 WAF
-    // inputs). Cached once at construction; see common/stats.h.
-    stats::Counter *reg_bytes_read_;
-    stats::Counter *reg_bytes_written_;
-    stats::Counter *reg_read_ops_;
-    stats::Counter *reg_write_ops_;
-    stats::Gauge *reg_inflight_;
-    stats::LatencyStat *reg_latency_;
+    // Registry metrics, per-device series, fault sites and dropout
+    // state — the observability kit shared by every backend (see
+    // io::DeviceInstruments). busy_ns accumulates channel service time,
+    // so utilization over a window is Δbusy ÷ (window × channels).
+    io::DeviceInstruments ins_;
 
-    // Per-device variants ("sim.ssd.<n>.*", n = the process-wide device
-    // number): telemetry derives per-device bandwidth and utilization
-    // series from these. busy_ns accumulates channel service time, so
-    // utilization over a window is Δbusy ÷ (window × channels); the
-    // channel count is published as the "sim.ssd.<n>.channels" gauge.
-    stats::Counter *reg_dev_bytes_read_;
-    stats::Counter *reg_dev_bytes_written_;
-    stats::Counter *reg_dev_busy_ns_;
-
-    // Fault injection (see common/fault.h). Site names are per-device
-    // ("ssd.<n>.io_error" etc.) so schedules can target one drive of a
-    // set; ids are interned once at construction. dropout_until_ is the
-    // monotonic-ns deadline of an active dropout (0 = none, UINT64_MAX =
-    // until setDropout(false)).
-    uint32_t fs_io_error_ = 0;
-    uint32_t fs_torn_write_ = 0;
-    uint32_t fs_latency_ = 0;
-    uint32_t fs_dropout_ = 0;
-    std::atomic<uint64_t> dropout_until_{0};
-    stats::Counter *reg_io_errors_;
-    stats::Counter *reg_dev_io_errors_;
-
-    // Tracing: a process-unique device number, one synthetic trace
-    // track per internal channel (service spans are serialized per
-    // channel, so they render as non-overlapping "X" events), and a
-    // sequence for pairing queue-wait begin/end events.
-    int trace_dev_ = 0;
+    // Tracing: one synthetic trace track per internal channel (service
+    // spans are serialized per channel, so they render as
+    // non-overlapping "X" events), and a sequence for pairing
+    // queue-wait begin/end events.
     std::vector<uint16_t> trace_channel_tracks_;
     std::atomic<uint64_t> trace_req_seq_{0};
 };

@@ -11,8 +11,11 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "common/stats.h"
 #include "common/status.h"
+#include "core/async.h"
 
 namespace prism::ycsb {
 
@@ -28,6 +31,54 @@ class KvStore {
     virtual Status scan(uint64_t start_key, size_t count,
                         std::vector<std::pair<uint64_t, std::string>> *out)
         = 0;
+
+    /**
+     * @name Asynchronous operations (core/async.h)
+     *
+     * Completion-driven variants. The defaults wrap the blocking calls
+     * (the future is always ready on return), so every baseline gets
+     * the API for free; stores with a real async engine (Prism)
+     * override them to keep the I/O in flight.
+     */
+    ///@{
+    virtual core::OpFuture
+    asyncPut(uint64_t key, std::string_view value,
+             core::AsyncCallback cb = nullptr)
+    {
+        auto st = std::make_shared<core::AsyncOpState>();
+        st->callback = std::move(cb);
+        st->complete(put(key, value));
+        return core::OpFuture(std::move(st));
+    }
+
+    virtual core::OpFuture
+    asyncGet(uint64_t key, core::AsyncCallback cb = nullptr)
+    {
+        auto st = std::make_shared<core::AsyncOpState>();
+        st->callback = std::move(cb);
+        st->complete(get(key, &st->value));
+        return core::OpFuture(std::move(st));
+    }
+
+    virtual core::OpFuture
+    asyncDel(uint64_t key, core::AsyncCallback cb = nullptr)
+    {
+        auto st = std::make_shared<core::AsyncOpState>();
+        st->callback = std::move(cb);
+        st->complete(del(key));
+        return core::OpFuture(std::move(st));
+    }
+
+    virtual core::OpFuture
+    asyncScan(uint64_t start_key, size_t count,
+              core::AsyncCallback cb = nullptr)
+    {
+        auto st = std::make_shared<core::AsyncOpState>();
+        st->callback = std::move(cb);
+        st->complete(scan(start_key, count, &st->rows));
+        return core::OpFuture(std::move(st));
+    }
+    ///@}
 
     /** Quiesce background work (between load and run phases). */
     virtual void flushAll() {}

@@ -52,15 +52,28 @@ PrismStore::PrismStore(const FixtureOptions &fx, core::PrismOptions opts)
     nvm_ = std::make_shared<sim::NvmDevice>(
         nvm_bytes, sim::kOptaneDcpmmProfile, fx.model_timing);
     region_ = std::make_shared<pmem::PmemRegion>(nvm_, /*format=*/true);
-    ssds_ = makeSsds(fx);
-    db_ = core::PrismDb::open(opts, region_, ssds_);
+    // Device selection (docs/IO_BACKENDS.md): the simulator by default;
+    // "posix"/"uring"/"auto" run Prism's Value Storage against real
+    // files instead. Only Prism is switchable — the baselines keep the
+    // simulator (they depend on its snapshot/crash hooks).
+    const io::IoBackendKind kind =
+        io::resolveBackendKind(opts.io_backend);
+    if (kind == io::IoBackendKind::kSim) {
+        ssds_ = makeSsds(fx);
+        devices_ = core::PrismDb::asBackends(ssds_);
+    } else {
+        devices_ = io::createFileBackendSet(
+            kind, io::resolveBackendDir(opts.io_backend_dir), fx.num_ssds,
+            fx.ssd_bytes);
+    }
+    db_ = core::PrismDb::open(opts, region_, devices_);
 }
 
 uint64_t
 PrismStore::crashAndRecover(const core::PrismOptions &opts)
 {
     db_.reset();  // abrupt-enough teardown; NVM + SSD contents persist
-    db_ = core::PrismDb::recover(opts, region_, ssds_);
+    db_ = core::PrismDb::recover(opts, region_, devices_);
     return db_->recoveryTimeNs();
 }
 

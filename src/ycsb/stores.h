@@ -74,9 +74,39 @@ class PrismStore : public KvStore {
             std::memory_order_relaxed);
     }
 
+    // Native async engine (core/async.h) instead of the sync-wrapping
+    // defaults: SSD misses stay in flight.
+    core::OpFuture
+    asyncPut(uint64_t key, std::string_view value,
+             core::AsyncCallback cb = nullptr) override
+    {
+        return db_->asyncPut(key, value, std::move(cb));
+    }
+    core::OpFuture
+    asyncGet(uint64_t key, core::AsyncCallback cb = nullptr) override
+    {
+        return db_->asyncGet(key, std::move(cb));
+    }
+    core::OpFuture
+    asyncDel(uint64_t key, core::AsyncCallback cb = nullptr) override
+    {
+        return db_->asyncDel(key, std::move(cb));
+    }
+    core::OpFuture
+    asyncScan(uint64_t start_key, size_t count,
+              core::AsyncCallback cb = nullptr) override
+    {
+        return db_->asyncScan(start_key, count, std::move(cb));
+    }
+
     core::PrismDb &db() { return *db_; }
     std::shared_ptr<pmem::PmemRegion> region() { return region_; }
+    /** Simulator fleet; empty when a real-file backend was selected. */
     std::vector<std::shared_ptr<sim::SsdDevice>> &ssds() { return ssds_; }
+    /** The devices actually backing the store, whatever their kind. */
+    const std::vector<std::shared_ptr<io::IoBackend>> &devices() const {
+        return devices_;
+    }
 
     /** Simulated crash + recovery; @return recovery nanoseconds. */
     uint64_t crashAndRecover(const core::PrismOptions &opts);
@@ -85,6 +115,7 @@ class PrismStore : public KvStore {
     std::shared_ptr<sim::NvmDevice> nvm_;
     std::shared_ptr<pmem::PmemRegion> region_;
     std::vector<std::shared_ptr<sim::SsdDevice>> ssds_;
+    std::vector<std::shared_ptr<io::IoBackend>> devices_;
     std::unique_ptr<core::PrismDb> db_;
 };
 

@@ -16,6 +16,7 @@
 #include "core/read_batcher.h"
 #include "core/value_storage.h"
 #include "sim/device_profile.h"
+#include "sim/ssd_device.h"
 
 namespace prism::core {
 namespace {

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * IoBackend conformance suite (src/io/io_backend.h).
+ *
+ * One parameterized fixture runs the same contract checks against every
+ * backend kind — the simulator, the POSIX worker pool, and io_uring
+ * (skipped where the kernel lacks it): batch round-trips identified
+ * only by user_data, partial completion draining, malformed-batch
+ * rejection, the synchronous helpers, injected io_error / torn_write
+ * faults through the shared fault sites, dropout semantics, and the
+ * "ssd.submit" trace span. Passing here is what lets ValueStorage treat
+ * the three implementations as interchangeable (docs/IO_BACKENDS.md).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/fault.h"
+#include "common/stats.h"
+#include "common/trace.h"
+#include "io/file_backend.h"
+#include "io/io_backend.h"
+#include "sim/device_profile.h"
+#include "sim/ssd_device.h"
+
+namespace prism::io {
+namespace {
+
+constexpr uint64_t kCapacity = 4ull * 1024 * 1024;
+
+/** Scoped disarm: every test leaves the process-wide registry clean. */
+struct FaultGuard {
+    FaultGuard() { fault::FaultRegistry::global().disarmAll(); }
+    ~FaultGuard() { fault::FaultRegistry::global().disarmAll(); }
+};
+
+uint64_t
+ioErrorCount()
+{
+    return stats::StatsRegistry::global()
+        .counter("sim.ssd.io_errors")
+        .value();
+}
+
+/** Deterministic per-offset fill so reads verify placement, not luck. */
+std::vector<uint8_t>
+pattern(uint64_t offset, uint32_t length)
+{
+    std::vector<uint8_t> buf(length);
+    for (uint32_t i = 0; i < length; i++)
+        buf[i] = static_cast<uint8_t>((offset + i) * 131 + 7);
+    return buf;
+}
+
+class IoBackendConformance
+    : public ::testing::TestWithParam<const char *> {
+  protected:
+    void SetUp() override
+    {
+        kind_ = GetParam();
+        if (kind_ == "uring" && !uringAvailable())
+            GTEST_SKIP() << "io_uring unavailable on this kernel";
+    }
+
+    void TearDown() override
+    {
+        for (const std::string &p : paths_)
+            ::unlink(p.c_str());
+    }
+
+    std::shared_ptr<IoBackend> make(uint64_t capacity = kCapacity)
+    {
+        if (kind_ == "sim")
+            return std::make_shared<sim::SsdDevice>(
+                capacity, sim::kSamsung980ProProfile,
+                /*model_timing=*/false);
+        // PRISM_IO_DIR (resolveBackendDir) lets CI point this at tmpfs.
+        const std::string dir = resolveBackendDir("");
+        makeBackendDir(dir);
+        FileBackendOptions o;
+        o.path = dir + "/conformance-" +
+                 std::to_string(static_cast<long>(::getpid())) + "-" +
+                 std::to_string(file_seq_++) + ".img";
+        o.capacity_bytes = capacity;
+        paths_.push_back(o.path);
+        return createFileBackend(kind_ == "posix" ? IoBackendKind::kPosix
+                                                  : IoBackendKind::kUring,
+                                 o);
+    }
+
+    /** Reap exactly @p want completions (order-free), bounded waits. */
+    std::vector<IoCompletion> reap(IoBackend &dev, size_t want)
+    {
+        std::vector<IoCompletion> out;
+        for (int spins = 0; out.size() < want && spins < 20000; spins++)
+            dev.waitCompletions(out, want - out.size(), 1000);
+        EXPECT_EQ(out.size(), want) << "completions went missing";
+        return out;
+    }
+
+    std::string kind_;
+    std::vector<std::string> paths_;
+    int file_seq_ = 0;
+};
+
+TEST_P(IoBackendConformance, BatchRoundTripByUserData)
+{
+    auto dev = make();
+    EXPECT_EQ(dev->kind(), kind_);
+    EXPECT_EQ(dev->capacity(), kCapacity);
+
+    constexpr int kReqs = 8;
+    constexpr uint32_t kLen = 8192;
+    std::vector<std::vector<uint8_t>> data;
+    std::vector<IoRequest> writes;
+    for (int i = 0; i < kReqs; i++) {
+        const uint64_t off = static_cast<uint64_t>(i) * 64 * 1024;
+        data.push_back(pattern(off, kLen));
+        IoRequest r;
+        r.op = IoRequest::Op::kWrite;
+        r.offset = off;
+        r.length = kLen;
+        r.src = data.back().data();
+        r.user_data = 100 + static_cast<uint64_t>(i);
+        writes.push_back(r);
+    }
+    ASSERT_TRUE(dev->submit(writes).isOk());
+
+    // No ordering guarantee: only the user_data *set* must match.
+    std::set<uint64_t> seen;
+    for (const auto &c : reap(*dev, kReqs)) {
+        EXPECT_TRUE(c.status.isOk()) << c.status.message();
+        seen.insert(c.user_data);
+    }
+    for (int i = 0; i < kReqs; i++)
+        EXPECT_TRUE(seen.count(100 + static_cast<uint64_t>(i)));
+    EXPECT_TRUE(dev->isIdle());
+
+    std::vector<std::vector<uint8_t>> got(kReqs,
+                                          std::vector<uint8_t>(kLen));
+    std::vector<IoRequest> reads;
+    for (int i = 0; i < kReqs; i++) {
+        IoRequest r;
+        r.op = IoRequest::Op::kRead;
+        r.offset = static_cast<uint64_t>(i) * 64 * 1024;
+        r.length = kLen;
+        r.buf = got[i].data();
+        r.user_data = 200 + static_cast<uint64_t>(i);
+        reads.push_back(r);
+    }
+    ASSERT_TRUE(dev->submit(reads).isOk());
+    for (const auto &c : reap(*dev, kReqs))
+        EXPECT_TRUE(c.status.isOk()) << c.status.message();
+    for (int i = 0; i < kReqs; i++)
+        EXPECT_EQ(got[i], data[i]) << "request " << i;
+}
+
+TEST_P(IoBackendConformance, PartialDrainAcrossPolls)
+{
+    auto dev = make();
+    constexpr int kReqs = 6;
+    std::vector<uint8_t> src(4096, 0x5a);
+    std::vector<IoRequest> writes;
+    for (int i = 0; i < kReqs; i++) {
+        IoRequest r;
+        r.op = IoRequest::Op::kWrite;
+        r.offset = static_cast<uint64_t>(i) * 4096;
+        r.length = 4096;
+        r.src = src.data();
+        r.user_data = 1 + static_cast<uint64_t>(i);
+        writes.push_back(r);
+    }
+    ASSERT_TRUE(dev->submit(writes).isOk());
+
+    // Drain two at a time: every completion arrives exactly once even
+    // when the reaper's buffer is smaller than the in-flight batch.
+    std::set<uint64_t> seen;
+    for (int spins = 0; seen.size() < kReqs && spins < 20000; spins++) {
+        std::vector<IoCompletion> out;
+        const size_t n = dev->waitCompletions(out, 2, 1000);
+        EXPECT_LE(n, 2u);
+        EXPECT_EQ(n, out.size());
+        for (const auto &c : out)
+            EXPECT_TRUE(seen.insert(c.user_data).second)
+                << "duplicate completion " << c.user_data;
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kReqs));
+}
+
+TEST_P(IoBackendConformance, RejectsMalformedBatchAtomically)
+{
+    auto dev = make();
+    std::vector<uint8_t> buf(4096);
+
+    IoRequest zero;
+    zero.op = IoRequest::Op::kRead;
+    zero.offset = 0;
+    zero.length = 0;
+    zero.buf = buf.data();
+    EXPECT_FALSE(dev->submit(zero).isOk());
+
+    IoRequest beyond;
+    beyond.op = IoRequest::Op::kWrite;
+    beyond.offset = kCapacity - 1024;
+    beyond.length = 4096;
+    beyond.src = buf.data();
+    EXPECT_FALSE(dev->submit(beyond).isOk());
+
+    // A rejected batch produced no completions for any request.
+    std::vector<IoCompletion> out;
+    EXPECT_EQ(dev->pollCompletions(out, 16), 0u);
+    EXPECT_TRUE(dev->isIdle());
+}
+
+TEST_P(IoBackendConformance, SyncHelpersAndFlush)
+{
+    auto dev = make();
+    const auto data = pattern(12288, 4096);
+    ASSERT_TRUE(dev->writeSync(12288, data.data(), 4096).isOk());
+    std::vector<uint8_t> got(4096);
+    ASSERT_TRUE(dev->readSync(12288, got.data(), 4096).isOk());
+    EXPECT_EQ(got, data);
+    EXPECT_TRUE(dev->flush().isOk());
+}
+
+TEST_P(IoBackendConformance, InjectedIoErrorFailsTheCompletion)
+{
+    FaultGuard guard;
+    auto dev = make();
+    auto &freg = fault::FaultRegistry::global();
+    fault::FaultSpec spec;
+    spec.trigger = fault::Trigger::kEvery;
+    spec.n = 1;
+    freg.arm("ssd." + std::to_string(dev->deviceNumber()) + ".io_error",
+             spec);
+
+    const uint64_t errors_before = ioErrorCount();
+    std::vector<uint8_t> src(4096, 0x17);
+    IoRequest r;
+    r.op = IoRequest::Op::kWrite;
+    r.offset = 0;
+    r.length = 4096;
+    r.src = src.data();
+    r.user_data = 42;
+    ASSERT_TRUE(dev->submit(r).isOk()) << "faults fail completions, "
+                                          "never the submit";
+    const auto comps = reap(*dev, 1);
+    EXPECT_EQ(comps[0].user_data, 42u);
+    EXPECT_EQ(comps[0].status.code(), StatusCode::kIoError);
+    EXPECT_GT(ioErrorCount(), errors_before);
+
+    // The synchronous helpers consult the same site.
+    std::vector<uint8_t> buf(4096);
+    EXPECT_FALSE(dev->readSync(0, buf.data(), 4096).isOk());
+
+    freg.disarmAll();
+    EXPECT_TRUE(dev->readSync(0, buf.data(), 4096).isOk());
+}
+
+TEST_P(IoBackendConformance, TornWritePersistsOnlyThePrefix)
+{
+    FaultGuard guard;
+    auto dev = make();
+    auto &freg = fault::FaultRegistry::global();
+    fault::FaultSpec spec;
+    spec.trigger = fault::Trigger::kNth;
+    spec.n = 1;
+    spec.one_shot = true;
+    freg.arm("ssd." + std::to_string(dev->deviceNumber()) + ".torn_write",
+             spec);
+
+    // Default tear: half the request reaches the medium, then error.
+    const auto data = pattern(0, 8192);
+    IoRequest r;
+    r.op = IoRequest::Op::kWrite;
+    r.offset = 0;
+    r.length = 8192;
+    r.src = data.data();
+    r.user_data = 7;
+    ASSERT_TRUE(dev->submit(r).isOk());
+    const auto comps = reap(*dev, 1);
+    EXPECT_EQ(comps[0].status.code(), StatusCode::kIoError);
+
+    freg.disarmAll();
+    std::vector<uint8_t> got(8192, 0xee);
+    ASSERT_TRUE(dev->readSync(0, got.data(), 8192).isOk());
+    EXPECT_TRUE(std::equal(got.begin(), got.begin() + 4096, data.begin()))
+        << "torn prefix must have reached the medium";
+    EXPECT_FALSE(std::equal(got.begin() + 4096, got.end(),
+                            data.begin() + 4096))
+        << "torn suffix must not have reached the medium";
+}
+
+TEST_P(IoBackendConformance, DropoutFailsWritesButNotReads)
+{
+    auto dev = make();
+    const auto data = pattern(4096, 4096);
+    ASSERT_TRUE(dev->writeSync(4096, data.data(), 4096).isOk());
+
+    dev->setDropout(true);
+    EXPECT_FALSE(dev->healthy());
+    std::vector<uint8_t> src(4096, 1);
+    IoRequest w;
+    w.op = IoRequest::Op::kWrite;
+    w.offset = 0;
+    w.length = 4096;
+    w.src = src.data();
+    w.user_data = 1;
+    ASSERT_TRUE(dev->submit(w).isOk());
+    EXPECT_EQ(reap(*dev, 1)[0].status.code(), StatusCode::kIoError);
+
+    // Media stays readable, like a drive whose write path died.
+    std::vector<uint8_t> got(4096);
+    ASSERT_TRUE(dev->readSync(4096, got.data(), 4096).isOk());
+    EXPECT_EQ(got, data);
+
+    dev->setDropout(false);
+    EXPECT_TRUE(dev->healthy());
+    ASSERT_TRUE(dev->submit(w).isOk());
+    EXPECT_TRUE(reap(*dev, 1)[0].status.isOk());
+}
+
+TEST_P(IoBackendConformance, SubmitEmitsTraceSpan)
+{
+    auto &treg = trace::TraceRegistry::global();
+    treg.clear();
+    treg.setEnabled(true);
+    const uint32_t submit_id = treg.internName("ssd.submit");
+
+    auto dev = make();
+    std::vector<uint8_t> src(4096, 0x33);
+    IoRequest r;
+    r.op = IoRequest::Op::kWrite;
+    r.offset = 0;
+    r.length = 4096;
+    r.src = src.data();
+    r.user_data = 9;
+    ASSERT_TRUE(dev->submit(r).isOk());
+    reap(*dev, 1);
+    treg.setEnabled(false);
+
+    bool found = false;
+    for (const auto &[tid, events] : treg.snapshotAll())
+        for (const trace::Event &e : events)
+            found |= e.name_id == submit_id;
+    EXPECT_TRUE(found) << "ssd.submit span missing from the trace";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, IoBackendConformance,
+                         ::testing::Values("sim", "posix", "uring"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Selection plumbing (resolveBackendKind / resolveBackendDir).
+// ---------------------------------------------------------------------
+
+TEST(IoBackendSelection, ResolvesSelectorsAndEnvFallbacks)
+{
+    EXPECT_EQ(resolveBackendKind("sim"), IoBackendKind::kSim);
+    EXPECT_EQ(resolveBackendKind("posix"), IoBackendKind::kPosix);
+    EXPECT_EQ(resolveBackendKind("uring"), IoBackendKind::kUring);
+    const IoBackendKind autokind = resolveBackendKind("auto");
+    EXPECT_TRUE(autokind == IoBackendKind::kUring ||
+                autokind == IoBackendKind::kPosix);
+
+    ::unsetenv("PRISM_IO_BACKEND");
+    EXPECT_EQ(resolveBackendKind(""), IoBackendKind::kSim);
+    ::setenv("PRISM_IO_BACKEND", "posix", 1);
+    EXPECT_EQ(resolveBackendKind(""), IoBackendKind::kPosix);
+    ::unsetenv("PRISM_IO_BACKEND");
+
+    EXPECT_EQ(resolveBackendDir("/x/y"), "/x/y");
+    ::setenv("PRISM_IO_DIR", "/dev/shm/prism-env", 1);
+    EXPECT_EQ(resolveBackendDir(""), "/dev/shm/prism-env");
+    ::unsetenv("PRISM_IO_DIR");
+    EXPECT_EQ(resolveBackendDir(""), "/tmp/prism-io");
+}
+
+TEST(IoBackendSelection, FactoryProducesDistinctDevices)
+{
+    const std::string dir =
+        ::testing::TempDir() + "prism-io-factory-" +
+        std::to_string(static_cast<long>(::getpid()));
+    {
+        auto devs = createFileBackendSet(IoBackendKind::kPosix, dir, 3,
+                                         1 << 20);
+        ASSERT_EQ(devs.size(), 3u);
+        std::set<int> numbers;
+        for (const auto &d : devs) {
+            EXPECT_EQ(d->kind(), "posix");
+            EXPECT_EQ(d->capacity(), 1u << 20);
+            numbers.insert(d->deviceNumber());
+        }
+        EXPECT_EQ(numbers.size(), 3u) << "device numbers must be unique";
+    }
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace prism::io

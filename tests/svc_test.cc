@@ -9,6 +9,7 @@
 #include "core/chunk_writer.h"
 #include "core/svc.h"
 #include "sim/device_profile.h"
+#include "sim/ssd_device.h"
 
 namespace prism::core {
 namespace {
