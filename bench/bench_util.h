@@ -14,6 +14,8 @@
  *   PRISM_BENCH_SSDS     number of SSDs         (default 4)
  *   PRISM_BENCH_BACKEND  Prism I/O backend      (default sim;
  *                        sim|posix|uring|auto — docs/IO_BACKENDS.md)
+ *   PRISM_BENCH_SHARDS   Prism shard count      (default 1; power of
+ *                        two — src/core/shard_router.h)
  */
 #pragma once
 
@@ -22,6 +24,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/telemetry.h"
@@ -254,6 +257,48 @@ benchBackendName()
 /** @} */
 
 /**
+ * @name --shards support (src/core/shard_router.h)
+ *
+ * Every bench accepts `--shards=N` (or `PRISM_SHARDS=N` /
+ * `PRISM_BENCH_SHARDS=N`) to run the Prism store as an N-shard
+ * ShardRouter (N a power of two; 1 = today's single-PrismDb store).
+ * Like `--backend`, only Prism is switchable. Sharded runs tag every
+ * JSON row with a `"shards"` field so their rows never collide with
+ * the committed unsharded baselines in scripts/bench_compare.py.
+ * @{
+ */
+
+namespace detail {
+inline int g_shards = 1;
+}  // namespace detail
+
+/** Call first thing in main(), next to parseBackendFlag(). */
+inline void
+parseShardsFlag(int argc, char **argv)
+{
+    int n = 0;
+    for (int i = 1; i < argc; i++) {
+        const std::string_view a = argv[i];
+        if (a.rfind("--shards=", 0) == 0)
+            n = std::atoi(a.substr(9).data());
+    }
+    if (n == 0)
+        n = static_cast<int>(envOr("PRISM_BENCH_SHARDS", 0));
+    if (n == 0)
+        n = static_cast<int>(envOr("PRISM_SHARDS", 0));
+    detail::g_shards = n == 0 ? 1 : n;
+}
+
+/** Shard count for PrismOptions::shards (>= 1 once parsed). */
+inline int
+benchShards()
+{
+    return detail::g_shards;
+}
+
+/** @} */
+
+/**
  * @name Machine-readable results (`PRISM_BENCH_JSON`)
  *
  * When `PRISM_BENCH_JSON=<path>` is set, benches that support it append
@@ -282,11 +327,67 @@ benchJsonRow(const std::string &obj)
     const std::string kind = benchBackendName();
     if (kind != "sim" && !row.empty() && row.back() == '}')
         row.insert(row.size() - 1, ", \"backend\": \"" + kind + "\"");
+    // Sharded runs likewise get a "shards" identity field; unsharded
+    // rows stay byte-identical to the committed baselines.
+    if (detail::g_shards > 1 && !row.empty() && row.back() == '}')
+        row.insert(row.size() - 1,
+                   ", \"shards\": " + std::to_string(detail::g_shards));
     std::fprintf(f, "%s\n", row.c_str());
     std::fclose(f);
 }
 
+/**
+ * benchJsonRow() minus the "shards" tag, for rows of stores that
+ * `--shards` does not apply to (KVell, the LSMs). Their rows stay
+ * comparable to the unsharded baselines even inside a sharded run.
+ */
+inline void
+benchJsonRowUnsharded(const std::string &obj)
+{
+    const int saved = detail::g_shards;
+    detail::g_shards = 1;
+    benchJsonRow(obj);
+    detail::g_shards = saved;
+}
+
 /** @} */
+
+/**
+ * Parse a `--threads=1,2,4,8` style flag (or @p env_name) into a
+ * thread-count list; returns @p def when neither is present. Lets
+ * sweep benches (fig16) take an arbitrary ladder instead of a
+ * hard-coded one.
+ */
+inline std::vector<int>
+parseThreadListFlag(int argc, char **argv, const char *env_name,
+                    std::vector<int> def)
+{
+    std::string spec;
+    for (int i = 1; i < argc; i++) {
+        const std::string_view a = argv[i];
+        if (a.rfind("--threads=", 0) == 0)
+            spec = std::string(a.substr(10));
+    }
+    if (spec.empty()) {
+        if (const char *env = std::getenv(env_name);
+            env != nullptr && *env != '\0')
+            spec = env;
+    }
+    if (spec.empty())
+        return def;
+    std::vector<int> out;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const int t = std::atoi(spec.substr(pos, comma - pos).c_str());
+        if (t > 0)
+            out.push_back(t);
+        pos = comma + 1;
+    }
+    return out.empty() ? def : out;
+}
 
 /** Common bench scale. */
 struct BenchScale {
@@ -317,6 +418,7 @@ makeStore(const std::string &which, const FixtureOptions &fx)
     if (which == "Prism") {
         core::PrismOptions po;
         po.io_backend = benchBackend();  // "" = sim/$PRISM_IO_BACKEND
+        po.shards = benchShards();       // 1 = single-PrismDb store
         return std::make_unique<ycsb::PrismStore>(fx, po);
     }
     if (which == "KVell")

@@ -23,6 +23,14 @@
  *   prism_torture --seed=1234 --iters=200        # deterministic run
  *   prism_torture --smoke                        # seconds-scale sweep
  *   prism_torture --minutes=20 --seed=$(date +%Y%m%d)   # nightly soak
+ *   prism_torture --shards=4 --seed=7            # N-shard ShardRouter
+ *
+ * `--shards=N` (power of two) runs every iteration against an N-shard
+ * core::ShardRouter instead of a single PrismDb: each shard gets its
+ * own tracked NVM region and SSD slice, the crash image spans all
+ * shards, and recovery replays the shards sequentially — so a given
+ * (--seed, --shards) pair replays deterministically, byte-identical
+ * stdout included.
  */
 #include <atomic>
 #include <cinttypes>
@@ -43,6 +51,7 @@
 #include "common/stats.h"
 #include "common/trace.h"
 #include "core/prism_db.h"
+#include "core/shard_router.h"
 #include "sim/device_profile.h"
 
 using namespace prism;
@@ -58,6 +67,7 @@ struct TortureConfig {
     int minutes = 0;  ///< when > 0, loop until this much wall time
     uint64_t ops = 20000;
     uint64_t keys = 512;
+    int shards = 1;  ///< > 1 tortures an N-shard ShardRouter
     std::string artifacts = "torture-artifacts";
 };
 
@@ -80,10 +90,11 @@ fail(const char *fmt, ...)
     va_end(ap);
     std::fprintf(stderr,
                  "\nrepro: prism_torture --seed=%" PRIu64
-                 " --iters=%d --ops=%" PRIu64 " --keys=%" PRIu64 "\n"
+                 " --iters=%d --ops=%" PRIu64 " --keys=%" PRIu64
+                 " --shards=%d\n"
                  "iteration seed: %" PRIu64 "\nfault schedule: %s\n",
                  g_cfg.seed, g_ctx.iter + 1, g_cfg.ops, g_cfg.keys,
-                 g_ctx.iter_seed,
+                 g_cfg.shards, g_ctx.iter_seed,
                  g_ctx.schedule.empty() ? "(none)" : g_ctx.schedule.c_str());
 
     // Artifact bundle for the CI uploader (and for humans).
@@ -94,6 +105,7 @@ fail(const char *fmt, ...)
         repro << "seed=" << g_cfg.seed << "\niteration=" << g_ctx.iter
               << "\niteration_seed=" << g_ctx.iter_seed
               << "\nops=" << g_cfg.ops << "\nkeys=" << g_cfg.keys
+              << "\nshards=" << g_cfg.shards
               << "\nschedule=" << g_ctx.schedule << "\n";
         std::ofstream stats(g_cfg.artifacts + "/stats.json");
         stats << stats::StatsRegistry::global().snapshot().toJson()
@@ -144,25 +156,43 @@ tortureOptions()
     return opts;
 }
 
+/**
+ * Torture rig: a ShardRouter over --shards shards (1 by default — the
+ * single-PrismDb fast path), each shard with its own NVM region and
+ * @p ssds_per_shard devices. The flat `ssds` list is shard-major so
+ * snapshot/dropout code can ignore sharding.
+ */
 struct Rig {
     core::PrismOptions opts;
-    std::shared_ptr<sim::NvmDevice> nvm;
-    std::shared_ptr<pmem::PmemRegion> region;
+    std::vector<std::shared_ptr<sim::NvmDevice>> nvms;
+    std::vector<std::shared_ptr<pmem::PmemRegion>> regions;
     std::vector<std::shared_ptr<sim::SsdDevice>> ssds;
-    std::unique_ptr<core::PrismDb> db;
+    int ssds_per_shard = 0;
+    std::unique_ptr<core::ShardRouter> db;
 
-    Rig(const core::PrismOptions &o, int num_ssds, bool tracked) : opts(o)
+    Rig(const core::PrismOptions &o, int num_ssds, bool tracked)
+        : opts(o), ssds_per_shard(num_ssds)
     {
-        nvm = std::make_shared<sim::NvmDevice>(
-            kNvmBytes, sim::kOptaneDcpmmProfile, /*timing=*/false);
-        region = std::make_shared<pmem::PmemRegion>(nvm, /*format=*/true);
-        if (tracked)
-            region->enableTracking();
-        for (int i = 0; i < num_ssds; i++) {
-            ssds.push_back(std::make_shared<sim::SsdDevice>(
-                kSsdBytes, sim::kSamsung980ProProfile, /*timing=*/false));
+        opts.shards = g_cfg.shards;
+        std::vector<core::ShardBackends> backends;
+        for (int s = 0; s < g_cfg.shards; s++) {
+            nvms.push_back(std::make_shared<sim::NvmDevice>(
+                kNvmBytes, sim::kOptaneDcpmmProfile, /*timing=*/false));
+            regions.push_back(std::make_shared<pmem::PmemRegion>(
+                nvms.back(), /*format=*/true));
+            if (tracked)
+                regions.back()->enableTracking();
+            std::vector<std::shared_ptr<sim::SsdDevice>> shard_ssds;
+            for (int i = 0; i < num_ssds; i++) {
+                shard_ssds.push_back(std::make_shared<sim::SsdDevice>(
+                    kSsdBytes, sim::kSamsung980ProProfile,
+                    /*timing=*/false));
+                ssds.push_back(shard_ssds.back());
+            }
+            backends.push_back(
+                {regions.back(), core::PrismDb::asBackends(shard_ssds)});
         }
-        db = core::PrismDb::open(opts, region, ssds);
+        db = core::ShardRouter::open(opts, std::move(backends));
     }
 };
 
@@ -222,7 +252,7 @@ runCrashIteration(Xorshift &rng)
     std::vector<std::atomic<uint64_t>> acked(keys);
     std::vector<std::atomic<uint64_t>> attempted(keys);
     std::vector<uint64_t> acked_floor(keys, 0);
-    std::vector<uint8_t> nvm_img;
+    std::vector<std::vector<uint8_t>> nvm_imgs(rig.regions.size());
     std::vector<std::vector<uint8_t>> ssd_imgs(rig.ssds.size());
     std::atomic<bool> captured{false};
 
@@ -230,12 +260,13 @@ runCrashIteration(Xorshift &rng)
     const auto capture = [&](uint64_t) {
         if (captured.exchange(true))
             return;
-        // Capture-and-continue crash model: the NVM durable image is
-        // snapped first; with append-only SSDs, any SSD write landing
-        // after it is unreferenced by that image.
+        // Capture-and-continue crash model: every shard's NVM durable
+        // image is snapped first; with append-only SSDs, any SSD write
+        // landing after it is unreferenced by those images.
         for (uint64_t k = 0; k < keys; k++)
             acked_floor[k] = acked[k].load(std::memory_order_acquire);
-        rig.region->snapshotDurableTo(nvm_img);
+        for (size_t s = 0; s < rig.regions.size(); s++)
+            rig.regions[s]->snapshotDurableTo(nvm_imgs[s]);
         for (size_t i = 0; i < rig.ssds.size(); i++)
             rig.ssds[i]->snapshotTo(ssd_imgs[i]);
     };
@@ -265,19 +296,28 @@ runCrashIteration(Xorshift &rng)
     TORTURE_CHECK(captured.load(), "crash site %s never fired",
                   crash_site);
 
-    // Rebuild devices from the crash image and recover.
-    auto nvm2 = std::make_shared<sim::NvmDevice>(
-        kNvmBytes, sim::kOptaneDcpmmProfile, false);
-    nvm2->loadImage(nvm_img.data(), nvm_img.size());
-    auto region2 = std::make_shared<pmem::PmemRegion>(nvm2, false);
-    std::vector<std::shared_ptr<sim::SsdDevice>> ssds2;
-    for (const auto &img : ssd_imgs) {
-        auto d = std::make_shared<sim::SsdDevice>(
-            kSsdBytes, sim::kSamsung980ProProfile, false);
-        d->loadFrom(img);
-        ssds2.push_back(std::move(d));
+    // Rebuild every shard's devices from the crash image and recover
+    // the whole router (shards replay sequentially, in shard order).
+    opts.shards = g_cfg.shards;
+    std::vector<core::ShardBackends> backends2;
+    for (size_t s = 0; s < nvm_imgs.size(); s++) {
+        auto nvm2 = std::make_shared<sim::NvmDevice>(
+            kNvmBytes, sim::kOptaneDcpmmProfile, false);
+        nvm2->loadImage(nvm_imgs[s].data(), nvm_imgs[s].size());
+        auto region2 = std::make_shared<pmem::PmemRegion>(nvm2, false);
+        std::vector<std::shared_ptr<sim::SsdDevice>> ssds2;
+        for (int i = 0; i < rig.ssds_per_shard; i++) {
+            auto d = std::make_shared<sim::SsdDevice>(
+                kSsdBytes, sim::kSamsung980ProProfile, false);
+            d->loadFrom(ssd_imgs[s * static_cast<size_t>(
+                                         rig.ssds_per_shard) +
+                                 static_cast<size_t>(i)]);
+            ssds2.push_back(std::move(d));
+        }
+        backends2.push_back(
+            {region2, core::PrismDb::asBackends(ssds2)});
     }
-    auto recovered = core::PrismDb::recover(opts, region2, ssds2);
+    auto recovered = core::ShardRouter::recover(opts, backends2);
 
     // Invariants: acked-before-crash survives, nothing torn, nothing
     // from the future, and the read paths agree with each other.
@@ -442,24 +482,33 @@ main(int argc, char **argv)
             g_cfg.ops = *v;
         } else if (auto v = num("--keys=")) {
             g_cfg.keys = *v;
+        } else if (auto v = num("--shards=")) {
+            g_cfg.shards = static_cast<int>(*v);
         } else if (arg.rfind("--artifacts=", 0) == 0) {
             g_cfg.artifacts = arg.substr(std::strlen("--artifacts="));
         } else {
             std::fprintf(stderr,
                          "usage: prism_torture [--seed=S] [--iters=N] "
                          "[--minutes=M] [--ops=N] [--keys=N] "
-                         "[--artifacts=DIR] [--smoke]\n");
+                         "[--shards=N] [--artifacts=DIR] [--smoke]\n");
             return 2;
         }
+    }
+    if (g_cfg.shards < 1 || g_cfg.shards > 256 ||
+        (g_cfg.shards & (g_cfg.shards - 1)) != 0) {
+        std::fprintf(stderr,
+                     "prism_torture: --shards must be a power of two "
+                     "in [1, 256]\n");
+        return 2;
     }
 
     // Keep the trace ring live so a failure can export its last events.
     trace::TraceRegistry::global().setEnabled(true);
 
     std::printf("prism_torture: seed=%" PRIu64 " iters=%d minutes=%d "
-                "ops=%" PRIu64 " keys=%" PRIu64 "\n",
+                "ops=%" PRIu64 " keys=%" PRIu64 " shards=%d\n",
                 g_cfg.seed, g_cfg.iters, g_cfg.minutes, g_cfg.ops,
-                g_cfg.keys);
+                g_cfg.keys, g_cfg.shards);
     const uint64_t t0 = nowNs();
     int iter = 0;
     while (true) {

@@ -43,6 +43,9 @@ using namespace prism;
 
 namespace {
 
+/** Shard count of the open store, for the stats/top views. */
+int g_shards = 1;
+
 void
 printStats(ycsb::PrismStore &store)
 {
@@ -50,6 +53,12 @@ printStats(ycsb::PrismStore &store)
     const auto &st = db.opStats();
     const auto &svc = db.svcStats();
     std::printf("keys            %zu\n", db.size());
+    if (db.shardCount() > 1) {
+        std::printf("shards         ");
+        for (size_t s = 0; s < db.shardCount(); s++)
+            std::printf(" [%zu] %zu keys", s, db.shard(s).size());
+        std::printf("\n");
+    }
     std::printf("puts/gets/dels  %llu / %llu / %llu   scans %llu\n",
                 static_cast<unsigned long long>(st.puts.load()),
                 static_cast<unsigned long long>(st.gets.load()),
@@ -59,10 +68,16 @@ printStats(ycsb::PrismStore &store)
                 static_cast<unsigned long long>(st.svc_hits.load()),
                 static_cast<unsigned long long>(st.pwb_hits.load()),
                 static_cast<unsigned long long>(st.vs_reads.load()));
+    // Sum SVC occupancy across shards (db.svc() alone is shard 0's).
+    uint64_t svc_used = 0, svc_cap = 0;
+    for (size_t s = 0; s < db.shardCount(); s++) {
+        svc_used += db.shard(s).svc().usedBytes();
+        svc_cap += db.shard(s).svc().capacityBytes();
+    }
     std::printf("svc             %.1f / %.1f MB used, %llu evictions, "
                 "%llu scan reorgs\n",
-                static_cast<double>(db.svc().usedBytes()) / 1e6,
-                static_cast<double>(db.svc().capacityBytes()) / 1e6,
+                static_cast<double>(svc_used) / 1e6,
+                static_cast<double>(svc_cap) / 1e6,
                 static_cast<unsigned long long>(svc.evictions.load()),
                 static_cast<unsigned long long>(svc.scan_reorgs.load()));
     std::printf("reclaim         %llu passes, %llu values moved, %llu "
@@ -192,6 +207,20 @@ renderTopFrame(const telemetry::TelemetrySample &s, bool ansi)
                                   static_cast<double>(svc_cap)
                             : 0.0);
 
+    if (g_shards > 1) {
+        std::printf("%-8s %12s %12s %6s\n", "shard", "ops/s", "keys",
+                    "node");
+        for (int sh = 0; sh < g_shards; sh++) {
+            const std::string p =
+                "prism.shard." + std::to_string(sh) + ".";
+            std::printf("shard%-3d %12.0f %12lld %6lld\n", sh,
+                        s.counterRate(p + "ops"),
+                        static_cast<long long>(s.gauge(p + "keys")),
+                        static_cast<long long>(s.gauge(p + "node")));
+        }
+        std::printf("\n");
+    }
+
     std::printf("layer busy (cores)\n");
     uint64_t total_busy = 0;
     for (size_t i = 0; i < trace::kNumLayers; i++) {
@@ -297,11 +326,14 @@ int
 main(int argc, char **argv)
 {
     bool dump_stats = false, dump_json = false;
+    core::PrismOptions po;  // shards=0: defer to --shards/$PRISM_SHARDS
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--stats") == 0)
             dump_stats = true;
         else if (std::strcmp(argv[i], "--stats=json") == 0)
             dump_stats = dump_json = true;
+        else if (std::strncmp(argv[i], "--shards=", 9) == 0)
+            po.shards = std::atoi(argv[i] + 9);
     }
 
     ycsb::FixtureOptions fx;
@@ -309,10 +341,12 @@ main(int argc, char **argv)
     fx.ssd_bytes = 1ull << 30;
     fx.dataset_bytes = 128ull << 20;
     fx.model_timing = true;
-    ycsb::PrismStore store(fx, core::PrismOptions{});
-    std::printf("prism_cli: store open on 1 NVM region + %d %s SSDs. "
-                "Type 'help'.\n",
-                fx.num_ssds,
+    ycsb::PrismStore store(fx, po);
+    g_shards = static_cast<int>(store.router().shardCount());
+    std::printf("prism_cli: store open — %d shard%s, %d NVM region%s + "
+                "%zu %s SSDs. Type 'help'.\n",
+                g_shards, g_shards == 1 ? "" : "s", g_shards,
+                g_shards == 1 ? "" : "s", store.devices().size(),
                 std::string(store.devices().front()->kind()).c_str());
 
     std::string line;

@@ -62,6 +62,11 @@ IDENTITY_FIELDS = (
     "value_bytes",
     "theta",
     "ssds",
+    # Optional identity tags (absent on default runs, so old baselines
+    # keep their original keys): non-sim runs carry "backend", sharded
+    # Prism runs carry "shards" (bench/bench_util.h).
+    "backend",
+    "shards",
 )
 
 

@@ -1,0 +1,178 @@
+#include "common/numa.h"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace prism::numa {
+namespace {
+
+/** Parse a sysfs cpulist ("0-3,8,10-11") into CPU ids. */
+std::vector<int>
+parseCpuList(const std::string &list)
+{
+    std::vector<int> cpus;
+    std::stringstream ss(list);
+    std::string range;
+    while (std::getline(ss, range, ',')) {
+        if (range.empty())
+            continue;
+        const size_t dash = range.find('-');
+        int lo = 0;
+        int hi = 0;
+        try {
+            if (dash == std::string::npos) {
+                lo = hi = std::stoi(range);
+            } else {
+                lo = std::stoi(range.substr(0, dash));
+                hi = std::stoi(range.substr(dash + 1));
+            }
+        } catch (...) {
+            continue;
+        }
+        for (int c = lo; c <= hi && c - lo < 4096; c++)
+            cpus.push_back(c);
+    }
+    return cpus;
+}
+
+std::vector<int>
+onlineCpus()
+{
+    long n = sysconf(_SC_NPROCESSORS_ONLN);
+    if (n < 1)
+        n = 1;
+    std::vector<int> cpus;
+    cpus.reserve(static_cast<size_t>(n));
+    for (long c = 0; c < n; c++)
+        cpus.push_back(static_cast<int>(c));
+    return cpus;
+}
+
+Topology
+probe()
+{
+    Topology topo;
+
+    // Test hook: PRISM_NUMA_FAKE=<k> splits the online CPUs into k
+    // synthetic nodes so placement logic runs on single-node CI.
+    if (const char *fake = std::getenv("PRISM_NUMA_FAKE");
+        fake != nullptr && fake[0] != '\0') {
+        int k = std::atoi(fake);
+        if (k < 1)
+            k = 1;
+        const std::vector<int> cpus = onlineCpus();
+        if (k > static_cast<int>(cpus.size()))
+            k = static_cast<int>(cpus.size());
+        topo.node_cpus.assign(static_cast<size_t>(k), {});
+        for (size_t i = 0; i < cpus.size(); i++)
+            topo.node_cpus[i % static_cast<size_t>(k)].push_back(cpus[i]);
+        topo.fake = true;
+        return topo;
+    }
+
+    for (int node = 0; node < 1024; node++) {
+        std::ifstream f("/sys/devices/system/node/node" +
+                        std::to_string(node) + "/cpulist");
+        if (!f.is_open())
+            break;
+        std::string list;
+        std::getline(f, list);
+        std::vector<int> cpus = parseCpuList(list);
+        // Memory-only nodes (CXL expanders) have an empty cpulist; they
+        // are not placement targets for threads, so skip them.
+        if (!cpus.empty())
+            topo.node_cpus.push_back(std::move(cpus));
+        topo.from_sysfs = true;
+    }
+    if (topo.node_cpus.empty()) {
+        topo.node_cpus.push_back(onlineCpus());
+        topo.from_sysfs = false;
+    }
+    return topo;
+}
+
+}  // namespace
+
+const Topology &
+topology()
+{
+    static const Topology topo = [] {
+        Topology t = probe();
+        stats::StatsRegistry::global()
+            .gauge("prism.numa.nodes", "nodes")
+            .set(static_cast<uint64_t>(t.nodes()));
+        return t;
+    }();
+    return topo;
+}
+
+int
+nodeCount()
+{
+    return topology().nodes();
+}
+
+int
+nodeForShard(size_t shard, size_t shard_count)
+{
+    (void)shard_count;
+    const int nodes = nodeCount();
+    if (nodes <= 1)
+        return -1;
+    return static_cast<int>(shard % static_cast<size_t>(nodes));
+}
+
+bool
+pinThreadToNode(int node)
+{
+    const Topology &topo = topology();
+    if (node < 0 || node >= topo.nodes())
+        return false;
+    // Pinning to "all CPUs of the only node" is a no-op with downside
+    // (it would override any user-set affinity mask), so skip it.
+    if (topo.nodes() <= 1 && !topo.fake)
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (int cpu : topo.node_cpus[static_cast<size_t>(node)])
+        if (cpu >= 0 && cpu < CPU_SETSIZE)
+            CPU_SET(cpu, &set);
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+}
+
+Topology
+probeNow()
+{
+    return probe();
+}
+
+std::string
+describe()
+{
+    const Topology &topo = topology();
+    std::ostringstream os;
+    os << topo.nodes() << (topo.nodes() == 1 ? " node" : " nodes") << " ("
+       << (topo.fake ? "fake" : topo.from_sysfs ? "sysfs" : "fallback")
+       << "):";
+    for (int n = 0; n < topo.nodes(); n++) {
+        const auto &cpus = topo.node_cpus[static_cast<size_t>(n)];
+        os << " node" << n << "=";
+        if (cpus.empty()) {
+            os << "-";
+            continue;
+        }
+        os << cpus.front();
+        if (cpus.size() > 1)
+            os << ".." << cpus.back() << "(" << cpus.size() << ")";
+    }
+    return os.str();
+}
+
+}  // namespace prism::numa

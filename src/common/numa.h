@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal NUMA topology probe and thread-placement helpers.
+ *
+ * Prism's shard router (core/shard_router.h) places each shard's
+ * background machinery — pmem arena touch threads, reclaim/GC threads,
+ * VS completion threads and its slice of the shared BgPool — on one
+ * NUMA node so a shard's NVM writes, DRAM cache and SSD interrupts stay
+ * local. The probe reads sysfs (/sys/devices/system/node/nodeN/
+ * cpulist) and degrades gracefully: when the hierarchy is absent
+ * (containers, non-Linux) it reports a single node covering every
+ * online CPU, and every pin becomes a no-op.
+ *
+ * For tests and single-node CI boxes, `PRISM_NUMA_FAKE=<k>` partitions
+ * the online CPUs into k synthetic nodes so placement logic can be
+ * exercised deterministically without multi-socket hardware.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace prism::numa {
+
+/** Immutable snapshot of the machine's node → CPU map. */
+struct Topology {
+    /** Per-node CPU id lists; size() >= 1 always. */
+    std::vector<std::vector<int>> node_cpus;
+    /** True when sysfs was readable (not the single-node fallback). */
+    bool from_sysfs = false;
+    /** True when PRISM_NUMA_FAKE synthesized the node split. */
+    bool fake = false;
+
+    int nodes() const { return static_cast<int>(node_cpus.size()); }
+};
+
+/** Process-wide topology, probed once on first use. */
+const Topology &topology();
+
+/** Number of NUMA nodes (>= 1). */
+int nodeCount();
+
+/**
+ * Deterministic shard → node assignment: round-robin so consecutive
+ * shards land on different sockets. Returns -1 ("anywhere") on
+ * single-node machines, where pinning would only hurt.
+ */
+int nodeForShard(size_t shard, size_t shard_count);
+
+/**
+ * Best-effort: restrict the calling thread to @p node's CPUs.
+ * @return true when the affinity call succeeded. node < 0, an unknown
+ * node, or a failed sched_setaffinity all return false without side
+ * effects (CI sandboxes often forbid affinity changes).
+ */
+bool pinThreadToNode(int node);
+
+/** One-line human summary, e.g. "2 nodes (sysfs): node0=0-15 node1=16-31". */
+std::string describe();
+
+/**
+ * Run a fresh probe (env + sysfs) and return it WITHOUT touching the
+ * cached topology(). Test hook: lets a test flip PRISM_NUMA_FAKE and
+ * observe the resulting split even after topology() was first used.
+ */
+Topology probeNow();
+
+}  // namespace prism::numa

@@ -9,6 +9,17 @@
  * they run as tasks on this shared pool (sized by
  * PrismOptions::bg_workers) instead of on two lone threads.
  *
+ * Fairness: the pool is shared — under the shard router every shard's
+ * reclaim and GC competes for the same workers. A single FIFO queue
+ * would let one producer's burst (a shard entering a GC storm) delay
+ * every other producer's reclaim behind it. Instead each producer
+ * registers a *source* (allocSource()) with its own FIFO sub-queue, and
+ * workers drain the sources round-robin: per-source ordering is
+ * preserved, but a source with k queued tasks cannot make another
+ * source wait more than one task-length per dispatch. The wait between
+ * enqueue and dispatch is recorded in the prism.bg.queue_delay_ns
+ * histogram — the fairness invariant is measured, not asserted.
+ *
  * Two entry points:
  *  - submit(): fire-and-forget (reclaim passes, GC passes). With zero
  *    workers the task runs inline on the caller, which degenerates to
@@ -21,8 +32,8 @@
  *    that). This makes parallelFor deadlock-free by construction.
  *
  * Observability (docs/OBSERVABILITY.md): prism.bg.tasks,
- * prism.bg.task_ns, prism.bg.queue_depth, and per-worker
- * prism.bg.worker<i>.busy_ns.
+ * prism.bg.task_ns, prism.bg.queue_depth, prism.bg.queue_delay_ns, and
+ * per-worker prism.bg.worker<i>.busy_ns.
  */
 #pragma once
 
@@ -51,10 +62,19 @@ class BgPool {
     BgPool &operator=(const BgPool &) = delete;
 
     /**
-     * Enqueue @p fn for a worker. Runs inline when the pool has no
-     * workers. Tasks must not assume any ordering between each other.
+     * Register a new producer and return its source id for submit().
+     * Source 0 always exists (anonymous producers). Sources are never
+     * freed — they cost one empty deque each and shard counts are small.
      */
-    void submit(std::function<void()> fn);
+    int allocSource();
+
+    /**
+     * Enqueue @p fn for a worker under @p source's sub-queue. Runs
+     * inline when the pool has no workers. Tasks must not assume any
+     * ordering against tasks from other sources.
+     */
+    void submit(std::function<void()> fn) { submit(0, std::move(fn)); }
+    void submit(int source, std::function<void()> fn);
 
     /**
      * Run fn(0..n-1) across the workers and the calling thread, then
@@ -62,7 +82,11 @@ class BgPool {
      * pool task: the caller claims indices itself, so saturation of the
      * pool delays but never deadlocks the call.
      */
-    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn) {
+        parallelFor(0, n, fn);
+    }
+    void parallelFor(int source, size_t n,
+                     const std::function<void(size_t)> &fn);
 
     /**
      * Drain every queued task and join the workers. Idempotent; called
@@ -78,7 +102,17 @@ class BgPool {
         return tasks_run_.load(std::memory_order_relaxed);
     }
 
+    /** Registered source count (incl. the default source 0), for tests. */
+    int sources() const;
+
   private:
+    /** One queued unit of work, stamped for the queue-delay histogram. */
+    struct Task {
+        std::function<void()> fn;
+        int source = 0;
+        uint64_t enqueue_ns = 0;
+    };
+
     /** Shared state of one parallelFor call. */
     struct PfState {
         std::atomic<size_t> next{0};
@@ -88,12 +122,21 @@ class BgPool {
     };
 
     void workerLoop(int idx);
-    void runTask(std::function<void()> &fn, stats::Counter *busy_ns);
+    void runTask(Task &task, stats::Counter *busy_ns);
+    /** Requires mu_. True when any source has a queued task. */
+    bool anyQueuedLocked() const { return queued_total_ > 0; }
+    /** Requires mu_ and queued_total_ > 0. Round-robin pop. */
+    Task popNextLocked();
+    /** Requires mu_. Enqueue without notify (caller notifies). */
+    void pushLocked(Task &&task);
     static void helpWith(const std::shared_ptr<PfState> &st);
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
+    // One FIFO per source, drained round-robin from rr_cursor_.
+    std::vector<std::deque<Task>> queues_;
+    size_t rr_cursor_ = 0;
+    size_t queued_total_ = 0;
     bool stop_ = false;
     std::vector<std::thread> threads_;
 
@@ -103,6 +146,7 @@ class BgPool {
     stats::Counter *reg_tasks_;
     stats::Counter *reg_task_faults_;
     stats::LatencyStat *reg_task_ns_;
+    stats::LatencyStat *reg_queue_delay_ns_;
     stats::Gauge *reg_queue_depth_;
     std::vector<stats::Counter *> reg_worker_busy_ns_;
 };

@@ -92,12 +92,39 @@ struct PrismOptions {
     std::string io_backend_dir;
     ///@}
 
+    /** @name Sharding (src/core/shard_router.h) */
+    ///@{
+    /**
+     * Number of independent PrismDb shards the router fronts. Must be a
+     * power of two (keys are hash-partitioned with a mask). 1 routes
+     * every op to a single shard — today's behaviour, bit-identical.
+     * 0 (the default) defers to $PRISM_SHARDS, then 1. Only harnesses
+     * that construct stores through ShardRouter / PrismStore consult
+     * this; a directly-built PrismDb ignores it.
+     */
+    int shards = 0;
+    /**
+     * Preferred NUMA node for this instance's background threads
+     * (reclaimer, GC scheduler, VS completion threads). -1 = unpinned.
+     * The shard router assigns nodes round-robin across shards on
+     * multi-node machines (common/numa.h); single-node machines always
+     * run unpinned.
+     */
+    int numa_node = -1;
+    ///@}
+
     /** Largest supported value (one record must fit a chunk and the
      *  packed address size field). */
     uint32_t max_value_bytes = 60 * 1024;
 
-    /** Background reclaimer poll interval. */
-    uint64_t reclaimer_poll_us = 100;
+    /**
+     * Background reclaimer safety-net poll interval. The hot path is
+     * edge-triggered — a put whose ring crosses the watermark notifies
+     * the reclaimer directly (Pwb::armReclaimHint) — so this poll only
+     * bounds staleness for the re-dispatch gate and epoch advancement;
+     * it no longer needs to be sub-millisecond to keep up with writes.
+     */
+    uint64_t reclaimer_poll_us = 10000;
 
     /** @name Background I/O engine (§5.2, src/core/bg_pool.h) */
     ///@{

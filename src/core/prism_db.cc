@@ -1,6 +1,7 @@
 #include "core/prism_db.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -8,6 +9,7 @@
 #include "common/clock.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/numa.h"
 #include "common/trace.h"
 #include "core/chunk_writer.h"
 
@@ -52,6 +54,15 @@ PrismDb::PrismDb(const PrismOptions &opts,
                  std::shared_ptr<pmem::PmemRegion> region,
                  std::vector<std::shared_ptr<io::IoBackend>> devices,
                  bool format)
+    : PrismDb(opts, std::move(region), std::move(devices), format,
+              nullptr)
+{
+}
+
+PrismDb::PrismDb(const PrismOptions &opts,
+                 std::shared_ptr<pmem::PmemRegion> region,
+                 std::vector<std::shared_ptr<io::IoBackend>> devices,
+                 bool format, std::shared_ptr<BgPool> shared_pool)
     : opts_(opts), region_(std::move(region))
 {
     PRISM_CHECK(!devices.empty());
@@ -135,7 +146,16 @@ PrismDb::PrismDb(const PrismOptions &opts,
 
     svc_ = std::make_unique<Svc>(*hsit_, epochs_, vs_ptrs_, opts_);
 
-    bg_pool_ = std::make_unique<BgPool>(opts_.bg_workers);
+    if (shared_pool != nullptr) {
+        // Shard-router mode: every shard shares one pool; each shard
+        // gets its own round-robin source so one shard's GC burst
+        // cannot starve another's reclaim (see core/bg_pool.h).
+        bg_pool_ = std::move(shared_pool);
+        owns_pool_ = false;
+    } else {
+        bg_pool_ = std::make_shared<BgPool>(opts_.bg_workers);
+    }
+    bg_source_ = bg_pool_->allocSource();
     gc_scheduled_.reset(new std::atomic<bool>[value_storages_.size()]);
     for (size_t i = 0; i < value_storages_.size(); i++)
         gc_scheduled_[i].store(false, std::memory_order_relaxed);
@@ -174,14 +194,26 @@ PrismDb::~PrismDb()
     }
     stop_.store(true, std::memory_order_release);
     reclaim_cv_.notify_all();
+    gc_cv_.notify_all();
     dumper_cv_.notify_all();
     reclaimer_.join();
     gc_thread_.join();
     if (stats_dumper_.joinable())
         stats_dumper_.join();
-    // Dispatchers are gone; drain and join the worker pool before any
-    // state its reclaim/GC tasks reference is torn down.
-    bg_pool_->shutdown();
+    // Dispatchers are gone; before tearing down any state the reclaim/
+    // GC tasks reference, make sure none of ours remain. An owned pool
+    // is drained and joined outright. A shared pool (shard router) must
+    // keep serving the other shards, so instead wait out this
+    // instance's own tasks — every dispatch is gated one-outstanding
+    // (per-PWB reclaim slot, per-VS gc flag) and counted in
+    // bg_inflight_, and the dispatchers above are joined, so the count
+    // can only fall.
+    if (owns_pool_) {
+        bg_pool_->shutdown();
+    } else {
+        while (bg_inflight_.load(std::memory_order_acquire) != 0)
+            std::this_thread::yield();
+    }
     // Destroy the SVC (its manager thread uses hsit_/value_storages_),
     // then run every deferred reclamation before members are torn down:
     // pending lambdas reference PWBs, Value Storages and the HSIT.
@@ -363,6 +395,13 @@ PrismDb::put(uint64_t key, std::string_view value)
                     trace::spanAt(PRISM_TRACE_NID("pwb.stall"),
                                   stall_t0, waited);
                 }
+                // Edge-triggered reclaimer wakeup: the reclaimer sleeps
+                // on a long safety-net poll and relies on this notify
+                // when a ring crosses the watermark (one syscall per
+                // crossing, not per append).
+                if (pwb->utilization() >= opts_.pwb_reclaim_watermark &&
+                    pwb->armReclaimHint())
+                    reclaim_cv_.notify_all();
                 return Status::ok();
             }
         }
@@ -582,8 +621,10 @@ PrismDb::asyncScan(uint64_t start_key, size_t count, AsyncCallback cb)
         return OpFuture(std::move(st));
     }
     OpFuture f(st);
-    bg_pool_->submit([this, st, start_key, count] {
+    bg_inflight_.fetch_add(1, std::memory_order_acq_rel);
+    bg_pool_->submit(bg_source_, [this, st, start_key, count] {
         completeAsync(st, scan(start_key, count, &st->rows));
+        bg_inflight_.fetch_sub(1, std::memory_order_acq_rel);
     });
     return f;
 }
@@ -1072,6 +1113,15 @@ PrismDb::reclaimPwb(Pwb *pwb, bool force)
                     stats_.reclaimed_values.fetch_add(
                         1, std::memory_order_relaxed);
                     reg_.reclaimed_values->inc();
+                    // Write-back admission: a just-relocated value is a
+                    // recent write and, under skewed request mixes, a
+                    // likely near-term read — serving it from the SVC
+                    // saves the whole batched-SSD-read path. Gated on
+                    // headroom so a capacity-bound cache (which would
+                    // only thrash its eviction lists) is left alone.
+                    if (svc_->hasHeadroom())
+                        svc_->admit(v.h, v.key, placed[i], v.payload,
+                                    v.size);
                 } else {
                     // Superseded after collection; retract the copy.
                     vs->clearValid(placed[i].offset(),
@@ -1176,10 +1226,12 @@ PrismDb::dispatchReclaim(Pwb *pwb)
         return;
     PRISM_TRACE_INSTANT("pwb.reclaim_dispatch");
     reg_.reclaim_dispatches->inc();
-    bg_pool_->submit([this, pwb] {
+    bg_inflight_.fetch_add(1, std::memory_order_acq_rel);
+    bg_pool_->submit(bg_source_, [this, pwb] {
         reclaimPwb(pwb);
         pwb->releaseReclaimSlot();
         epochs_.tryAdvance();
+        bg_inflight_.fetch_sub(1, std::memory_order_acq_rel);
     });
 }
 
@@ -1192,10 +1244,12 @@ PrismDb::dispatchGc(size_t vs_id)
         return;
     PRISM_TRACE_INSTANT("vs.gc_dispatch");
     reg_.gc_dispatches->inc();
-    bg_pool_->submit([this, vs_id] {
+    bg_inflight_.fetch_add(1, std::memory_order_acq_rel);
+    bg_pool_->submit(bg_source_, [this, vs_id] {
         value_storages_[vs_id]->runGcPass(*hsit_);
         gc_scheduled_[vs_id].store(false, std::memory_order_release);
         epochs_.tryAdvance();
+        bg_inflight_.fetch_sub(1, std::memory_order_acq_rel);
     });
 }
 
@@ -1207,7 +1261,8 @@ PrismDb::runGcRoundParallel()
     // fallback in reclaimPwb does. Contended Value Storages are skipped
     // by runGcPass's try-lock, never waited on.
     PRISM_TRACE_SPAN("vs.gc_round");
-    bg_pool_->parallelFor(value_storages_.size(), [this](size_t i) {
+    bg_pool_->parallelFor(bg_source_, value_storages_.size(),
+                          [this](size_t i) {
         value_storages_[i]->runGcPass(*hsit_);
     });
 }
@@ -1216,6 +1271,7 @@ void
 PrismDb::reclaimerLoop()
 {
     trace::TraceRegistry::global().setThreadName("prism-reclaimer");
+    numa::pinThreadToNode(opts_.numa_node);
     std::unique_lock<std::mutex> lock(reclaim_mu_);
     while (!stop_.load(std::memory_order_acquire)) {
         reclaim_cv_.wait_for(
@@ -1227,6 +1283,9 @@ PrismDb::reclaimerLoop()
             Pwb *pwb = pwbs_[tid].load(std::memory_order_acquire);
             if (pwb == nullptr)
                 continue;
+            // Re-arm the put-path edge trigger: appends that land while
+            // this pass is deciding will raise a fresh notify.
+            pwb->clearReclaimHint();
             const double util = pwb->utilization();
             if (util < opts_.pwb_reclaim_watermark)
                 continue;
@@ -1251,7 +1310,16 @@ void
 PrismDb::gcLoop()
 {
     trace::TraceRegistry::global().setThreadName("prism-gc");
+    numa::pinThreadToNode(opts_.numa_node);
+    // Adaptive cadence: 200 us while GC work is being found, backing
+    // off 2x per idle round to 20 ms. A store with no garbage pays ~50
+    // wakeups/s instead of 5000 — the difference is measurable when a
+    // shard router runs one of these loops per shard on a small box.
+    constexpr uint64_t kBusyPollNs = 200 * 1000;
+    constexpr uint64_t kIdlePollNs = 20000 * 1000;
+    uint64_t poll_ns = kBusyPollNs;
     while (!stop_.load(std::memory_order_acquire)) {
+        bool dispatched = false;
         for (size_t i = 0; i < value_storages_.size(); i++) {
             if (stop_.load(std::memory_order_acquire))
                 return;
@@ -1259,11 +1327,21 @@ PrismDb::gcLoop()
             // runGcPass would skip it anyway (prism.vs.degraded), so
             // don't burn pool slots on it while it is sick.
             if (value_storages_[i]->needsGc() &&
-                value_storages_[i]->device().healthy())
+                value_storages_[i]->device().healthy()) {
                 dispatchGc(i);
+                dispatched = true;
+            }
         }
         epochs_.tryAdvance();
-        delayFor(200 * 1000);
+        poll_ns = dispatched ? kBusyPollNs
+                             : std::min(poll_ns * 2, kIdlePollNs);
+        // Scheduling wait, not delayFor: simulated-time delays end in a
+        // calibration spin that is pure waste here, and a condvar makes
+        // shutdown interruptible at the longer idle cadence.
+        std::unique_lock<std::mutex> lock(gc_mu_);
+        gc_cv_.wait_for(lock, std::chrono::nanoseconds(poll_ns), [this] {
+            return stop_.load(std::memory_order_acquire);
+        });
     }
 }
 
@@ -1306,7 +1384,7 @@ PrismDb::forceGc()
         if (needy.empty())
             return;
         std::atomic<size_t> reclaimed{0};
-        bg_pool_->parallelFor(needy.size(), [&](size_t i) {
+        bg_pool_->parallelFor(bg_source_, needy.size(), [&](size_t i) {
             reclaimed.fetch_add(
                 value_storages_[needy[i]]->runGcPass(*hsit_),
                 std::memory_order_relaxed);

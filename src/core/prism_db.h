@@ -120,6 +120,19 @@ class PrismDb {
             std::vector<std::shared_ptr<io::IoBackend>> devices,
             bool format);
 
+    /**
+     * Open a store on an externally-owned worker pool. The shard router
+     * passes one pool to all shards so background capacity is shared
+     * (with per-shard round-robin fairness — each PrismDb registers its
+     * own BgPool source). The pool must outlive this instance; the
+     * destructor quiesces this instance's own tasks (reclaim slots, GC
+     * flags, async scans) but never shuts the pool down.
+     */
+    PrismDb(const PrismOptions &opts,
+            std::shared_ptr<pmem::PmemRegion> region,
+            std::vector<std::shared_ptr<io::IoBackend>> devices,
+            bool format, std::shared_ptr<BgPool> shared_pool);
+
     /** Simulator-fleet convenience (the historical signature). */
     PrismDb(const PrismOptions &opts,
             std::shared_ptr<pmem::PmemRegion> region,
@@ -422,12 +435,24 @@ class PrismDb {
     std::atomic<Pwb *> pwbs_[ThreadId::kMaxThreads] = {};
 
     std::atomic<bool> stop_{false};
-    /** Shared worker pool for reclamation and GC tasks (§5.2). */
-    std::unique_ptr<BgPool> bg_pool_;
+    /** Worker pool for reclamation and GC tasks (§5.2). Owned unless a
+     *  shared pool was passed in (shard router); see owns_pool_. */
+    std::shared_ptr<BgPool> bg_pool_;
+    /** False when bg_pool_ is externally owned: the destructor then
+     *  waits out bg_inflight_ instead of calling shutdown(). */
+    bool owns_pool_ = true;
+    /** This instance's round-robin source id in bg_pool_. */
+    int bg_source_ = 0;
+    /** Tasks this instance has on the (possibly shared) pool. */
+    std::atomic<uint64_t> bg_inflight_{0};
     std::thread reclaimer_;
     std::thread gc_thread_;
     std::mutex reclaim_mu_;
     std::condition_variable reclaim_cv_;
+    /** Interruptible sleep for gcLoop (plain scheduling wait — the
+     *  simulated-time delayFor would burn a spin tail per wakeup). */
+    std::mutex gc_mu_;
+    std::condition_variable gc_cv_;
     /** One outstanding GC dispatch per Value Storage. */
     std::unique_ptr<std::atomic<bool>[]> gc_scheduled_;
 

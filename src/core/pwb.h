@@ -159,6 +159,20 @@ class Pwb {
     std::mutex &passMutex() { return pass_mu_; }
 
     /**
+     * Edge-trigger for waking the reclaimer: the first append that sees
+     * utilization at/over the watermark arms it (returns true exactly
+     * once); the reclaimer loop re-arms it when it next scans this PWB,
+     * so a ring held over the watermark by fresh appends keeps
+     * re-notifying without a put-path syscall per append.
+     */
+    bool armReclaimHint() {
+        return !reclaim_hint_.exchange(true, std::memory_order_acq_rel);
+    }
+    void clearReclaimHint() {
+        reclaim_hint_.store(false, std::memory_order_release);
+    }
+
+    /**
      * Claim the single outstanding reclaim-dispatch slot for this PWB.
      * Dispatchers (reclaimer loop, stalled puts) use it so the pool
      * queue never holds two tasks for one PWB.
@@ -254,6 +268,7 @@ class Pwb {
     /** Volatile per-PWB reclamation state (see passMutex()). */
     std::mutex pass_mu_;
     std::atomic<bool> reclaim_scheduled_{false};
+    std::atomic<bool> reclaim_hint_{false};
 
     // Shared-by-name process-wide metrics (all PWBs aggregate).
     stats::Counter *reg_appends_;

@@ -1,0 +1,472 @@
+#include "core/shard_router.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <queue>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/numa.h"
+#include "common/rand.h"
+#include "common/telemetry.h"
+
+namespace prism::core {
+
+namespace {
+
+bool
+isPow2(int n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace
+
+int
+ShardRouter::resolveShardCount(int opt_shards)
+{
+    int n = opt_shards;
+    if (n == 0) {
+        if (const char *env = std::getenv("PRISM_SHARDS");
+            env != nullptr && env[0] != '\0')
+            n = std::atoi(env);
+        if (n == 0)
+            n = 1;
+    }
+    if (!isPow2(n) || n > 256)
+        fatal("shards must be a power of two in [1,256], got %d", n);
+    return n;
+}
+
+size_t
+ShardRouter::shardOf(uint64_t key, size_t shard_count)
+{
+    // splitmix64 finalizer: the same scrambling the YCSB generators
+    // use, so dense sequential key spaces still spread evenly.
+    return static_cast<size_t>(hash64(key)) & (shard_count - 1);
+}
+
+ShardRouter::ShardRouter(const PrismOptions &opts,
+                         std::vector<ShardBackends> backends, bool format)
+    : opts_(opts)
+{
+    const size_t n = backends.size();
+    PRISM_CHECK(n >= 1 && isPow2(static_cast<int>(n)));
+    const uint64_t t0 = nowNs();
+
+    pool_ = std::make_shared<BgPool>(opts_.bg_workers);
+
+    auto &reg = stats::StatsRegistry::global();
+    shard_nodes_.resize(n, -1);
+    reg_shard_ops_.resize(n);
+    reg_shard_keys_.resize(n);
+    reg_shard_node_.resize(n);
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+        const std::string p = "prism.shard." + std::to_string(i);
+        reg_shard_ops_[i] = &reg.counter(p + ".ops", "ops");
+        reg_shard_keys_[i] = &reg.gauge(p + ".keys", "keys");
+        reg_shard_node_[i] = &reg.gauge(p + ".node", "node");
+
+        PrismOptions so = opts_;
+        // Router-level placement beats the (usually unset) per-instance
+        // preference; an explicit user numa_node wins for all shards.
+        shard_nodes_[i] = so.numa_node >= 0
+                              ? so.numa_node
+                              : numa::nodeForShard(i, n);
+        so.numa_node = shard_nodes_[i];
+        // Options that arm process-wide machinery must fire once, not
+        // once per shard: shard 0 carries them, the rest get clean
+        // copies (the fault registry would otherwise arm N duplicate
+        // schedules and telemetry would start N times).
+        if (i > 0) {
+            so.fault_spec.clear();
+            so.telemetry_interval_ms = 0;
+            so.stats_dump_interval_ms = 0;
+        }
+        reg_shard_node_[i]->set(
+            static_cast<uint64_t>(std::max(shard_nodes_[i], 0)));
+        shards_.push_back(std::make_unique<PrismDb>(
+            so, backends[i].region, backends[i].devices, format, pool_));
+    }
+
+    telemetry_probe_ = telemetry::Telemetry::global().addProbe(
+        [this] { publishShardGauges(); });
+    recovery_ns_ = nowNs() - t0;
+}
+
+ShardRouter::~ShardRouter()
+{
+    // Router-level async scans hold `this`; wait them out first.
+    while (async_scan_inflight_.load(std::memory_order_acquire) != 0)
+        std::this_thread::yield();
+    telemetry::Telemetry::global().removeProbe(telemetry_probe_);
+    // Shards first (each quiesces its own pool tasks), then the shared
+    // pool they all reference.
+    shards_.clear();
+    pool_->shutdown();
+}
+
+void
+ShardRouter::publishShardGauges()
+{
+    for (size_t i = 0; i < shards_.size(); i++)
+        reg_shard_keys_[i]->set(shards_[i]->size());
+}
+
+Status
+ShardRouter::put(uint64_t key, std::string_view value)
+{
+    const size_t s =
+        shards_.size() == 1 ? 0 : shardOf(key, shards_.size());
+    reg_shard_ops_[s]->inc();
+    return shards_[s]->put(key, value);
+}
+
+Status
+ShardRouter::get(uint64_t key, std::string *value)
+{
+    const size_t s =
+        shards_.size() == 1 ? 0 : shardOf(key, shards_.size());
+    reg_shard_ops_[s]->inc();
+    return shards_[s]->get(key, value);
+}
+
+Status
+ShardRouter::del(uint64_t key)
+{
+    const size_t s =
+        shards_.size() == 1 ? 0 : shardOf(key, shards_.size());
+    reg_shard_ops_[s]->inc();
+    return shards_[s]->del(key);
+}
+
+Status
+ShardRouter::scan(uint64_t start_key, size_t count,
+                  std::vector<std::pair<uint64_t, std::string>> *out)
+{
+    out->clear();
+    if (shards_.size() == 1) {
+        reg_shard_ops_[0]->inc();
+        return shards_[0]->scan(start_key, count, out);
+    }
+    if (count == 0)
+        return Status::ok();
+
+    // Streaming k-way merge. Every shard's m-smallest keys >= start
+    // form a superset of that shard's contribution to the global
+    // count-smallest, and hash partitioning spreads any key range
+    // ~uniformly, so each shard contributes ~count/n rows. The first
+    // round fetches that expectation plus slack shard-parallel on the
+    // shared pool; a shard whose run drains before the merge finishes
+    // refetches a further batch inline, continuing past its last
+    // returned key. This keeps total fetched rows near count instead
+    // of the n*count a fetch-everything fan-out reads — the difference
+    // is an order of magnitude of SSD traffic on scan-heavy mixes.
+    const size_t n = shards_.size();
+    struct Run {
+        std::vector<std::pair<uint64_t, std::string>> rows;
+        size_t cursor = 0;
+        uint64_t next_start = 0;
+        bool exhausted = false;  ///< shard has no keys past next_start
+    };
+    std::vector<Run> runs(n);
+    std::vector<Status> sts(n);
+    auto fetch = [&](size_t i, size_t batch) {
+        Run &r = runs[i];
+        r.rows.clear();
+        r.cursor = 0;
+        reg_shard_ops_[i]->inc();
+        sts[i] = shards_[i]->scan(r.next_start, batch, &r.rows);
+        if (!sts[i].isOk())
+            return;
+        if (r.rows.size() < batch)
+            r.exhausted = true;
+        if (!r.rows.empty()) {
+            const uint64_t last = r.rows.back().first;
+            if (last == UINT64_MAX)
+                r.exhausted = true;
+            else
+                r.next_start = last + 1;
+        }
+    };
+    const size_t first_batch = std::min(
+        count, count / n + std::max<size_t>(4, count / (8 * n)));
+    for (size_t i = 0; i < n; i++)
+        runs[i].next_start = start_key;
+    pool_->parallelFor(n, [&](size_t i) { fetch(i, first_batch); });
+    for (const Status &st : sts)
+        if (!st.isOk())
+            return st;
+
+    // (key, shard) min-heap. Keys are unique across shards (a key
+    // lives in exactly one), so ties cannot occur.
+    using HeapItem = std::pair<uint64_t, size_t>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>>
+        heap;
+    for (size_t i = 0; i < n; i++)
+        if (!runs[i].rows.empty())
+            heap.emplace(runs[i].rows[0].first, i);
+    out->reserve(std::min(count, static_cast<size_t>(64)));
+    while (!heap.empty() && out->size() < count) {
+        const auto [key, i] = heap.top();
+        heap.pop();
+        Run &r = runs[i];
+        out->push_back(std::move(r.rows[r.cursor]));
+        ++r.cursor;
+        if (r.cursor == r.rows.size() && !r.exhausted &&
+            out->size() < count) {
+            // Run drained mid-merge: pull the next batch from this
+            // shard before deciding the next global row.
+            fetch(i, std::min(count - out->size(), first_batch));
+            if (!sts[i].isOk())
+                return sts[i];
+        }
+        if (r.cursor < r.rows.size())
+            heap.emplace(r.rows[r.cursor].first, i);
+    }
+    return Status::ok();
+}
+
+Status
+ShardRouter::multiGet(const std::vector<uint64_t> &keys,
+                      std::vector<std::optional<std::string>> *out)
+{
+    if (shards_.size() == 1) {
+        reg_shard_ops_[0]->inc();
+        return shards_[0]->multiGet(keys, out);
+    }
+    out->assign(keys.size(), std::nullopt);
+    if (keys.empty())
+        return Status::ok();
+
+    // Bucket keys per shard, remembering each key's caller position so
+    // the fan-out can scatter results straight back into caller order.
+    const size_t n = shards_.size();
+    std::vector<std::vector<uint64_t>> shard_keys(n);
+    std::vector<std::vector<size_t>> shard_pos(n);
+    for (size_t i = 0; i < keys.size(); i++) {
+        const size_t s = shardOf(keys[i], n);
+        shard_keys[s].push_back(keys[i]);
+        shard_pos[s].push_back(i);
+    }
+    std::vector<size_t> involved;
+    for (size_t i = 0; i < n; i++)
+        if (!shard_keys[i].empty())
+            involved.push_back(i);
+
+    std::vector<Status> sts(involved.size());
+    std::mutex out_mu;  // scatter targets are disjoint; mutex for TSan
+    pool_->parallelFor(involved.size(), [&](size_t idx) {
+        const size_t s = involved[idx];
+        reg_shard_ops_[s]->inc();
+        std::vector<std::optional<std::string>> vals;
+        sts[idx] = shards_[s]->multiGet(shard_keys[s], &vals);
+        if (!sts[idx].isOk())
+            return;
+        std::lock_guard<std::mutex> lock(out_mu);
+        for (size_t k = 0; k < vals.size(); k++)
+            (*out)[shard_pos[s][k]] = std::move(vals[k]);
+    });
+    for (const Status &st : sts)
+        if (!st.isOk())
+            return st;
+    return Status::ok();
+}
+
+OpFuture
+ShardRouter::asyncPut(uint64_t key, std::string_view value,
+                      AsyncCallback cb)
+{
+    const size_t s =
+        shards_.size() == 1 ? 0 : shardOf(key, shards_.size());
+    reg_shard_ops_[s]->inc();
+    return shards_[s]->asyncPut(key, value, std::move(cb));
+}
+
+OpFuture
+ShardRouter::asyncGet(uint64_t key, AsyncCallback cb)
+{
+    const size_t s =
+        shards_.size() == 1 ? 0 : shardOf(key, shards_.size());
+    reg_shard_ops_[s]->inc();
+    return shards_[s]->asyncGet(key, std::move(cb));
+}
+
+OpFuture
+ShardRouter::asyncDel(uint64_t key, AsyncCallback cb)
+{
+    const size_t s =
+        shards_.size() == 1 ? 0 : shardOf(key, shards_.size());
+    reg_shard_ops_[s]->inc();
+    return shards_[s]->asyncDel(key, std::move(cb));
+}
+
+OpFuture
+ShardRouter::asyncScan(uint64_t start_key, size_t count, AsyncCallback cb)
+{
+    if (shards_.size() == 1)
+        return shards_[0]->asyncScan(start_key, count, std::move(cb));
+    // Cross-shard: delegate to shard 0's async machinery (which tracks
+    // the in-flight count the destructor drains) but run the *merged*
+    // scan. Shard 0's asyncScan would only see its own keys, so build
+    // the task here.
+    auto st = std::make_shared<AsyncOpState>();
+    st->callback = std::move(cb);
+    OpFuture f(st);
+    // The merged scan's parallelFor is caller-helping, so running it
+    // inside one pool task cannot deadlock even with a single worker.
+    async_scan_inflight_.fetch_add(1, std::memory_order_acq_rel);
+    pool_->submit([this, st, start_key, count] {
+        st->complete(scan(start_key, count, &st->rows));
+        async_scan_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+    return f;
+}
+
+uint64_t
+ShardRouter::asyncInflight() const
+{
+    uint64_t total =
+        async_scan_inflight_.load(std::memory_order_acquire);
+    for (const auto &s : shards_)
+        total += s->asyncInflight();
+    return total;
+}
+
+void
+ShardRouter::flushAll()
+{
+    for (auto &s : shards_)
+        s->flushAll();
+}
+
+void
+ShardRouter::forceGc()
+{
+    for (auto &s : shards_)
+        s->forceGc();
+}
+
+size_t
+ShardRouter::size() const
+{
+    size_t total = 0;
+    for (const auto &s : shards_)
+        total += s->size();
+    return total;
+}
+
+uint64_t
+ShardRouter::ssdBytesWritten() const
+{
+    uint64_t total = 0;
+    for (const auto &s : shards_)
+        total += s->ssdBytesWritten();
+    return total;
+}
+
+uint64_t
+ShardRouter::nvmIndexBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &s : shards_)
+        total += s->nvmIndexBytes();
+    return total;
+}
+
+PrismDbStats &
+ShardRouter::opStats()
+{
+    uint64_t puts = 0, gets = 0, dels = 0, scans = 0, pwb_hits = 0,
+             svc_hits = 0, vs_reads = 0, reclaim_passes = 0,
+             reclaimed_values = 0, skipped = 0, user_bytes = 0,
+             stalls = 0;
+    for (const auto &s : shards_) {
+        auto &st = s->opStats();
+        puts += st.puts.load(std::memory_order_relaxed);
+        gets += st.gets.load(std::memory_order_relaxed);
+        dels += st.dels.load(std::memory_order_relaxed);
+        scans += st.scans.load(std::memory_order_relaxed);
+        pwb_hits += st.pwb_hits.load(std::memory_order_relaxed);
+        svc_hits += st.svc_hits.load(std::memory_order_relaxed);
+        vs_reads += st.vs_reads.load(std::memory_order_relaxed);
+        reclaim_passes +=
+            st.reclaim_passes.load(std::memory_order_relaxed);
+        reclaimed_values +=
+            st.reclaimed_values.load(std::memory_order_relaxed);
+        skipped +=
+            st.reclaim_skipped_stale.load(std::memory_order_relaxed);
+        user_bytes +=
+            st.user_bytes_written.load(std::memory_order_relaxed);
+        stalls += st.pwb_stalls.load(std::memory_order_relaxed);
+    }
+    agg_op_stats_.puts.store(puts, std::memory_order_relaxed);
+    agg_op_stats_.gets.store(gets, std::memory_order_relaxed);
+    agg_op_stats_.dels.store(dels, std::memory_order_relaxed);
+    agg_op_stats_.scans.store(scans, std::memory_order_relaxed);
+    agg_op_stats_.pwb_hits.store(pwb_hits, std::memory_order_relaxed);
+    agg_op_stats_.svc_hits.store(svc_hits, std::memory_order_relaxed);
+    agg_op_stats_.vs_reads.store(vs_reads, std::memory_order_relaxed);
+    agg_op_stats_.reclaim_passes.store(reclaim_passes,
+                                       std::memory_order_relaxed);
+    agg_op_stats_.reclaimed_values.store(reclaimed_values,
+                                         std::memory_order_relaxed);
+    agg_op_stats_.reclaim_skipped_stale.store(skipped,
+                                              std::memory_order_relaxed);
+    agg_op_stats_.user_bytes_written.store(user_bytes,
+                                           std::memory_order_relaxed);
+    agg_op_stats_.pwb_stalls.store(stalls, std::memory_order_relaxed);
+    return agg_op_stats_;
+}
+
+SvcStats &
+ShardRouter::svcStats()
+{
+    uint64_t hits = 0, misses = 0, admissions = 0, evictions = 0,
+             reorgs = 0, reorged = 0;
+    for (const auto &s : shards_) {
+        auto &st = s->svcStats();
+        hits += st.hits.load(std::memory_order_relaxed);
+        misses += st.misses.load(std::memory_order_relaxed);
+        admissions += st.admissions.load(std::memory_order_relaxed);
+        evictions += st.evictions.load(std::memory_order_relaxed);
+        reorgs += st.scan_reorgs.load(std::memory_order_relaxed);
+        reorged += st.reorged_values.load(std::memory_order_relaxed);
+    }
+    agg_svc_stats_.hits.store(hits, std::memory_order_relaxed);
+    agg_svc_stats_.misses.store(misses, std::memory_order_relaxed);
+    agg_svc_stats_.admissions.store(admissions,
+                                    std::memory_order_relaxed);
+    agg_svc_stats_.evictions.store(evictions, std::memory_order_relaxed);
+    agg_svc_stats_.scan_reorgs.store(reorgs, std::memory_order_relaxed);
+    agg_svc_stats_.reorged_values.store(reorged,
+                                        std::memory_order_relaxed);
+    return agg_svc_stats_;
+}
+
+size_t
+ShardRouter::valueStorageCount() const
+{
+    size_t total = 0;
+    for (const auto &s : shards_)
+        total += s->valueStorageCount();
+    return total;
+}
+
+ValueStorage &
+ShardRouter::valueStorage(size_t global_idx)
+{
+    for (auto &s : shards_) {
+        if (global_idx < s->valueStorageCount())
+            return s->valueStorage(global_idx);
+        global_idx -= s->valueStorageCount();
+    }
+    fatal("valueStorage index %zu out of range", global_idx);
+    __builtin_unreachable();
+}
+
+}  // namespace prism::core

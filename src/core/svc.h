@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <condition_variable>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -106,6 +107,18 @@ class Svc {
      */
     void rebind(uint64_t hsit_idx, uint64_t old_raw, uint64_t new_raw);
 
+    /**
+     * True while the cache sits comfortably under capacity (< 7/8
+     * used). Optional producers — notably the reclaimer's write-back
+     * admission — consult this so they only warm a cache that has room
+     * to keep the copies; a capacity-bound cache would just churn its
+     * eviction lists for values the 2Q policy is about to drop.
+     */
+    bool hasHeadroom() const {
+        return enabled_ && used_bytes_.load(std::memory_order_relaxed) <
+                               capacity_ - capacity_ / 8;
+    }
+
     uint64_t usedBytes() const {
         return used_bytes_.load(std::memory_order_relaxed);
     }
@@ -176,7 +189,9 @@ class Svc {
     std::atomic<uint64_t> used_bytes_{0};
 
     std::mutex ev_mu_;
+    std::condition_variable ev_cv_;
     std::deque<Event> events_;
+    bool poke_ = false;  // drainForTest: force an empty round
     std::atomic<uint64_t> drained_generation_{0};
 
     Lru active_;

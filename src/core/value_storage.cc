@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/numa.h"
 #include "common/trace.h"
 #include "core/async.h"
 #include "core/chunk_writer.h"
@@ -16,7 +17,8 @@ ValueStorage::ValueStorage(uint32_t ssd_id,
                            const PrismOptions &opts, EpochManager &epochs)
     : ssd_id_(ssd_id), device_(std::move(device)),
       chunk_bytes_(opts.chunk_bytes), gc_watermark_(opts.vs_gc_watermark),
-      gc_victims_per_pass_(opts.gc_victims_per_pass), epochs_(epochs),
+      gc_victims_per_pass_(opts.gc_victims_per_pass),
+      numa_node_(opts.numa_node), epochs_(epochs),
       metas_(device_->capacity() / opts.chunk_bytes)
 {
     PRISM_CHECK(!metas_.empty());
@@ -58,10 +60,14 @@ ValueStorage::completionLoop()
     // wake the waiter identified by each completion's user_data.
     trace::TraceRegistry::global().setThreadName(
         "vs-completion-" + std::to_string(ssd_id_));
+    numa::pinThreadToNode(numa_node_);
     std::vector<io::IoCompletion> completions;
     while (!stop_.load(std::memory_order_acquire)) {
         completions.clear();
-        if (device_->waitCompletions(completions, 256, 200) == 0)
+        // Completions wake this wait via the device's CQ condvar; the
+        // timeout only bounds shutdown latency, so keep it long enough
+        // that an idle device costs ~100 wakeups/s, not 5000.
+        if (device_->waitCompletions(completions, 256, 10000) == 0)
             continue;
         for (const auto &c : completions) {
             if (c.user_data & AsyncIoHandler::kTag) {

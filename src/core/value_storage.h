@@ -184,6 +184,7 @@ class ValueStorage {
     uint64_t chunk_bytes_;
     double gc_watermark_;
     int gc_victims_per_pass_;
+    int numa_node_;  ///< completion-thread placement; -1 = unpinned
     EpochManager &epochs_;
 
     std::vector<ChunkMeta> metas_;

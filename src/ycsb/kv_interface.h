@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -31,6 +32,28 @@ class KvStore {
     virtual Status scan(uint64_t start_key, size_t count,
                         std::vector<std::pair<uint64_t, std::string>> *out)
         = 0;
+
+    /**
+     * Batched point lookups: out[i] holds keys[i]'s value, or nullopt
+     * for missing keys. The default loops over get(); stores with a
+     * real batch path (Prism's per-Value-Storage read batching, the
+     * shard router's per-shard fan-out) override it.
+     */
+    virtual Status
+    multiGet(const std::vector<uint64_t> &keys,
+             std::vector<std::optional<std::string>> *out)
+    {
+        out->assign(keys.size(), std::nullopt);
+        for (size_t i = 0; i < keys.size(); i++) {
+            std::string v;
+            const Status st = get(keys[i], &v);
+            if (st.isOk())
+                (*out)[i] = std::move(v);
+            else if (!st.isNotFound())
+                return st;
+        }
+        return Status::ok();
+    }
 
     /**
      * @name Asynchronous operations (core/async.h)

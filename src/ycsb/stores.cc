@@ -27,31 +27,65 @@ makeSsds(const FixtureOptions &fx)
 
 PrismStore::PrismStore(const FixtureOptions &fx, core::PrismOptions opts)
 {
+    shards_ = core::ShardRouter::resolveShardCount(opts.shards);
+    opts.shards = shards_;
+    const auto n = static_cast<uint64_t>(shards_);
+    // Cost parity across shard counts: every budget below is the
+    // whole-store Table 1 figure divided by N (floored so tiny
+    // fixtures stay usable), so `--shards=4` does not buy 4x the DRAM
+    // or NVM of the unsharded store it is compared against.
+    const uint64_t shard_dataset =
+        std::max<uint64_t>(fx.dataset_bytes / n, 1 << 20);
+
     // NVM budget (Table 1): the write buffer fraction, split into
     // per-thread PWBs, plus index/HSIT headroom.
     const uint64_t pwb_total =
-        std::max<uint64_t>(fx.dataset_bytes * 16 / 100, 16 << 20);
+        std::max<uint64_t>(shard_dataset * 16 / 100, 16 << 20);
     if (fx.derive_prism_budgets) {
         opts.pwb_size_bytes = std::max<uint64_t>(
             pwb_total /
                 static_cast<uint64_t>(std::max(1, fx.expected_threads)),
             2 << 20);
         opts.svc_capacity_bytes =
-            std::max<uint64_t>(fx.dataset_bytes * 20 / 100, 16 << 20);
+            std::max<uint64_t>(shard_dataset * 20 / 100, 16 << 20);
     }
+    // HSIT entries are preallocated (32 B each); a shard holds ~1/N of
+    // the keys, with 25% slack for hash imbalance.
+    if (shards_ > 1)
+        opts.hsit_capacity = std::max<uint64_t>(
+            opts.hsit_capacity * 5 / (4 * n), 64 * 1024);
 
-    // Region must also hold the key index and HSIT; size generously.
-    const uint64_t nvm_bytes = std::max(pwb_total,
-                                        opts.pwb_size_bytes *
-                                            static_cast<uint64_t>(
-                                                fx.expected_threads)) +
-                               opts.pwb_size_bytes * 4 +
-                               opts.hsit_capacity * 32 +
-                               std::max<uint64_t>(fx.dataset_bytes / 4,
-                                                  128 << 20);
-    nvm_ = std::make_shared<sim::NvmDevice>(
-        nvm_bytes, sim::kOptaneDcpmmProfile, fx.model_timing);
-    region_ = std::make_shared<pmem::PmemRegion>(nvm_, /*format=*/true);
+    // Each region must also hold its key index and HSIT; size
+    // generously.
+    const uint64_t index_floor =
+        shards_ > 1 ? std::max<uint64_t>((128u << 20) / n, 32u << 20)
+                    : (128u << 20);
+    const uint64_t nvm_bytes =
+        std::max(pwb_total, opts.pwb_size_bytes *
+                                static_cast<uint64_t>(
+                                    fx.expected_threads)) +
+        opts.pwb_size_bytes * 4 + opts.hsit_capacity * 32 +
+        std::max<uint64_t>(shard_dataset / 4, index_floor);
+
+    // Device fleet: every shard owns its devices exclusively (each
+    // ValueStorage owns one device), so the fleet is split N ways. When
+    // there are fewer configured SSDs than shards, each shard still
+    // needs >= 1 device; per-device capacity is scaled so the aggregate
+    // raw capacity matches the unsharded fixture.
+    const int total_devs = std::max(fx.num_ssds, shards_);
+    const uint64_t dev_bytes = std::max<uint64_t>(
+        fx.ssd_bytes * static_cast<uint64_t>(fx.num_ssds) /
+            static_cast<uint64_t>(total_devs),
+        opts.chunk_bytes * 64);
+    // Background pool sizing follows the options.h guidance: near
+    // min(#client threads, #SSDs). Workers spend most of their time
+    // blocked on chunk writes, so a larger fleet needs more in-flight
+    // slots or reclaim passes queue behind I/O waits (visible as put
+    // stalls); with the stock 4-device fixture this stays at the
+    // PrismOptions default of 4.
+    opts.bg_workers = std::max(
+        opts.bg_workers, std::min(fx.expected_threads, total_devs));
+
     // Device selection (docs/IO_BACKENDS.md): the simulator by default;
     // "posix"/"uring"/"auto" run Prism's Value Storage against real
     // files instead. Only Prism is switchable — the baselines keep the
@@ -59,22 +93,56 @@ PrismStore::PrismStore(const FixtureOptions &fx, core::PrismOptions opts)
     const io::IoBackendKind kind =
         io::resolveBackendKind(opts.io_backend);
     if (kind == io::IoBackendKind::kSim) {
-        ssds_ = makeSsds(fx);
+        for (int i = 0; i < total_devs; i++)
+            ssds_.push_back(std::make_shared<sim::SsdDevice>(
+                dev_bytes, fx.ssd_profile, fx.model_timing));
         devices_ = core::PrismDb::asBackends(ssds_);
     } else {
         devices_ = io::createFileBackendSet(
-            kind, io::resolveBackendDir(opts.io_backend_dir), fx.num_ssds,
-            fx.ssd_bytes);
+            kind, io::resolveBackendDir(opts.io_backend_dir), total_devs,
+            dev_bytes);
     }
-    db_ = core::PrismDb::open(opts, region_, devices_);
+    // Contiguous split: shard i gets devices [i*D/N, (i+1)*D/N).
+    shard_devices_.resize(static_cast<size_t>(shards_));
+    for (int i = 0; i < shards_; i++) {
+        const size_t lo = static_cast<size_t>(i) *
+                          devices_.size() / static_cast<size_t>(shards_);
+        const size_t hi = static_cast<size_t>(i + 1) *
+                          devices_.size() / static_cast<size_t>(shards_);
+        shard_devices_[static_cast<size_t>(i)].assign(
+            devices_.begin() + static_cast<long>(lo),
+            devices_.begin() + static_cast<long>(hi));
+    }
+
+    for (int i = 0; i < shards_; i++) {
+        nvms_.push_back(std::make_shared<sim::NvmDevice>(
+            nvm_bytes, sim::kOptaneDcpmmProfile, fx.model_timing));
+        regions_.push_back(
+            std::make_shared<pmem::PmemRegion>(nvms_.back(),
+                                               /*format=*/true));
+    }
+    router_ = core::ShardRouter::open(opts, shardBackends());
+}
+
+std::vector<core::ShardBackends>
+PrismStore::shardBackends() const
+{
+    std::vector<core::ShardBackends> backends;
+    backends.reserve(static_cast<size_t>(shards_));
+    for (int i = 0; i < shards_; i++)
+        backends.push_back({regions_[static_cast<size_t>(i)],
+                            shard_devices_[static_cast<size_t>(i)]});
+    return backends;
 }
 
 uint64_t
 PrismStore::crashAndRecover(const core::PrismOptions &opts)
 {
-    db_.reset();  // abrupt-enough teardown; NVM + SSD contents persist
-    db_ = core::PrismDb::recover(opts, region_, devices_);
-    return db_->recoveryTimeNs();
+    core::PrismOptions ro = opts;
+    ro.shards = shards_;
+    router_.reset();  // abrupt-enough teardown; NVM + SSD persist
+    router_ = core::ShardRouter::recover(ro, shardBackends());
+    return router_->recoveryTimeNs();
 }
 
 // ---------------------------------------------------------------------------

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/prism_db.h"
+#include "core/shard_router.h"
 #include "kvell/kvell.h"
 #include "sim/device_profile.h"
 #include "lsm/lsm_tree.h"
@@ -46,31 +48,45 @@ struct FixtureOptions {
     bool derive_prism_budgets = true;
 };
 
-/** Prism fixture. */
+/**
+ * Prism fixture. Always built through core::ShardRouter —
+ * PrismOptions::shards (or $PRISM_SHARDS) picks the shard count, and 1
+ * (the default) is the bit-identical single-PrismDb fast path. Each
+ * shard gets its own NVM region and an exclusive slice of the device
+ * fleet; budgets (PWB/SVC/HSIT) are divided per shard so the sharded
+ * store's total cost matches the unsharded one at the same fixture
+ * size (cost parity, Table 1).
+ */
 class PrismStore : public KvStore {
   public:
     PrismStore(const FixtureOptions &fx, core::PrismOptions opts);
 
     std::string name() const override { return "Prism"; }
     Status put(uint64_t key, std::string_view value) override {
-        return db_->put(key, value);
+        return router_->put(key, value);
     }
     Status get(uint64_t key, std::string *value) override {
-        return db_->get(key, value);
+        return router_->get(key, value);
     }
-    Status del(uint64_t key) override { return db_->del(key); }
+    Status del(uint64_t key) override { return router_->del(key); }
     Status
     scan(uint64_t start, size_t count,
          std::vector<std::pair<uint64_t, std::string>> *out) override
     {
-        return db_->scan(start, count, out);
+        return router_->scan(start, count, out);
     }
-    void flushAll() override { db_->flushAll(); }
+    Status
+    multiGet(const std::vector<uint64_t> &keys,
+             std::vector<std::optional<std::string>> *out) override
+    {
+        return router_->multiGet(keys, out);
+    }
+    void flushAll() override { router_->flushAll(); }
     uint64_t ssdBytesWritten() const override {
-        return db_->ssdBytesWritten();
+        return router_->ssdBytesWritten();
     }
     uint64_t userBytesWritten() const override {
-        return db_->opStats().user_bytes_written.load(
+        return router_->opStats().user_bytes_written.load(
             std::memory_order_relaxed);
     }
 
@@ -80,30 +96,41 @@ class PrismStore : public KvStore {
     asyncPut(uint64_t key, std::string_view value,
              core::AsyncCallback cb = nullptr) override
     {
-        return db_->asyncPut(key, value, std::move(cb));
+        return router_->asyncPut(key, value, std::move(cb));
     }
     core::OpFuture
     asyncGet(uint64_t key, core::AsyncCallback cb = nullptr) override
     {
-        return db_->asyncGet(key, std::move(cb));
+        return router_->asyncGet(key, std::move(cb));
     }
     core::OpFuture
     asyncDel(uint64_t key, core::AsyncCallback cb = nullptr) override
     {
-        return db_->asyncDel(key, std::move(cb));
+        return router_->asyncDel(key, std::move(cb));
     }
     core::OpFuture
     asyncScan(uint64_t start_key, size_t count,
               core::AsyncCallback cb = nullptr) override
     {
-        return db_->asyncScan(start_key, count, std::move(cb));
+        return router_->asyncScan(start_key, count, std::move(cb));
     }
 
-    core::PrismDb &db() { return *db_; }
-    std::shared_ptr<pmem::PmemRegion> region() { return region_; }
-    /** Simulator fleet; empty when a real-file backend was selected. */
+    /**
+     * The store behind the fixture. A ShardRouter mirrors PrismDb's
+     * public surface (ops, stats, flushAll/forceGc, value-storage
+     * introspection), so call sites read naturally at any shard count.
+     */
+    core::ShardRouter &db() { return *router_; }
+    core::ShardRouter &router() { return *router_; }
+    /** Shard 0's NVM region (single-shard crash tests). */
+    std::shared_ptr<pmem::PmemRegion> region() { return regions_[0]; }
+    /** All per-shard NVM regions, shard-major. */
+    const std::vector<std::shared_ptr<pmem::PmemRegion>> &regions() const {
+        return regions_;
+    }
+    /** Simulator fleet (flat, shard-major); empty with file backends. */
     std::vector<std::shared_ptr<sim::SsdDevice>> &ssds() { return ssds_; }
-    /** The devices actually backing the store, whatever their kind. */
+    /** The devices actually backing the store, flat and shard-major. */
     const std::vector<std::shared_ptr<io::IoBackend>> &devices() const {
         return devices_;
     }
@@ -112,11 +139,17 @@ class PrismStore : public KvStore {
     uint64_t crashAndRecover(const core::PrismOptions &opts);
 
   private:
-    std::shared_ptr<sim::NvmDevice> nvm_;
-    std::shared_ptr<pmem::PmemRegion> region_;
+    std::vector<core::ShardBackends> shardBackends() const;
+
+    int shards_ = 1;
+    std::vector<std::shared_ptr<sim::NvmDevice>> nvms_;
+    std::vector<std::shared_ptr<pmem::PmemRegion>> regions_;
     std::vector<std::shared_ptr<sim::SsdDevice>> ssds_;
     std::vector<std::shared_ptr<io::IoBackend>> devices_;
-    std::unique_ptr<core::PrismDb> db_;
+    /** devices_ split per shard (exclusive ownership). */
+    std::vector<std::vector<std::shared_ptr<io::IoBackend>>>
+        shard_devices_;
+    std::unique_ptr<core::ShardRouter> router_;
 };
 
 /** KVell fixture. */

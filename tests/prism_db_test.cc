@@ -146,7 +146,11 @@ TEST(PrismDbTest, ScanReturnsSortedRange)
 
 TEST(PrismDbTest, ScanAfterReclaimReadsFromSsd)
 {
-    TestStore ts;
+    // SVC off: reclamation write-back admission would otherwise keep
+    // serving these values from DRAM, and this test pins the SSD path.
+    TestStore ts(2, /*open_now=*/false);
+    ts.opts.enable_svc = false;
+    ts.db = PrismDb::open(ts.opts, ts.region, ts.ssds);
     for (uint64_t k = 0; k < 5000; k++)
         ASSERT_TRUE(ts.db->put(k, valueFor(k)).isOk());
     ts.db->flushAll();  // everything to Value Storage
@@ -317,7 +321,11 @@ TEST(PrismDbTest, ConcurrentReadersAndWriters)
 
 TEST(PrismDbTest, DetectsCorruptedSsdRecord)
 {
-    TestStore ts(1);
+    // SVC off: a write-back-admitted DRAM copy would mask the flipped
+    // byte; corruption detection lives on the device read path.
+    TestStore ts(1, /*open_now=*/false);
+    ts.opts.enable_svc = false;
+    ts.db = PrismDb::open(ts.opts, ts.region, ts.ssds);
     for (uint64_t k = 0; k < 2000; k++)
         ASSERT_TRUE(ts.db->put(k, valueFor(k)).isOk());
     ts.db->flushAll();
