@@ -71,6 +71,7 @@ main(int argc, char **argv)
     maybeTelemetryToFileAtExit(argc, argv);
     parseBackendFlag(argc, argv);  // --backend={sim,posix,uring,auto}
     parseShardsFlag(argc, argv);   // --shards=N (Prism only)
+    parseObsFlag(argc, argv);      // --obs-port=N (Prism only)
     BenchScale base;
     base.ops = envOr("PRISM_BENCH_OPS", 40000) / 2;
     printScale(base);

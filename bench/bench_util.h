@@ -299,6 +299,43 @@ benchShards()
 /** @} */
 
 /**
+ * @name --obs-port support (common/obs_server.h)
+ *
+ * Every bench accepts `--obs-port=N` (or `PRISM_OBS_PORT=N`) to serve
+ * the HTTP ops endpoints from the Prism store while the bench runs:
+ * 0 binds an ephemeral port (the store logs
+ * "obs: listening on http://127.0.0.1:PORT" via the obs.server log
+ * site — CI greps it), >0 binds that port. Off by default, so
+ * committed baselines never pay for the listener.
+ * @{
+ */
+
+namespace detail {
+inline int g_obs_port = -1;
+}  // namespace detail
+
+/** Call first thing in main(), next to parseShardsFlag(). */
+inline void
+parseObsFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        const std::string_view a = argv[i];
+        if (a.rfind("--obs-port=", 0) == 0)
+            detail::g_obs_port = std::atoi(a.substr(11).data());
+    }
+    // -1 defers to $PRISM_OBS_PORT inside obs::resolveObsPort.
+}
+
+/** Port for PrismOptions::obs_port (-1 = env, then off). */
+inline int
+benchObsPort()
+{
+    return detail::g_obs_port;
+}
+
+/** @} */
+
+/**
  * @name Machine-readable results (`PRISM_BENCH_JSON`)
  *
  * When `PRISM_BENCH_JSON=<path>` is set, benches that support it append
@@ -419,6 +456,7 @@ makeStore(const std::string &which, const FixtureOptions &fx)
         core::PrismOptions po;
         po.io_backend = benchBackend();  // "" = sim/$PRISM_IO_BACKEND
         po.shards = benchShards();       // 1 = single-PrismDb store
+        po.obs_port = benchObsPort();    // -1 = $PRISM_OBS_PORT, then off
         return std::make_unique<ycsb::PrismStore>(fx, po);
     }
     if (which == "KVell")

@@ -47,6 +47,7 @@
 
 #include "common/clock.h"
 #include "common/fault.h"
+#include "common/obs_server.h"
 #include "common/rand.h"
 #include "common/stats.h"
 #include "common/trace.h"
@@ -69,6 +70,9 @@ struct TortureConfig {
     uint64_t keys = 512;
     int shards = 1;  ///< > 1 tortures an N-shard ShardRouter
     std::string artifacts = "torture-artifacts";
+    /** CI self-check: abort() mid-iteration while faults are armed, so
+     *  the crash handlers' postmortem can be asserted on. */
+    bool selftest_crash = false;
 };
 
 struct IterationContext {
@@ -115,6 +119,9 @@ fail(const char *fmt, ...)
         std::fprintf(stderr, "artifacts written to %s/\n",
                      g_cfg.artifacts.c_str());
     }
+    // Full black-box bundle (stats + trace + slow ops + armed fault
+    // schedule + log tail) next to the classic artifacts.
+    obs::writePostmortem(g_cfg.artifacts, "torture check failed");
     std::exit(1);
 }
 
@@ -291,6 +298,12 @@ runCrashIteration(Xorshift &rng)
         TORTURE_CHECK(st.isOk(), "put(%" PRIu64 ") failed: %s", key,
                       st.toString().c_str());
         acked[key].store(version, std::memory_order_release);
+    }
+    if (g_cfg.selftest_crash) {
+        // Deliberate crash *before* disarmAll() so the postmortem's
+        // faults.txt carries a non-empty, replayable schedule.
+        std::fprintf(stderr, "selftest-crash: aborting on purpose\n");
+        std::abort();
     }
     freg.disarmAll();
     TORTURE_CHECK(captured.load(), "crash site %s never fired",
@@ -486,11 +499,14 @@ main(int argc, char **argv)
             g_cfg.shards = static_cast<int>(*v);
         } else if (arg.rfind("--artifacts=", 0) == 0) {
             g_cfg.artifacts = arg.substr(std::strlen("--artifacts="));
+        } else if (arg == "--selftest-crash") {
+            g_cfg.selftest_crash = true;
         } else {
             std::fprintf(stderr,
                          "usage: prism_torture [--seed=S] [--iters=N] "
                          "[--minutes=M] [--ops=N] [--keys=N] "
-                         "[--shards=N] [--artifacts=DIR] [--smoke]\n");
+                         "[--shards=N] [--artifacts=DIR] [--smoke] "
+                         "[--selftest-crash]\n");
             return 2;
         }
     }
@@ -504,6 +520,9 @@ main(int argc, char **argv)
 
     // Keep the trace ring live so a failure can export its last events.
     trace::TraceRegistry::global().setEnabled(true);
+    // Any SIGSEGV/SIGABRT/uncaught exception leaves a black-box bundle
+    // in the artifacts directory (common/obs_server.h).
+    obs::installCrashHandlers(g_cfg.artifacts);
 
     std::printf("prism_torture: seed=%" PRIu64 " iters=%d minutes=%d "
                 "ops=%" PRIu64 " keys=%" PRIu64 " shards=%d\n",

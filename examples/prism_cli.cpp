@@ -21,6 +21,15 @@
  * json, trace, top, telemetry, slowops, tracegen, replay, help, quit.
  * Run with --stats to dump the metrics registry on exit (see
  * docs/OBSERVABILITY.md).
+ *
+ * Non-interactive subcommands (render the ops-plane payloads
+ * in-process, no HTTP server involved):
+ *
+ *   $ prism_cli healthz            # /healthz JSON; exit 0 ok, 1 degraded
+ *   $ prism_cli metrics [--prom]   # registry dump (--prom: Prometheus)
+ *
+ * --obs-port=N starts the HTTP ops endpoint on the interactive store
+ * (0 = ephemeral; see common/obs_server.h); `top` shows its URL.
  */
 #include <sys/select.h>
 #include <unistd.h>
@@ -31,6 +40,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/obs_server.h"
 #include "common/stats.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -45,6 +55,9 @@ namespace {
 
 /** Shard count of the open store, for the stats/top views. */
 int g_shards = 1;
+
+/** Bound ops-endpoint port (0 = no server), for the top view. */
+int g_obs_port = 0;
 
 void
 printStats(ycsb::PrismStore &store)
@@ -171,8 +184,13 @@ renderTopFrame(const telemetry::TelemetrySample &s, bool ansi)
         std::printf("\x1b[H\x1b[2J");
     const double dt = s.dtSeconds();
     const double dt_s = dt > 0 ? dt : 1.0;
-    std::printf("prism top — window #%llu, %.2fs  (q + Enter quits)\n\n",
+    std::printf("prism top — window #%llu, %.2fs  (q + Enter quits)\n",
                 static_cast<unsigned long long>(s.seq), dt);
+    if (g_obs_port > 0)
+        std::printf("ops: http://127.0.0.1:%d  (/metrics /healthz "
+                    "/slowops /telemetry /trace)\n",
+                    g_obs_port);
+    std::printf("\n");
 
     std::printf("ops/s      put %9.0f   get %9.0f   del %9.0f   "
                 "scan %9.0f\n",
@@ -325,7 +343,8 @@ help()
 int
 main(int argc, char **argv)
 {
-    bool dump_stats = false, dump_json = false;
+    bool dump_stats = false, dump_json = false, prom = false;
+    std::string subcommand;
     core::PrismOptions po;  // shards=0: defer to --shards/$PRISM_SHARDS
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--stats") == 0)
@@ -334,7 +353,24 @@ main(int argc, char **argv)
             dump_stats = dump_json = true;
         else if (std::strncmp(argv[i], "--shards=", 9) == 0)
             po.shards = std::atoi(argv[i] + 9);
+        else if (std::strncmp(argv[i], "--obs-port=", 11) == 0)
+            po.obs_port = std::atoi(argv[i] + 11);
+        else if (std::strcmp(argv[i], "--prom") == 0)
+            prom = true;
+        else if (argv[i][0] != '-' && subcommand.empty())
+            subcommand = argv[i];
     }
+
+    if (!subcommand.empty() && subcommand != "healthz" &&
+        subcommand != "metrics") {
+        std::fprintf(stderr,
+                     "unknown subcommand '%s' (healthz | metrics "
+                     "[--prom])\n",
+                     subcommand.c_str());
+        return 2;
+    }
+    if (!subcommand.empty())
+        po.obs_port = -1;  // one-shot render: never start a listener
 
     ycsb::FixtureOptions fx;
     fx.num_ssds = 2;
@@ -343,11 +379,35 @@ main(int argc, char **argv)
     fx.model_timing = true;
     ycsb::PrismStore store(fx, po);
     g_shards = static_cast<int>(store.router().shardCount());
+    g_obs_port = store.router().obsPort();
+
+    // One-shot ops-plane renders: exactly the payloads the HTTP
+    // endpoint serves, produced in-process with no server.
+    if (subcommand == "healthz") {
+        const obs::HealthReport r = store.router().healthReport();
+        std::printf("%s\n", r.json.c_str());
+        return r.healthy ? 0 : 1;
+    }
+    if (subcommand == "metrics") {
+        for (size_t s = 0; s < store.router().shardCount(); s++)
+            store.router().shard(s).publishOccupancy();
+        trace::TraceRegistry::global().publishStats();
+        const auto snap = stats::StatsRegistry::global().snapshot();
+        if (prom)
+            std::printf("%s", obs::renderPrometheus(snap).c_str());
+        else
+            std::printf("%s", snap.toString().c_str());
+        return 0;
+    }
+
     std::printf("prism_cli: store open — %d shard%s, %d NVM region%s + "
                 "%zu %s SSDs. Type 'help'.\n",
                 g_shards, g_shards == 1 ? "" : "s", g_shards,
                 g_shards == 1 ? "" : "s", store.devices().size(),
                 std::string(store.devices().front()->kind()).c_str());
+    if (g_obs_port > 0)
+        std::printf("prism_cli: ops endpoint at http://127.0.0.1:%d\n",
+                    g_obs_port);
 
     std::string line;
     while (true) {

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition (format 0.0.4) from stdin or a file.
+
+Stdlib-only gate for the CI `obs` job: curl the live /metrics endpoint
+and pipe it here. Checks the invariants prism::obs::renderPrometheus()
+promises, the ones a real Prometheus scraper would choke on if broken:
+
+  - every non-comment line is `name{labels} value` with a valid metric
+    name, parseable labels and a float value;
+  - `# TYPE` appears at most once per family, before any of its
+    samples, and every sample belongs to a typed family;
+  - counter samples (except histogram series) end in `_total`;
+  - histogram families expose `_bucket{le=...}` series with cumulative
+    (non-decreasing) counts per label set, a final `le="+Inf"` equal to
+    `_count`, plus `_sum` and `_count`;
+  - no duplicate sample (same name + label set).
+
+Usage:
+    curl -s localhost:PORT/metrics | scripts/check_prom.py
+    scripts/check_prom.py metrics.txt
+Exit 0 and a one-line summary on success; exit 1 with every violation
+on stderr otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(?:\s+\d+)?$")
+
+
+def base_family(name, types):
+    """Map a sample name to its `# TYPE` family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    data = (
+        open(sys.argv[1], encoding="utf-8").read()
+        if len(sys.argv) > 1
+        else sys.stdin.read()
+    )
+    errors = []
+    types = {}      # family -> counter|gauge|histogram
+    seen = set()    # (name, labels) duplicates
+    samples = []    # (lineno, name, label_dict, value)
+
+    for lineno, line in enumerate(data.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    errors.append(f"line {lineno}: malformed TYPE")
+                    continue
+                fam, kind = parts[2], parts[3].strip()
+                if fam in types:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {fam}")
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    errors.append(
+                        f"line {lineno}: unknown type {kind!r}")
+                types[fam] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, labels_raw, value = m.group(1), m.group(2), m.group(3)
+        if not NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad metric name {name!r}")
+        labels = {}
+        if labels_raw:
+            body = labels_raw[1:-1]
+            matched = "".join(
+                f'{k}="{v}",' for k, v in LABEL_RE.findall(body))
+            if body and body.rstrip(",") != matched.rstrip(","):
+                errors.append(
+                    f"line {lineno}: bad label syntax {labels_raw!r}")
+            labels = dict(LABEL_RE.findall(body))
+        try:
+            val = float(value.replace("+Inf", "inf").replace(
+                "-Inf", "-inf").replace("NaN", "nan"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {value!r}")
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen:
+            errors.append(
+                f"line {lineno}: duplicate sample {name}{labels}")
+        seen.add(key)
+        fam = base_family(name, types)
+        if fam not in types:
+            errors.append(f"line {lineno}: sample {name} has no TYPE")
+        samples.append((lineno, name, labels, val))
+
+    # Histogram structure: cumulative buckets, +Inf == _count.
+    for fam, kind in types.items():
+        if kind != "histogram":
+            continue
+        by_series = {}   # non-le labels -> [(le, value)]
+        counts = {}      # non-le labels -> _count value
+        for _, name, labels, val in samples:
+            rest = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            if name == fam + "_bucket":
+                if "le" not in labels:
+                    errors.append(f"{fam}_bucket sample missing le")
+                    continue
+                by_series.setdefault(rest, []).append(
+                    (labels["le"], val))
+            elif name == fam + "_count":
+                counts[rest] = val
+        if not by_series:
+            errors.append(f"histogram {fam} has no _bucket series")
+        for rest, buckets in by_series.items():
+            def le_key(le):
+                return float("inf") if le == "+Inf" else float(le)
+            ordered = sorted(buckets, key=lambda b: le_key(b[0]))
+            prev = -1.0
+            for le, val in ordered:
+                if val < prev:
+                    errors.append(
+                        f"histogram {fam}{dict(rest)}: bucket "
+                        f"le={le} not cumulative ({val} < {prev})")
+                prev = val
+            if not ordered or ordered[-1][0] != "+Inf":
+                errors.append(
+                    f"histogram {fam}{dict(rest)}: missing le=+Inf")
+            elif rest in counts and ordered[-1][1] != counts[rest]:
+                errors.append(
+                    f"histogram {fam}{dict(rest)}: +Inf bucket "
+                    f"{ordered[-1][1]} != _count {counts[rest]}")
+            if rest not in counts:
+                errors.append(
+                    f"histogram {fam}{dict(rest)}: missing _count")
+
+    # Counter naming: _total suffix (histogram series are exempt).
+    for _, name, labels, _ in samples:
+        fam = base_family(name, types)
+        if types.get(fam) == "counter" and not name.endswith("_total"):
+            errors.append(f"counter sample {name} lacks _total suffix")
+
+    if errors:
+        for e in errors:
+            print(f"check_prom: {e}", file=sys.stderr)
+        print(f"check_prom: FAIL ({len(errors)} violations, "
+              f"{len(samples)} samples)", file=sys.stderr)
+        return 1
+    hists = sum(1 for k in types.values() if k == "histogram")
+    print(f"check_prom: OK ({len(samples)} samples, "
+          f"{len(types)} families, {hists} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -123,6 +123,18 @@ Histogram::percentile(double q) const
     return max_;
 }
 
+std::vector<std::pair<uint64_t, uint64_t>>
+Histogram::nonZeroBuckets() const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    for (size_t i = 0; i < buckets_.size(); i++) {
+        if (buckets_[i] != 0)
+            out.emplace_back(bucketUpperBound(static_cast<int>(i)),
+                             buckets_[i]);
+    }
+    return out;
+}
+
 std::string
 Histogram::summaryUs() const
 {

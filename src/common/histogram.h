@@ -45,9 +45,17 @@ class Histogram {
     void reset();
 
     uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
     uint64_t min() const { return count_ ? min_ : 0; }
     uint64_t max() const { return max_; }
     double mean() const;
+
+    /**
+     * Occupied buckets as (upper_bound, count) pairs in ascending bound
+     * order — the raw material for cumulative exporters (Prometheus
+     * `_bucket{le=...}`). Empty buckets are omitted; callers accumulate.
+     */
+    std::vector<std::pair<uint64_t, uint64_t>> nonZeroBuckets() const;
 
     /**
      * Value at quantile @p q in [0, 1]; e.g. 0.5 for the median,

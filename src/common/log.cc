@@ -1,0 +1,318 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstring>
+#include <ctime>
+#include <deque>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/thread_util.h"
+#include "common/token_bucket.h"
+
+namespace prism::log {
+
+const char *
+levelName(Level l)
+{
+    switch (l) {
+      case Level::kDebug: return "debug";
+      case Level::kInfo: return "info";
+      case Level::kWarn: return "warn";
+      case Level::kError: return "error";
+      case Level::kOff: return "off";
+    }
+    return "?";
+}
+
+Level
+parseLevel(const char *s, Level fallback)
+{
+    if (s == nullptr)
+        return fallback;
+    if (std::strcmp(s, "debug") == 0) return Level::kDebug;
+    if (std::strcmp(s, "info") == 0) return Level::kInfo;
+    if (std::strcmp(s, "warn") == 0 ||
+        std::strcmp(s, "warning") == 0) return Level::kWarn;
+    if (std::strcmp(s, "error") == 0) return Level::kError;
+    if (std::strcmp(s, "off") == 0 ||
+        std::strcmp(s, "none") == 0) return Level::kOff;
+    return fallback;
+}
+
+namespace detail {
+
+/** One interned call site: identity + its private rate-limit bucket. */
+struct Site {
+    const char *name;
+    const char *file;
+    int line;
+    int id;
+    // Tokens are messages. A site that just came off suppression
+    // reports how many lines it dropped in the next emitted one.
+    TokenBucket bucket;
+    std::atomic<uint64_t> suppressed_since_emit{0};
+
+    Site(const char *name, const char *file, int line, int id,
+         double rate, uint64_t burst)
+        : name(name), file(file), line(line), id(id),
+          bucket(rate, burst)
+    {}
+};
+
+}  // namespace detail
+
+namespace {
+
+constexpr size_t kTailLines = 256;
+
+void
+appendJsonEscaped(std::string &out, const char *s)
+{
+    for (const char *p = s; *p != '\0'; p++) {
+        const unsigned char c = static_cast<unsigned char>(*p);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+}
+
+}  // namespace
+
+struct Logger::Impl {
+    std::atomic<int> level{static_cast<int>(Level::kInfo)};
+    std::atomic<bool> json{false};
+
+    // Serializes sink writes and tail pushes; sites register rarely.
+    mutable std::mutex io_mu;
+    std::FILE *sink = stderr;
+    std::deque<std::string> tail;
+
+    mutable std::mutex sites_mu;
+    std::deque<detail::Site> sites;  // deque: stable element addresses
+    double rate_msgs_per_sec = 10.0;
+    uint64_t rate_burst = 20;
+
+    // Counter families, indexed by Level (kDebug..kError).
+    stats::Counter *emitted[4];
+    stats::Counter *suppressed[4];
+};
+
+Logger::Logger()
+    : impl_(new Impl)
+{
+    impl_->level.store(
+        static_cast<int>(parseLevel(std::getenv("PRISM_LOG_LEVEL"),
+                                    Level::kInfo)),
+        std::memory_order_relaxed);
+    const char *fmt = std::getenv("PRISM_LOG_FORMAT");
+    impl_->json.store(fmt != nullptr && std::strcmp(fmt, "json") == 0,
+                      std::memory_order_relaxed);
+    auto &reg = stats::StatsRegistry::global();
+    for (int i = 0; i < 4; i++) {
+        const char *lvl = levelName(static_cast<Level>(i));
+        impl_->emitted[i] = &reg.counter(
+            std::string("prism.log.emitted.") + lvl, "lines");
+        impl_->suppressed[i] = &reg.counter(
+            std::string("prism.log.suppressed.") + lvl, "lines");
+    }
+}
+
+Logger &
+Logger::global()
+{
+    static Logger *g = new Logger;  // leaked: usable during shutdown
+    return *g;
+}
+
+void
+Logger::setLevel(Level l)
+{
+    impl_->level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+Level
+Logger::level() const
+{
+    return static_cast<Level>(
+        impl_->level.load(std::memory_order_relaxed));
+}
+
+void
+Logger::setJson(bool json)
+{
+    impl_->json.store(json, std::memory_order_relaxed);
+}
+
+bool
+Logger::json() const
+{
+    return impl_->json.load(std::memory_order_relaxed);
+}
+
+void
+Logger::setSink(std::FILE *sink)
+{
+    std::lock_guard<std::mutex> lock(impl_->io_mu);
+    impl_->sink = sink;
+}
+
+void
+Logger::setRateLimit(double msgs_per_sec, uint64_t burst)
+{
+    PRISM_CHECK(msgs_per_sec > 0 && burst > 0);
+    std::lock_guard<std::mutex> lock(impl_->sites_mu);
+    impl_->rate_msgs_per_sec = msgs_per_sec;
+    impl_->rate_burst = burst;
+}
+
+detail::Site *
+Logger::registerSite(const char *site, const char *file, int line)
+{
+    std::lock_guard<std::mutex> lock(impl_->sites_mu);
+    // Intern by *name*: two call sites sharing a site name share one
+    // bucket (the name keys rate limiting, not the lexical location).
+    // Registration is once per call site, so the scan is cold.
+    for (auto &s : impl_->sites)
+        if (std::strcmp(s.name, site) == 0)
+            return &s;
+    impl_->sites.emplace_back(site, file, line,
+                              static_cast<int>(impl_->sites.size()),
+                              impl_->rate_msgs_per_sec,
+                              impl_->rate_burst);
+    return &impl_->sites.back();
+}
+
+void
+Logger::log(detail::Site *site, Level l, const char *fmt, ...)
+{
+    if (!enabled(l))
+        return;
+    const int li = static_cast<int>(l);
+    if (!site->bucket.tryAcquire(1)) {
+        site->suppressed_since_emit.fetch_add(
+            1, std::memory_order_relaxed);
+        if (li >= 0 && li < 4)
+            impl_->suppressed[li]->inc();
+        return;
+    }
+    char msg[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(msg, sizeof(msg), fmt, ap);
+    va_end(ap);
+    const uint64_t dropped =
+        site->suppressed_since_emit.exchange(0,
+                                             std::memory_order_relaxed);
+    if (dropped > 0) {
+        const size_t len = std::strlen(msg);
+        std::snprintf(msg + len, sizeof(msg) - len,
+                      " (%llu similar suppressed)",
+                      static_cast<unsigned long long>(dropped));
+    }
+    logRaw(l, site->name, msg);
+}
+
+void
+Logger::logRaw(Level l, const char *site, const char *msg)
+{
+    const int li = static_cast<int>(l);
+    if (li >= 0 && li < 4)
+        impl_->emitted[li]->inc();
+
+    // Wall-clock timestamp: ops logs correlate with the outside world,
+    // unlike the steady clock the tracer uses.
+    std::timespec ts{};
+    std::timespec_get(&ts, TIME_UTC);
+    std::tm tm{};
+    gmtime_r(&ts.tv_sec, &tm);
+
+    std::string line;
+    line.reserve(160);
+    char buf[96];
+    if (json()) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ts\":\"%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ\""
+                      ",\"level\":\"%s\",\"site\":\"",
+                      tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                      tm.tm_hour, tm.tm_min, tm.tm_sec,
+                      ts.tv_nsec / 1000000, levelName(l));
+        line += buf;
+        appendJsonEscaped(line, site);
+        std::snprintf(buf, sizeof(buf), "\",\"tid\":%d,\"msg\":\"",
+                      ThreadId::self());
+        line += buf;
+        appendJsonEscaped(line, msg);
+        line += "\"}";
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ %-5s [%s] ",
+                      tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                      tm.tm_hour, tm.tm_min, tm.tm_sec,
+                      ts.tv_nsec / 1000000, levelName(l), site);
+        line += buf;
+        line += msg;
+    }
+
+    std::lock_guard<std::mutex> lock(impl_->io_mu);
+    if (impl_->tail.size() >= kTailLines)
+        impl_->tail.pop_front();
+    impl_->tail.push_back(line);
+    if (impl_->sink != nullptr) {
+        std::fputs(line.c_str(), impl_->sink);
+        std::fputc('\n', impl_->sink);
+        std::fflush(impl_->sink);
+    }
+}
+
+std::vector<std::string>
+Logger::tail() const
+{
+    std::lock_guard<std::mutex> lock(impl_->io_mu);
+    return {impl_->tail.begin(), impl_->tail.end()};
+}
+
+void
+Logger::clearTailForTest()
+{
+    std::lock_guard<std::mutex> lock(impl_->io_mu);
+    impl_->tail.clear();
+}
+
+}  // namespace prism::log
+
+namespace prism::detail {
+
+void
+checkFailed(const char *expr, const char *file, int line)
+{
+    char msg[512];
+    std::snprintf(msg, sizeof(msg), "PRISM_CHECK failed: %s at %s:%d",
+                  expr, file, line);
+    log::Logger::global().logRaw(log::Level::kError, "check", msg);
+    std::abort();
+}
+
+void
+fatalMessage(const char *msg)
+{
+    char line[1100];
+    std::snprintf(line, sizeof(line), "fatal: %s", msg);
+    log::Logger::global().logRaw(log::Level::kError, "fatal", line);
+    std::exit(1);
+}
+
+}  // namespace prism::detail

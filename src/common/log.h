@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Structured leveled logging (docs/OBSERVABILITY.md, "Ops endpoints &
+ * logging").
+ *
+ * Prism's earlier logging story was binary: PRISM_CHECK/PRISM_FATAL
+ * abort the process, everything else was an ad-hoc fprintf(stderr).
+ * This logger fills the middle: leveled messages with an interned
+ * *site* id per call site, per-site token-bucket rate limiting (a
+ * flapping device cannot melt stderr), text or JSON-lines output, and
+ * a bounded in-memory tail that the crash black-box
+ * (common/obs_server.h) dumps into postmortems.
+ *
+ * Usage:
+ *
+ *     PRISM_LOG_WARN("io.uring_fallback",
+ *                    "io_uring unavailable (%s); using posix", err);
+ *
+ * The first argument is the site: a stable dotted name used for rate
+ * limiting and for the `site` field in JSON output. Each site is
+ * registered once (function-local static) and carries its own bucket,
+ * so one noisy loop cannot suppress unrelated warnings.
+ *
+ * Environment:
+ *   PRISM_LOG_LEVEL  = debug | info | warn | error | off   (default info)
+ *   PRISM_LOG_FORMAT = text | json                         (default text)
+ *
+ * Every emission/suppression bumps `prism.log.emitted.<level>` /
+ * `prism.log.suppressed.<level>` in the process-wide stats registry,
+ * so the ops endpoint exposes logging health itself.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace prism::log {
+
+enum class Level : int {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kOff = 4,
+};
+
+/** "debug"/"info"/"warn"/"error" (lowercase, for JSON + counters). */
+const char *levelName(Level l);
+
+/** Parse a level name; returns fallback on unknown input. */
+Level parseLevel(const char *s, Level fallback);
+
+namespace detail { struct Site; }
+
+/**
+ * Process-wide logger. All state is behind global(); the class exists
+ * so tests can redirect the sink and reset filtering deterministically.
+ */
+class Logger {
+  public:
+    static Logger &global();
+
+    /** Minimum level that reaches the sink (and the tail ring). */
+    void setLevel(Level l);
+    Level level() const;
+    bool enabled(Level l) const { return l >= level(); }
+
+    /** Emit JSON lines instead of human-readable text. */
+    void setJson(bool json);
+    bool json() const;
+
+    /**
+     * Redirect output. The logger never closes the stream; nullptr
+     * silences output while still recording the tail (tests,
+     * postmortem-only operation).
+     */
+    void setSink(std::FILE *sink);
+
+    /**
+     * Per-site sustained messages/sec and burst. Applied to sites
+     * registered afterwards; existing sites keep their bucket.
+     */
+    void setRateLimit(double msgs_per_sec, uint64_t burst);
+
+    /**
+     * Intern one call site. Called once per site through the
+     * PRISM_LOG_* macros' function-local static; the returned pointer
+     * is stable for process lifetime.
+     */
+    detail::Site *registerSite(const char *site, const char *file,
+                               int line);
+
+    /** Rate-limited printf-style emission (the macro back end). */
+    void log(detail::Site *site, Level l, const char *fmt, ...)
+        __attribute__((format(printf, 4, 5)));
+
+    /**
+     * Unconditional emission that bypasses level filter and rate
+     * limit — the PRISM_CHECK / prism::fatal path, where the message
+     * must reach the tail before the process dies.
+     */
+    void logRaw(Level l, const char *site, const char *msg);
+
+    /** Most recent formatted lines (oldest first), for postmortems. */
+    std::vector<std::string> tail() const;
+
+    /** Drop buffered tail lines (test isolation). */
+    void clearTailForTest();
+
+  private:
+    Logger();
+    struct Impl;
+    Impl *impl_;  // leaked singleton state; never destroyed
+};
+
+}  // namespace prism::log
+
+/**
+ * Leveled logging with printf formatting. `site` must be a string
+ * literal (stable dotted name); it keys rate limiting and appears in
+ * JSON output. The level check is one relaxed atomic load, so disabled
+ * levels cost nothing measurable on hot paths.
+ */
+#define PRISM_LOG_AT(lvl, site, ...)                                       \
+    do {                                                                   \
+        ::prism::log::Logger &prism_lg_ =                                  \
+            ::prism::log::Logger::global();                                \
+        if (prism_lg_.enabled(lvl)) {                                      \
+            static ::prism::log::detail::Site *prism_log_site_ =           \
+                prism_lg_.registerSite(site, __FILE__, __LINE__);          \
+            prism_lg_.log(prism_log_site_, lvl, __VA_ARGS__);              \
+        }                                                                  \
+    } while (0)
+
+#define PRISM_LOG_DEBUG(site, ...) \
+    PRISM_LOG_AT(::prism::log::Level::kDebug, site, __VA_ARGS__)
+#define PRISM_LOG_INFO(site, ...) \
+    PRISM_LOG_AT(::prism::log::Level::kInfo, site, __VA_ARGS__)
+#define PRISM_LOG_WARN(site, ...) \
+    PRISM_LOG_AT(::prism::log::Level::kWarn, site, __VA_ARGS__)
+#define PRISM_LOG_ERROR(site, ...) \
+    PRISM_LOG_AT(::prism::log::Level::kError, site, __VA_ARGS__)

@@ -12,32 +12,32 @@
 #include <cstdlib>
 
 namespace prism {
+namespace detail {
+
+/**
+ * Both defined in common/log.cc: they emit through the structured
+ * logger (common/log.h) so the message lands in the in-memory log tail
+ * — and hence in any crash postmortem — before the process dies.
+ */
+[[noreturn]] void checkFailed(const char *expr, const char *file,
+                              int line);
+[[noreturn]] void fatalMessage(const char *msg);
+
+}  // namespace detail
 
 /** Print an error caused by invalid user input / configuration and exit. */
 [[noreturn]] inline void
 fatal(const char *fmt, auto... args)
 {
-    std::fprintf(stderr, "fatal: ");
+    char msg[1024];
     if constexpr (sizeof...(args) == 0) {
-        std::fprintf(stderr, "%s", fmt);
+        std::snprintf(msg, sizeof(msg), "%s", fmt);
     } else {
-        std::fprintf(stderr, fmt, args...);
+        std::snprintf(msg, sizeof(msg), fmt, args...);
     }
-    std::fprintf(stderr, "\n");
-    std::exit(1);
+    detail::fatalMessage(msg);
 }
 
-namespace detail {
-
-[[noreturn]] inline void
-checkFailed(const char *expr, const char *file, int line)
-{
-    std::fprintf(stderr, "PRISM_CHECK failed: %s at %s:%d\n",
-                 expr, file, line);
-    std::abort();
-}
-
-}  // namespace detail
 }  // namespace prism
 
 /**

@@ -1,0 +1,811 @@
+#include "common/obs_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/histogram.h"
+#include "common/log.h"
+#include "common/logging.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace prism::obs {
+
+// ---------------------------------------------------------------------
+// Prometheus rendering
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Exposition metric name: [a-zA-Z_:][a-zA-Z0-9_:]*; dots become '_'. */
+std::string
+sanitizeName(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/**
+ * Split `<prefix><n>.<rest>` into (label value n, rest). Returns false
+ * when @p name does not match the indexed pattern.
+ */
+bool
+splitIndexed(std::string_view name, std::string_view prefix,
+             std::string *index, std::string *rest)
+{
+    if (name.substr(0, prefix.size()) != prefix)
+        return false;
+    std::string_view tail = name.substr(prefix.size());
+    size_t i = 0;
+    while (i < tail.size() && std::isdigit(
+               static_cast<unsigned char>(tail[i])))
+        i++;
+    if (i == 0 || i >= tail.size() || tail[i] != '.')
+        return false;
+    *index = std::string(tail.substr(0, i));
+    *rest = std::string(tail.substr(i + 1));
+    return true;
+}
+
+struct Sample {
+    std::string labels;  ///< rendered pairs without braces, e.g. shard="0"
+    const stats::MetricSnapshot *m;
+};
+
+struct Family {
+    stats::MetricType type;
+    std::string unit;
+    std::vector<Sample> samples;
+};
+
+void
+appendU64(std::string &out, uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void
+renderHistogram(std::string &out, const std::string &fam,
+                const Sample &s)
+{
+    // Coarsen the histogram's 32-per-octave sub-buckets to power-of-two
+    // bounds: ~40 stable `le` values instead of 1280, and bounds that
+    // do not wander between scrapes as new sub-buckets fill in.
+    std::map<uint64_t, uint64_t> coarse;
+    uint64_t count = 0, sum = 0;
+    if (s.m->hist != nullptr) {
+        for (auto [bound, n] : s.m->hist->nonZeroBuckets())
+            coarse[std::bit_ceil(bound + 1)] += n;
+        count = s.m->hist->count();
+        sum = s.m->hist->sum();
+    } else {
+        count = s.m->count;
+    }
+    uint64_t cum = 0;
+    for (auto [bound, n] : coarse) {
+        cum += n;
+        out += fam + "_bucket{";
+        if (!s.labels.empty())
+            out += s.labels + ",";
+        out += "le=\"";
+        appendU64(out, bound);
+        out += "\"} ";
+        appendU64(out, cum);
+        out += "\n";
+    }
+    out += fam + "_bucket{";
+    if (!s.labels.empty())
+        out += s.labels + ",";
+    out += "le=\"+Inf\"} ";
+    appendU64(out, count);
+    out += "\n";
+    const std::string brace =
+        s.labels.empty() ? "" : "{" + s.labels + "}";
+    out += fam + "_sum" + brace + " ";
+    appendU64(out, sum);
+    out += "\n" + fam + "_count" + brace + " ";
+    appendU64(out, count);
+    out += "\n";
+}
+
+}  // namespace
+
+std::string
+renderPrometheus(const stats::StatsSnapshot &snap)
+{
+    // Group samples into families first so each family emits exactly
+    // one # TYPE line. Snapshot order is name-sorted, so per-index
+    // samples of one family arrive together; std::map keeps the output
+    // deterministic either way.
+    std::map<std::string, Family> families;
+    for (const auto &m : snap.metrics) {
+        std::string index, rest, labels, base = m.name;
+        if (splitIndexed(m.name, "prism.shard.", &index, &rest)) {
+            base = "prism.shard." + rest;
+            labels = "shard=\"" + index + "\"";
+        } else if (splitIndexed(m.name, "sim.ssd.", &index, &rest)) {
+            base = "sim.ssd." + rest;
+            labels = "device=\"" + index + "\"";
+        }
+        std::string fam = sanitizeName(base);
+        if (m.type == stats::MetricType::kCounter)
+            fam += "_total";
+        auto [it, fresh] = families.try_emplace(
+            fam, Family{m.type, m.unit, {}});
+        if (!fresh && it->second.type != m.type)
+            continue;  // name collision across types; first one wins
+        it->second.samples.push_back(Sample{labels, &m});
+    }
+
+    std::string out;
+    out.reserve(families.size() * 96);
+    for (const auto &[fam, f] : families) {
+        if (!f.unit.empty())
+            out += "# HELP " + fam + " unit: " + f.unit + "\n";
+        out += "# TYPE " + fam + " ";
+        switch (f.type) {
+          case stats::MetricType::kCounter: out += "counter\n"; break;
+          case stats::MetricType::kGauge: out += "gauge\n"; break;
+          case stats::MetricType::kHistogram: out += "histogram\n"; break;
+        }
+        for (const auto &s : f.samples) {
+            if (f.type == stats::MetricType::kHistogram) {
+                renderHistogram(out, fam, s);
+                continue;
+            }
+            out += fam;
+            if (!s.labels.empty())
+                out += "{" + s.labels + "}";
+            out += " ";
+            if (f.type == stats::MetricType::kCounter) {
+                appendU64(out, s.m->counter);
+            } else {
+                char buf[24];
+                std::snprintf(buf, sizeof(buf), "%lld",
+                              static_cast<long long>(s.m->gauge));
+                out += buf;
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+int
+resolveObsPort(int option_value)
+{
+    if (option_value >= 0)
+        return option_value;
+    if (const char *env = std::getenv("PRISM_OBS_PORT");
+        env != nullptr && env[0] != '\0')
+        return std::atoi(env);
+    return -1;
+}
+
+// ---------------------------------------------------------------------
+// Slow ops + health JSON
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+appendJsonString(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+}  // namespace
+
+std::string
+renderSlowOpsJson()
+{
+    auto &tr = trace::TraceRegistry::global();
+    const auto ops = tr.slowOps();
+    std::string out = "{\"threshold_us\":";
+    appendU64(out, tr.slowOpThresholdUs());
+    out += ",\"captured\":";
+    appendU64(out, tr.slowOpsCaptured());
+    out += ",\"slowops\":[";
+    for (size_t i = 0; i < ops.size(); i++) {
+        const auto &op = ops[i];
+        if (i)
+            out += ",";
+        out += "{\"op\":";
+        appendJsonString(out, op.op);
+        out += ",\"tid\":";
+        appendU64(out, static_cast<uint64_t>(op.tid));
+        out += ",\"start_ns\":";
+        appendU64(out, op.start_ns);
+        out += ",\"dur_ns\":";
+        appendU64(out, op.dur_ns);
+        out += ",\"truncated\":";
+        out += op.truncated ? "true" : "false";
+        out += ",\"events\":[";
+        for (size_t j = 0; j < op.events.size(); j++) {
+            const auto &e = op.events[j];
+            if (j)
+                out += ",";
+            out += "{\"name\":";
+            appendJsonString(out, tr.nameOf(e.name_id));
+            out += ",\"ts_ns\":";
+            appendU64(out, e.ts_ns);
+            out += ",\"dur_ns\":";
+            appendU64(out, e.dur_ns);
+            out += ",\"depth\":";
+            appendU64(out, e.depth);
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+HealthReport
+defaultHealthReport()
+{
+    HealthReport r;
+    r.json = "{\"status\":\"ok\",\"detail\":\"no health provider "
+             "registered\"}";
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// HTTP server
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Conn {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    size_t sent = 0;
+    bool writing = false;
+};
+
+std::string
+httpResponse(int status, const char *reason, const char *content_type,
+             std::string_view body)
+{
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "HTTP/1.1 %d %s\r\n"
+                  "Content-Type: %s\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n\r\n",
+                  status, reason, content_type, body.size());
+    std::string out = head;
+    out += body;
+    return out;
+}
+
+constexpr char kIndexBody[] =
+    "prism ops endpoints:\n"
+    "  /metrics    Prometheus text exposition\n"
+    "  /healthz    liveness (200/503) + error-budget JSON\n"
+    "  /readyz     readiness (200/503)\n"
+    "  /slowops    captured slow ops (JSON)\n"
+    "  /telemetry  prism.telemetry.v1 series (JSON)\n"
+    "  /trace      Chrome-trace export (JSON)\n";
+
+}  // namespace
+
+struct ObsServer::Impl {
+    std::mutex mu;  // guards start/stop + callbacks swap
+    std::function<HealthReport()> health;
+    std::function<void()> metrics_prepare;
+
+    Options opts;
+    int listen_fd = -1;
+    int wake_fd[2] = {-1, -1};  // self-pipe: [0] polled, [1] written
+    std::atomic<int> port{0};
+    std::atomic<bool> stop{false};
+    std::thread thread;
+
+    stats::Counter *requests = nullptr;
+    stats::Counter *scrapes = nullptr;
+    stats::Counter *errors = nullptr;
+    stats::Gauge *port_gauge = nullptr;
+
+    std::string handle(const std::string &target);
+    std::string respond(const std::string &head);
+    void loop();
+};
+
+std::string
+ObsServer::Impl::handle(const std::string &target)
+{
+    if (target == "/" || target.empty())
+        return httpResponse(200, "OK", "text/plain; charset=utf-8",
+                            kIndexBody);
+    if (target == "/metrics") {
+        scrapes->inc();
+        std::function<void()> prep;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            prep = metrics_prepare;
+        }
+        if (prep)
+            prep();
+        return httpResponse(
+            200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+            renderPrometheus(stats::StatsRegistry::global().snapshot()));
+    }
+    if (target == "/healthz" || target == "/readyz") {
+        std::function<HealthReport()> fn;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            fn = health;
+        }
+        const HealthReport r = fn ? fn() : defaultHealthReport();
+        const bool ok = target == "/healthz" ? r.healthy : r.ready;
+        return httpResponse(ok ? 200 : 503,
+                            ok ? "OK" : "Service Unavailable",
+                            "application/json", r.json);
+    }
+    if (target == "/slowops")
+        return httpResponse(200, "OK", "application/json",
+                            renderSlowOpsJson());
+    if (target == "/telemetry")
+        return httpResponse(
+            200, "OK", "application/json",
+            telemetry::Telemetry::global().exportSeriesJson());
+    if (target == "/trace")
+        return httpResponse(200, "OK", "application/json",
+                            trace::TraceRegistry::global().exportJson());
+    errors->inc();
+    return httpResponse(404, "Not Found", "text/plain; charset=utf-8",
+                        "unknown endpoint\n");
+}
+
+std::string
+ObsServer::Impl::respond(const std::string &head)
+{
+    requests->inc();
+    // Request line: METHOD SP target SP HTTP/x.y CRLF
+    const size_t eol = head.find("\r\n");
+    const std::string line = head.substr(0, eol);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1 ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+        errors->inc();
+        return httpResponse(400, "Bad Request",
+                            "text/plain; charset=utf-8",
+                            "malformed request line\n");
+    }
+    const std::string method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (method != "GET") {
+        errors->inc();
+        return httpResponse(405, "Method Not Allowed",
+                            "text/plain; charset=utf-8",
+                            "GET only\n");
+    }
+    const size_t q = target.find('?');
+    if (q != std::string::npos)
+        target.resize(q);
+    return handle(target);
+}
+
+void
+ObsServer::Impl::loop()
+{
+    trace::TraceRegistry::global().setThreadName("prism-obs");
+    std::vector<Conn> conns;
+    while (!stop.load(std::memory_order_acquire)) {
+        std::vector<pollfd> pfds;
+        pfds.push_back({wake_fd[0], POLLIN, 0});
+        pfds.push_back({listen_fd, POLLIN, 0});
+        for (const auto &c : conns)
+            pfds.push_back(
+                {c.fd, static_cast<short>(c.writing ? POLLOUT : POLLIN),
+                 0});
+        // Connections accepted below are appended after this snapshot;
+        // they have no pfds entry and must wait for the next poll.
+        const size_t polled = conns.size();
+        if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pfds[0].revents & POLLIN) {
+            char drain[64];
+            while (::read(wake_fd[0], drain, sizeof(drain)) > 0) {}
+        }
+        if (pfds[1].revents & POLLIN) {
+            for (;;) {
+                const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+                if (fd < 0)
+                    break;
+                if (conns.size() >=
+                    static_cast<size_t>(opts.max_connections)) {
+                    ::close(fd);
+                    continue;
+                }
+                conns.push_back(Conn{fd, "", "", 0, false});
+            }
+        }
+        for (size_t i = 0; i < polled; i++) {
+            Conn &c = conns[i];
+            const pollfd &p = pfds[i + 2];
+            bool dead = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) &&
+                        !c.writing;
+            if (!dead && !c.writing && (p.revents & POLLIN)) {
+                char buf[4096];
+                for (;;) {
+                    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+                    if (n > 0) {
+                        c.in.append(buf, static_cast<size_t>(n));
+                        continue;
+                    }
+                    if (n == 0)
+                        dead = c.in.find("\r\n\r\n") ==
+                               std::string::npos;
+                    break;  // n == 0 (EOF) or EAGAIN/error
+                }
+                if (c.in.size() > opts.max_request_bytes) {
+                    errors->inc();
+                    c.out = httpResponse(
+                        431, "Request Header Fields Too Large",
+                        "text/plain; charset=utf-8",
+                        "request too large\n");
+                    c.writing = true;
+                } else if (c.in.find("\r\n\r\n") != std::string::npos) {
+                    c.out = respond(c.in);
+                    c.writing = true;
+                }
+            }
+            if (!dead && c.writing) {
+                while (c.sent < c.out.size()) {
+                    const ssize_t n =
+                        ::send(c.fd, c.out.data() + c.sent,
+                               c.out.size() - c.sent, MSG_NOSIGNAL);
+                    if (n <= 0)
+                        break;
+                    c.sent += static_cast<size_t>(n);
+                }
+                if (c.sent >= c.out.size())
+                    dead = true;  // response fully flushed
+            }
+            if (dead) {
+                ::close(c.fd);
+                c.fd = -1;
+            }
+        }
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [](const Conn &c) {
+                                       return c.fd < 0;
+                                   }),
+                    conns.end());
+    }
+    for (auto &c : conns)
+        ::close(c.fd);
+}
+
+ObsServer::ObsServer()
+    : impl_(new Impl)
+{
+}
+
+ObsServer::~ObsServer()
+{
+    stop();
+    delete impl_;
+}
+
+void
+ObsServer::setHealthProvider(std::function<HealthReport()> fn)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->health = std::move(fn);
+}
+
+void
+ObsServer::setMetricsPrepare(std::function<void()> fn)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->metrics_prepare = std::move(fn);
+}
+
+bool
+ObsServer::start(const Options &opts, std::string *err)
+{
+    PRISM_CHECK(!running());
+    impl_->opts = opts;
+    impl_->stop.store(false, std::memory_order_release);
+
+    auto &reg = stats::StatsRegistry::global();
+    impl_->requests = &reg.counter("prism.obs.requests", "requests");
+    impl_->scrapes = &reg.counter("prism.obs.scrapes", "requests");
+    impl_->errors = &reg.counter("prism.obs.http_errors", "requests");
+    impl_->port_gauge = &reg.gauge("prism.obs.port");
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                            SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(opts.port));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(fd, 16) < 0) {
+        if (err)
+            *err = std::string("bind/listen: ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len);
+    if (::pipe2(impl_->wake_fd, O_NONBLOCK | O_CLOEXEC) != 0) {
+        if (err)
+            *err = std::string("pipe2: ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    impl_->listen_fd = fd;
+    impl_->port.store(ntohs(addr.sin_port), std::memory_order_release);
+    impl_->port_gauge->set(port());
+    impl_->thread = std::thread([this] { impl_->loop(); });
+    PRISM_LOG_INFO("obs.server", "listening on http://127.0.0.1:%d",
+                   port());
+    return true;
+}
+
+void
+ObsServer::stop()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->thread.joinable())
+        return;
+    impl_->stop.store(true, std::memory_order_release);
+    const char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(impl_->wake_fd[1], &b, 1);
+    impl_->thread.join();
+    ::close(impl_->listen_fd);
+    ::close(impl_->wake_fd[0]);
+    ::close(impl_->wake_fd[1]);
+    impl_->listen_fd = impl_->wake_fd[0] = impl_->wake_fd[1] = -1;
+    impl_->port.store(0, std::memory_order_release);
+    impl_->port_gauge->set(0);
+}
+
+bool
+ObsServer::running() const
+{
+    return impl_->port.load(std::memory_order_acquire) != 0;
+}
+
+int
+ObsServer::port() const
+{
+    return impl_->port.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------
+// Crash black-box
+// ---------------------------------------------------------------------
+
+namespace {
+
+bool
+mkdirRecursive(const std::string &path)
+{
+    std::string cur;
+    for (size_t i = 0; i <= path.size(); i++) {
+        if (i < path.size() && path[i] != '/') {
+            cur += path[i];
+            continue;
+        }
+        if (!cur.empty() && ::mkdir(cur.c_str(), 0755) != 0 &&
+            errno != EEXIST)
+            return false;
+        if (i < path.size())
+            cur += '/';
+    }
+    return true;
+}
+
+bool
+writeFile(const std::string &path, std::string_view content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+// Crash-handler state. Plain statics on purpose: the handlers must not
+// allocate before the recursion check.
+std::atomic<bool> g_dumping{false};
+char g_postmortem_dir[512] = "";
+bool g_handlers_installed = false;
+std::terminate_handler g_prev_terminate = nullptr;
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE,
+                                 SIGILL};
+
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGSEGV: return "SIGSEGV";
+      case SIGABRT: return "SIGABRT";
+      case SIGBUS: return "SIGBUS";
+      case SIGFPE: return "SIGFPE";
+      case SIGILL: return "SIGILL";
+    }
+    return "signal";
+}
+
+void
+crashSignalHandler(int sig)
+{
+    // NOT async-signal-safe: we allocate, lock, and write files. For
+    // the black-box that is the right trade — the alternative is no
+    // postmortem at all — and the recursion guard turns a handler
+    // crash into a plain default-action death.
+    if (!g_dumping.exchange(true)) {
+        char reason[64];
+        std::snprintf(reason, sizeof(reason), "fatal signal %s (%d)",
+                      signalName(sig), sig);
+        writePostmortem(g_postmortem_dir, reason);
+    }
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+[[noreturn]] void
+crashTerminateHandler()
+{
+    if (!g_dumping.exchange(true))
+        writePostmortem(g_postmortem_dir, "std::terminate");
+    if (g_prev_terminate != nullptr)
+        g_prev_terminate();
+    std::abort();
+}
+
+}  // namespace
+
+std::string
+writePostmortem(const std::string &base_dir, const std::string &reason)
+{
+    std::timespec ts{};
+    std::timespec_get(&ts, TIME_UTC);
+    std::tm tm{};
+    gmtime_r(&ts.tv_sec, &tm);
+    char sub[96];
+    std::snprintf(sub, sizeof(sub),
+                  "postmortem-%04d%02d%02d-%02d%02d%02d-%d",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  static_cast<int>(::getpid()));
+    const std::string dir =
+        (base_dir.empty() ? std::string(".") : base_dir) + "/" + sub;
+    if (!mkdirRecursive(dir))
+        return "";
+
+    auto &freg = fault::FaultRegistry::global();
+    const std::string schedule = freg.scheduleString();
+
+    std::string manifest;
+    manifest += "reason: " + reason + "\n";
+    char line[128];
+    std::snprintf(line, sizeof(line), "pid: %d\n",
+                  static_cast<int>(::getpid()));
+    manifest += line;
+    std::snprintf(line, sizeof(line),
+                  "time_utc: %04d-%02d-%02dT%02d:%02d:%02dZ\n",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec);
+    manifest += line;
+    std::snprintf(line, sizeof(line), "fault_fires: %llu\n",
+                  static_cast<unsigned long long>(freg.totalFires()));
+    manifest += line;
+    manifest += "fault_schedule: " +
+                (schedule.empty() ? std::string("(none)") : schedule) +
+                "\n";
+    manifest += "files: stats.json trace.json slowops.json faults.txt "
+                "log_tail.txt\n";
+    writeFile(dir + "/MANIFEST.txt", manifest);
+
+    writeFile(dir + "/stats.json",
+              stats::StatsRegistry::global().snapshot().toJson());
+    writeFile(dir + "/trace.json",
+              trace::TraceRegistry::global().exportJson());
+    writeFile(dir + "/slowops.json", renderSlowOpsJson());
+
+    // faults.txt replays with: PRISM_FAULTS="$(head -1 faults.txt)"
+    std::string faults = schedule + "\n";
+    std::snprintf(line, sizeof(line), "# fires=%llu\n",
+                  static_cast<unsigned long long>(freg.totalFires()));
+    faults += line;
+    writeFile(dir + "/faults.txt", faults);
+
+    std::string tail;
+    for (const auto &l : log::Logger::global().tail()) {
+        tail += l;
+        tail += '\n';
+    }
+    writeFile(dir + "/log_tail.txt", tail);
+    return dir;
+}
+
+void
+installCrashHandlers(const std::string &base_dir)
+{
+    std::snprintf(g_postmortem_dir, sizeof(g_postmortem_dir), "%s",
+                  base_dir.c_str());
+    if (g_handlers_installed)
+        return;
+    g_handlers_installed = true;
+    g_prev_terminate = std::set_terminate(crashTerminateHandler);
+    struct sigaction sa{};
+    sa.sa_handler = crashSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    for (int sig : kFatalSignals)
+        ::sigaction(sig, &sa, nullptr);
+}
+
+}  // namespace prism::obs

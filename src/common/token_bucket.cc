@@ -34,6 +34,22 @@ TokenBucket::acquire(uint64_t bytes)
     return static_cast<uint64_t>(-available_ / bytes_per_ns_);
 }
 
+bool
+TokenBucket::tryAcquire(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t now = nowNs();
+    available_ = std::min(
+        burst_,
+        available_ + static_cast<double>(now - last_refill_ns_) *
+                         bytes_per_ns_);
+    last_refill_ns_ = now;
+    if (available_ < static_cast<double>(bytes))
+        return false;
+    available_ -= static_cast<double>(bytes);
+    return true;
+}
+
 void
 TokenBucket::setRate(double bytes_per_sec)
 {

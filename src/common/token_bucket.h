@@ -36,6 +36,15 @@ class TokenBucket {
      */
     uint64_t acquire(uint64_t bytes);
 
+    /**
+     * Take @p bytes only if the bucket currently holds them; never go
+     * into deficit. Returns whether the tokens were taken. Used by
+     * consumers that drop work instead of delaying it (log rate
+     * limiting), where acquire()'s unconditional deduction would let
+     * suppressed work run up debt against future tokens.
+     */
+    bool tryAcquire(uint64_t bytes);
+
     /** Change the refill rate (used by time-scale changes). */
     void setRate(double bytes_per_sec);
 

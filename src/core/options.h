@@ -198,6 +198,17 @@ struct PrismOptions {
     /** Telemetry ring capacity in sampling windows (default 600 ≈ one
      *  minute at 100 ms). */
     uint64_t telemetry_windows = 600;
+    /**
+     * HTTP ops endpoint (common/obs_server.h): TCP port for /metrics,
+     * /healthz, /readyz, /slowops, /telemetry and /trace on 127.0.0.1.
+     * -1 (the default) defers to $PRISM_OBS_PORT, then stays off;
+     * 0 binds an ephemeral port (published as the prism.obs.port gauge
+     * and via PrismDb::obsPort() / ShardRouter::obsPort()); >0 binds
+     * that port. Only a top-level store serves: a PrismDb owned by a
+     * ShardRouter never starts its own listener — the router runs one
+     * for the whole fleet.
+     */
+    int obs_port = -1;
     ///@}
 
     /** @name Fault injection (docs/FAULTS.md) */

@@ -8,8 +8,10 @@
 
 #include "common/clock.h"
 #include "common/fault.h"
+#include "common/log.h"
 #include "common/logging.h"
 #include "common/numa.h"
+#include "common/obs_server.h"
 #include "common/trace.h"
 #include "core/chunk_writer.h"
 
@@ -174,10 +176,42 @@ PrismDb::PrismDb(const PrismOptions &opts,
         tel.setCapacity(opts_.telemetry_windows);
         telemetry_started_ = tel.start(opts_.telemetry_interval_ms);
     }
+
+    // Crash black-box (common/obs_server.h): arm the process-wide
+    // handlers when the environment asks for postmortems. Harnesses
+    // that want them unconditionally (prism_torture) call
+    // obs::installCrashHandlers directly.
+    if (const char *pm = std::getenv("PRISM_POSTMORTEM_DIR");
+        pm != nullptr && pm[0] != '\0')
+        obs::installCrashHandlers(pm);
+
+    // HTTP ops endpoint. Only a top-level store serves: a shard behind
+    // a ShardRouter (shared pool) defers to the router's fleet-wide
+    // server, which aggregates health across shards.
+    const int obs_port = obs::resolveObsPort(opts_.obs_port);
+    if (owns_pool_ && obs_port >= 0) {
+        obs_ = std::make_unique<obs::ObsServer>();
+        obs_->setMetricsPrepare([this] {
+            publishOccupancy();
+            trace::TraceRegistry::global().publishStats();
+        });
+        obs_->setHealthProvider([this] { return healthReport(); });
+        obs::ObsServer::Options oo;
+        oo.port = obs_port;
+        std::string err;
+        if (!obs_->start(oo, &err)) {
+            PRISM_LOG_WARN("obs.server", "ops endpoint disabled: %s",
+                           err.c_str());
+            obs_.reset();
+        }
+    }
 }
 
 PrismDb::~PrismDb()
 {
+    // Ops server first: its request handlers (health, occupancy
+    // refresh) call back into this object.
+    obs_.reset();
     // Wait out in-flight async operations first: their completion paths
     // (VS completion threads, bg-pool scan tasks) touch the SVC, HSIT,
     // epochs and the pool, all of which are torn down below.
@@ -1055,10 +1089,10 @@ PrismDb::reclaimPwb(Pwb *pwb, bool force)
     const bool paranoid = std::getenv("PRISM_PARANOID") != nullptr;
     for (const auto &ref : refs) {
         if (paranoid && !recordCrcOk(*ref.hdr, ref.payload)) {
-            std::fprintf(stderr,
-                "RECDBG bad crc at logical_end=%llu addr=%llu key=%llu "
+            PRISM_LOG_ERROR("pwb.reclaim.bad_crc",
+                "bad crc at logical_end=%llu addr=%llu key=%llu "
                 "back=%llu size=%u start=%llu head=%llu tail=%llu "
-                "cursor=%llu\n",
+                "cursor=%llu",
                 (unsigned long long)ref.logical_end,
                 (unsigned long long)ref.addr.offset(),
                 (unsigned long long)ref.hdr->key,
@@ -1199,9 +1233,9 @@ PrismDb::reclaimPwb(Pwb *pwb, bool force)
                 if (a.isPwb() &&
                     pwb->offsetInLogicalRange(a.offset(), start,
                                               new_head)) {
-                    std::fprintf(stderr,
-                        "ADVDBG live entry %llu at pwb off %llu in "
-                        "[%llu,%llu) head=%llu tail=%llu\n",
+                    PRISM_LOG_ERROR("pwb.advance.live_entry",
+                        "live entry %llu at pwb off %llu in "
+                        "[%llu,%llu) head=%llu tail=%llu",
                         (unsigned long long)i,
                         (unsigned long long)a.offset(),
                         (unsigned long long)start,
@@ -1440,6 +1474,41 @@ PrismDb::errorBudget() const
             b.degraded_devices++;
     }
     return b;
+}
+
+obs::HealthReport
+PrismDb::healthReport() const
+{
+    const ErrorBudget b = errorBudget();
+    const bool draining = stop_.load(std::memory_order_acquire);
+    obs::HealthReport r;
+    r.healthy = !b.degraded();
+    r.ready = r.healthy && !draining;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"status\":\"%s\",\"ready\":%s,\"degraded_devices\":%llu,"
+        "\"devices\":%zu,\"draining\":%s,\"faults_fired\":%llu,"
+        "\"ssd_io_errors\":%llu,\"pwb_write_failures\":%llu,"
+        "\"vs_degraded\":%llu,\"bg_task_faults\":%llu,"
+        "\"recovery_ns\":%llu}",
+        r.healthy ? "ok" : "degraded", r.ready ? "true" : "false",
+        static_cast<unsigned long long>(b.degraded_devices),
+        value_storages_.size(), draining ? "true" : "false",
+        static_cast<unsigned long long>(b.faults_fired),
+        static_cast<unsigned long long>(b.ssd_io_errors),
+        static_cast<unsigned long long>(b.pwb_write_failures),
+        static_cast<unsigned long long>(b.vs_degraded),
+        static_cast<unsigned long long>(b.bg_task_faults),
+        static_cast<unsigned long long>(recovery_ns_));
+    r.json = buf;
+    return r;
+}
+
+int
+PrismDb::obsPort() const
+{
+    return obs_ != nullptr ? obs_->port() : 0;
 }
 
 void

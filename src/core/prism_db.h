@@ -61,6 +61,11 @@
 #include "pmem/pmem_region.h"
 #include "sim/ssd_device.h"
 
+namespace prism::obs {
+class ObsServer;
+struct HealthReport;
+}  // namespace prism::obs
+
 namespace prism::core {
 
 /** Operation counters exposed for benchmarks and tests. */
@@ -307,6 +312,27 @@ class PrismDb {
      */
     ErrorBudget errorBudget() const;
 
+    /**
+     * /healthz + /readyz payload (common/obs_server.h): 200/503 flags
+     * plus an error-budget JSON body. Also the in-process render behind
+     * `prism_cli healthz`, so orchestrator and operator see one truth.
+     */
+    obs::HealthReport healthReport() const;
+
+    /**
+     * Bound port of this store's HTTP ops endpoint, 0 when no server is
+     * running (the default; see PrismOptions::obs_port).
+     */
+    int obsPort() const;
+
+    /**
+     * Refresh the derived occupancy gauges (summed PWB ring fill, SVC
+     * bytes) in the stats registry. Registered as a telemetry probe and
+     * run before every /metrics render; also useful before a manual
+     * snapshot.
+     */
+    void publishOccupancy();
+
     /** This instance's raw operation counters (tests, benches). */
     PrismDbStats &opStats() { return stats_; }
     SvcStats &svcStats() { return svc_->stats(); }
@@ -376,12 +402,6 @@ class PrismDb {
     void reclaimerLoop();
     void gcLoop();
     void statsDumperLoop();
-    /**
-     * Telemetry probe body: publishes the occupancy gauges that are
-     * derived rather than maintained (summed PWB ring fill, SVC bytes)
-     * right before each sampling tick reads them.
-     */
-    void publishOccupancy();
     /**
      * One reclamation pass over @p pwb (§5.2, Fig. 4), pipelined: up to
      * reclaim_pipeline_depth chunk writes stay in flight, each chunk
@@ -496,6 +516,11 @@ class PrismDb {
     /** Async ops in flight; the destructor waits it out before teardown
      *  (their completion paths touch the SVC, HSIT and bg pool). */
     std::atomic<uint64_t> async_inflight_{0};
+
+    /** HTTP ops endpoint, when PrismOptions::obs_port asked for one and
+     *  this store is top-level (owns its pool). Stopped first in the
+     *  destructor — its handlers call back into this object. */
+    std::unique_ptr<obs::ObsServer> obs_;
 
     uint64_t recovery_ns_ = 0;
 };

@@ -7,10 +7,13 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "common/log.h"
 #include "common/logging.h"
 #include "common/numa.h"
+#include "common/obs_server.h"
 #include "common/rand.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace prism::core {
 
@@ -71,6 +74,10 @@ ShardRouter::ShardRouter(const PrismOptions &opts,
         reg_shard_node_[i] = &reg.gauge(p + ".node", "node");
 
         PrismOptions so = opts_;
+        // The router runs the fleet's one ops server (below); a shard
+        // must never bind its own. (The shared pool already suppresses
+        // it — owns_pool_ is false — but be explicit.)
+        so.obs_port = -1;
         // Router-level placement beats the (usually unset) per-instance
         // preference; an explicit user numa_node wins for all shards.
         shard_nodes_[i] = so.numa_node >= 0
@@ -95,10 +102,34 @@ ShardRouter::ShardRouter(const PrismOptions &opts,
     telemetry_probe_ = telemetry::Telemetry::global().addProbe(
         [this] { publishShardGauges(); });
     recovery_ns_ = nowNs() - t0;
+
+    // Fleet-wide HTTP ops endpoint: one listener for all shards, with
+    // health summed over every shard's device slice.
+    const int obs_port = obs::resolveObsPort(opts_.obs_port);
+    if (obs_port >= 0) {
+        obs_ = std::make_unique<obs::ObsServer>();
+        obs_->setMetricsPrepare([this] {
+            for (auto &s : shards_)
+                s->publishOccupancy();
+            publishShardGauges();
+            trace::TraceRegistry::global().publishStats();
+        });
+        obs_->setHealthProvider([this] { return healthReport(); });
+        obs::ObsServer::Options oo;
+        oo.port = obs_port;
+        std::string err;
+        if (!obs_->start(oo, &err)) {
+            PRISM_LOG_WARN("obs.server", "ops endpoint disabled: %s",
+                           err.c_str());
+            obs_.reset();
+        }
+    }
 }
 
 ShardRouter::~ShardRouter()
 {
+    // Ops server first: its handlers fan out over shards_.
+    obs_.reset();
     // Router-level async scans hold `this`; wait them out first.
     while (async_scan_inflight_.load(std::memory_order_acquire) != 0)
         std::this_thread::yield();
@@ -114,6 +145,52 @@ ShardRouter::publishShardGauges()
 {
     for (size_t i = 0; i < shards_.size(); i++)
         reg_shard_keys_[i]->set(shards_[i]->size());
+}
+
+ErrorBudget
+ShardRouter::errorBudget() const
+{
+    // The counter fields are process-wide, so shard 0's copy is the
+    // fleet's; degraded_devices is per-instance and must be summed.
+    ErrorBudget b = shards_[0]->errorBudget();
+    for (size_t i = 1; i < shards_.size(); i++)
+        b.degraded_devices += shards_[i]->errorBudget().degraded_devices;
+    return b;
+}
+
+obs::HealthReport
+ShardRouter::healthReport() const
+{
+    const ErrorBudget b = errorBudget();
+    obs::HealthReport r;
+    r.healthy = !b.degraded();
+    r.ready = r.healthy;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"status\":\"%s\",\"ready\":%s,\"shards\":%zu,"
+        "\"degraded_devices\":%llu,\"devices\":%zu,"
+        "\"faults_fired\":%llu,\"ssd_io_errors\":%llu,"
+        "\"pwb_write_failures\":%llu,\"vs_degraded\":%llu,"
+        "\"bg_task_faults\":%llu,\"recovery_ns\":%llu}",
+        r.healthy ? "ok" : "degraded", r.ready ? "true" : "false",
+        shards_.size(),
+        static_cast<unsigned long long>(b.degraded_devices),
+        valueStorageCount(),
+        static_cast<unsigned long long>(b.faults_fired),
+        static_cast<unsigned long long>(b.ssd_io_errors),
+        static_cast<unsigned long long>(b.pwb_write_failures),
+        static_cast<unsigned long long>(b.vs_degraded),
+        static_cast<unsigned long long>(b.bg_task_faults),
+        static_cast<unsigned long long>(recovery_ns_));
+    r.json = buf;
+    return r;
+}
+
+int
+ShardRouter::obsPort() const
+{
+    return obs_ != nullptr ? obs_->port() : 0;
 }
 
 Status

@@ -157,7 +157,19 @@ class ShardRouter {
     stats::StatsSnapshot stats() const {
         return stats::StatsRegistry::global().snapshot();
     }
-    ErrorBudget errorBudget() const { return shards_[0]->errorBudget(); }
+    /**
+     * Fleet error budget: the counter fields are process-wide (any
+     * shard reports the same values); degraded_devices is summed over
+     * every shard's device slice so a dropout anywhere flips
+     * degraded().
+     */
+    ErrorBudget errorBudget() const;
+
+    /** /healthz payload aggregated over the fleet (obs_server.h). */
+    obs::HealthReport healthReport() const;
+
+    /** Bound port of the router's HTTP ops endpoint, 0 when off. */
+    int obsPort() const;
     uint64_t ssdBytesWritten() const;
     uint64_t nvmIndexBytes() const;
 
@@ -220,6 +232,10 @@ class ShardRouter {
 
     int telemetry_probe_ = -1;
     uint64_t recovery_ns_ = 0;
+
+    /** Fleet-wide HTTP ops endpoint (the shards never start their
+     *  own); stopped first in the destructor. */
+    std::unique_ptr<obs::ObsServer> obs_;
 };
 
 }  // namespace prism::core

@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/fault.h"
+#include "common/log.h"
 #include "common/logging.h"
 #include "io/file_backend.h"
 #include "io/uring_backend.h"
@@ -210,10 +211,10 @@ createFileBackend(IoBackendKind kind, const FileBackendOptions &opts)
     if (kind == IoBackendKind::kUring) {
         if (uringAvailable())
             return std::make_shared<UringBackend>(opts);
-        std::fprintf(stderr,
-                     "prism: io_uring unavailable on this kernel; "
-                     "falling back to the posix backend for %s\n",
-                     opts.path.c_str());
+        PRISM_LOG_WARN("io.uring_fallback",
+                       "io_uring unavailable on this kernel; falling "
+                       "back to the posix backend for %s",
+                       opts.path.c_str());
     }
     return std::make_shared<PosixFileBackend>(opts);
 }

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Structured leveled logger (common/log.h) correctness:
+ *
+ *  - level filtering: messages below the configured level never reach
+ *    the tail, and the filter is adjustable at runtime;
+ *  - per-site rate limiting: a hot site is throttled, suppressed
+ *    messages are counted (prism.log.suppressed.<level>) and the next
+ *    emission carries the "(N similar suppressed)" annotation, while
+ *    an unrelated site keeps its own budget;
+ *  - JSON-lines output escapes quotes, backslashes and control
+ *    characters so every line is a parseable object;
+ *  - 8 concurrent writers race the logger without corruption (runs
+ *    under TSan in CI) and every message is accounted for as either
+ *    emitted or suppressed;
+ *  - PRISM_CHECK failures route through the logger (message reaches
+ *    stderr) and still abort.
+ *
+ * Tests silence the sink (setSink(nullptr)) and assert on the tail
+ * ring, so the suite's own output stays clean.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace prism::log {
+namespace {
+
+/** Tail lines containing @p needle. */
+int
+tailCount(const std::string &needle)
+{
+    int n = 0;
+    for (const auto &line : Logger::global().tail())
+        if (line.find(needle) != std::string::npos)
+            n++;
+    return n;
+}
+
+class LogTest : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        auto &lg = Logger::global();
+        lg.setSink(nullptr);  // tail-only; keep test output clean
+        lg.setJson(false);
+        lg.setLevel(Level::kDebug);
+        lg.setRateLimit(1e9, 1u << 20);  // effectively unlimited
+        lg.clearTailForTest();
+    }
+    void TearDown() override
+    {
+        auto &lg = Logger::global();
+        lg.setSink(stderr);
+        lg.setJson(false);
+        lg.setLevel(Level::kInfo);
+        lg.setRateLimit(10.0, 20);  // logger defaults
+    }
+};
+
+TEST_F(LogTest, LevelNamesRoundTrip)
+{
+    EXPECT_STREQ(levelName(Level::kDebug), "debug");
+    EXPECT_STREQ(levelName(Level::kError), "error");
+    EXPECT_EQ(parseLevel("warn", Level::kInfo), Level::kWarn);
+    EXPECT_EQ(parseLevel("bogus", Level::kInfo), Level::kInfo);
+    EXPECT_EQ(parseLevel(nullptr, Level::kError), Level::kError);
+}
+
+TEST_F(LogTest, LevelFiltering)
+{
+    auto &lg = Logger::global();
+    lg.setLevel(Level::kWarn);
+    EXPECT_FALSE(lg.enabled(Level::kInfo));
+    EXPECT_TRUE(lg.enabled(Level::kWarn));
+
+    PRISM_LOG_INFO("test.filter", "info dropped %d", 1);
+    PRISM_LOG_WARN("test.filter", "warn kept %d", 2);
+    PRISM_LOG_ERROR("test.filter", "error kept %d", 3);
+
+    EXPECT_EQ(tailCount("info dropped"), 0);
+    EXPECT_EQ(tailCount("warn kept 2"), 1);
+    EXPECT_EQ(tailCount("error kept 3"), 1);
+
+    lg.setLevel(Level::kDebug);
+    PRISM_LOG_INFO("test.filter", "info now kept");
+    EXPECT_EQ(tailCount("info now kept"), 1);
+}
+
+TEST_F(LogTest, RateLimitSuppressionIsCountedPerSite)
+{
+    auto &lg = Logger::global();
+    // Tiny budget for sites registered from here on: burst of 2,
+    // negligible refill.
+    lg.setRateLimit(1e-6, 2);
+    auto &reg = stats::StatsRegistry::global();
+    const uint64_t emitted0 =
+        reg.counter("prism.log.emitted.warn").value();
+    const uint64_t suppressed0 =
+        reg.counter("prism.log.suppressed.warn").value();
+
+    for (int i = 0; i < 50; i++)
+        PRISM_LOG_WARN("test.hot_site", "hot %d", i);
+    // A different site has its own bucket: not starved by the hot one.
+    PRISM_LOG_WARN("test.cold_site", "cold still flows");
+
+    const uint64_t emitted =
+        reg.counter("prism.log.emitted.warn").value() - emitted0;
+    const uint64_t suppressed =
+        reg.counter("prism.log.suppressed.warn").value() - suppressed0;
+    EXPECT_EQ(emitted, 3u);       // hot burst of 2 + the cold site
+    EXPECT_EQ(suppressed, 48u);   // the rest of the hot loop
+    EXPECT_EQ(tailCount("hot "), 2);
+    EXPECT_EQ(tailCount("cold still flows"), 1);
+}
+
+TEST_F(LogTest, SuppressionAnnotationOnNextEmission)
+{
+    auto &lg = Logger::global();
+    // burst 2 with a refill fast enough to re-open the bucket after a
+    // short sleep: 50/s refills one token in 20ms.
+    lg.setRateLimit(50.0, 2);
+    PRISM_LOG_WARN("test.annot2", "a");
+    PRISM_LOG_WARN("test.annot2", "b");
+    PRISM_LOG_WARN("test.annot2", "dropped-1");
+    PRISM_LOG_WARN("test.annot2", "dropped-2");
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    PRISM_LOG_WARN("test.annot2", "after refill");
+    EXPECT_EQ(tailCount("dropped-1"), 0);
+    EXPECT_EQ(tailCount("after refill"), 1);
+    EXPECT_EQ(tailCount("(2 similar suppressed)"), 1);
+}
+
+TEST_F(LogTest, JsonLinesAreEscaped)
+{
+    auto &lg = Logger::global();
+    lg.setJson(true);
+    PRISM_LOG_ERROR("test.json", "quote\" slash\\ newline\n tab\t end");
+    const auto tail = lg.tail();
+    ASSERT_FALSE(tail.empty());
+    const std::string &line = tail.back();
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"level\":\"error\""), std::string::npos);
+    EXPECT_NE(line.find("\"site\":\"test.json\""), std::string::npos);
+    EXPECT_NE(line.find("quote\\\""), std::string::npos);
+    EXPECT_NE(line.find("slash\\\\"), std::string::npos);
+    EXPECT_NE(line.find("newline\\n"), std::string::npos);
+    EXPECT_NE(line.find("tab\\t"), std::string::npos);
+    // No raw control characters survive in the line.
+    for (const char c : line)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST_F(LogTest, ConcurrentWritersAccountForEveryMessage)
+{
+    auto &lg = Logger::global();
+    lg.setRateLimit(1e-6, 100);  // force both outcomes under the race
+    auto &reg = stats::StatsRegistry::global();
+    const uint64_t emitted0 =
+        reg.counter("prism.log.emitted.info").value();
+    const uint64_t suppressed0 =
+        reg.counter("prism.log.suppressed.info").value();
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 500;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < kPerThread; i++)
+                PRISM_LOG_INFO("test.mt", "t%d msg %d", t, i);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    const uint64_t emitted =
+        reg.counter("prism.log.emitted.info").value() - emitted0;
+    const uint64_t suppressed =
+        reg.counter("prism.log.suppressed.info").value() - suppressed0;
+    EXPECT_EQ(emitted + suppressed,
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_GT(emitted, 0u);
+    EXPECT_GT(suppressed, 0u);
+}
+
+using LogDeathTest = LogTest;
+
+TEST_F(LogDeathTest, CheckFailureRoutesThroughLogger)
+{
+    // PRISM_CHECK routes through Logger::logRaw -> stderr before the
+    // abort, so the death-test matcher sees the structured message.
+    // The sink is re-pointed at stderr *inside* the statement: the
+    // death-test child inherits the fixture's nullptr sink.
+    EXPECT_DEATH(
+        {
+            Logger::global().setSink(stderr);
+            PRISM_CHECK(1 == 2);
+        },
+        "PRISM_CHECK failed: 1 == 2");
+}
+
+}  // namespace
+}  // namespace prism::log
