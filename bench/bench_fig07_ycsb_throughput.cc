@@ -13,6 +13,7 @@ main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
     maybeTraceToFileAtExit(argc, argv);
+    maybeProfileToFileAtExit(argc, argv);
     maybeTelemetryToFileAtExit(argc, argv);
     BenchScale s;
     // The paper runs as many operations as there are records.

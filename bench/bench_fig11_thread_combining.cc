@@ -46,6 +46,7 @@ main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
     maybeTraceToFileAtExit(argc, argv);
+    maybeProfileToFileAtExit(argc, argv);
     maybeTelemetryToFileAtExit(argc, argv);
     BenchScale s;
     s.records = envOr("PRISM_BENCH_RECORDS", 100000) / 2;

@@ -68,6 +68,7 @@ main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
     maybeTraceToFileAtExit(argc, argv);
+    maybeProfileToFileAtExit(argc, argv);
     maybeTelemetryToFileAtExit(argc, argv);
     parseBackendFlag(argc, argv);  // --backend={sim,posix,uring,auto}
     parseShardsFlag(argc, argv);   // --shards=N (Prism only)

@@ -69,6 +69,7 @@ main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
     maybeTraceToFileAtExit(argc, argv);
+    maybeProfileToFileAtExit(argc, argv);
     maybeTelemetryToFileAtExit(argc, argv);
     BenchScale s;
     s.ops = envOr("PRISM_BENCH_OPS", 40000) * 8;  // long sustained run

@@ -151,18 +151,23 @@ BENCHMARK(BM_HistogramRecord);
 }  // namespace
 }  // namespace prism
 
-// Custom main (vs BENCHMARK_MAIN()): peel off --stats/--stats=json
-// before google-benchmark rejects them as unrecognized flags.
+// Custom main (vs BENCHMARK_MAIN()): peel off the bench_util flags
+// (--stats, --trace=, --telemetry=, --profile=) before
+// google-benchmark rejects them as unrecognized.
 int
 main(int argc, char **argv)
 {
     prism::bench::maybeDumpStatsAtExit(argc, argv);
     prism::bench::maybeTraceToFileAtExit(argc, argv);
+    prism::bench::maybeProfileToFileAtExit(argc, argv);
     prism::bench::maybeTelemetryToFileAtExit(argc, argv);
     std::vector<char *> args;
     for (int i = 0; i < argc; i++) {
         const std::string_view a = argv[i];
-        if (a != "--stats" && a != "--stats=json")
+        if (a != "--stats" && a != "--stats=json" &&
+            a.rfind("--trace=", 0) != 0 &&
+            a.rfind("--telemetry=", 0) != 0 &&
+            a.rfind("--profile=", 0) != 0)
             args.push_back(argv[i]);
     }
     int n = static_cast<int>(args.size());

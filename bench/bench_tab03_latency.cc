@@ -20,6 +20,7 @@ main(int argc, char **argv)
 {
     maybeDumpStatsAtExit(argc, argv);
     maybeTraceToFileAtExit(argc, argv);
+    maybeProfileToFileAtExit(argc, argv);
     maybeTelemetryToFileAtExit(argc, argv);
     BenchScale s;
     printScale(s);

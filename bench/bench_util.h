@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/prof.h"
 #include "common/stats.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -199,6 +200,65 @@ maybeTelemetryToFileAtExit(int argc, char **argv)
         }
         std::fprintf(stderr, "telemetry series (%zu windows) written to %s\n",
                      tel.sampleCount(), detail::g_telemetry_path.c_str());
+    });
+}
+
+/** @} */
+
+/**
+ * @name --profile support (docs/OBSERVABILITY.md, "Profiling")
+ *
+ * `--profile=<file>` (or `PRISM_BENCH_PROFILE=<file>`) arms the
+ * sampling CPU profiler (common/prof.h) for the whole run and writes
+ * the collapsed-stack profile to <file> at normal process exit.
+ * Sampling rate: `PRISM_BENCH_PROF_HZ` (default 99). Render the file
+ * with scripts/flamegraph.py; the lock-contention folded stacks go to
+ * <file>.contention alongside it.
+ * @{
+ */
+
+namespace detail {
+inline std::string g_profile_path;
+}  // namespace detail
+
+/** Call first thing in main(), next to maybeTraceToFileAtExit(). */
+inline void
+maybeProfileToFileAtExit(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        const std::string_view a = argv[i];
+        if (a.rfind("--profile=", 0) == 0)
+            detail::g_profile_path = std::string(a.substr(10));
+    }
+    if (const char *env = std::getenv("PRISM_BENCH_PROFILE")) {
+        if (*env != '\0' && detail::g_profile_path.empty())
+            detail::g_profile_path = env;
+    }
+    if (detail::g_profile_path.empty())
+        return;
+    const int hz = static_cast<int>(envOr("PRISM_BENCH_PROF_HZ", 99));
+    prof::Profiler::global().start(hz);
+    std::atexit([] {
+        auto &p = prof::Profiler::global();
+        const std::string folded = p.collectFolded();
+        p.stop();
+        auto write = [](const std::string &path, const std::string &body) {
+            FILE *f = std::fopen(path.c_str(), "w");
+            if (f == nullptr) {
+                std::fprintf(stderr, "profile export to %s failed\n",
+                             path.c_str());
+                return;
+            }
+            std::fwrite(body.data(), 1, body.size(), f);
+            std::fclose(f);
+        };
+        write(detail::g_profile_path, folded);
+        write(detail::g_profile_path + ".contention",
+              prof::renderContentionFolded());
+        std::fprintf(stderr,
+                     "profile (%llu samples) written to %s (+ .contention)\n",
+                     static_cast<unsigned long long>(p.samplesTaken()),
+                     detail::g_profile_path.c_str());
     });
 }
 

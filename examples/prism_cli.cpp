@@ -34,13 +34,16 @@
 #include <sys/select.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/obs_server.h"
+#include "common/prof.h"
 #include "common/stats.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -225,6 +228,38 @@ renderTopFrame(const telemetry::TelemetrySample &s, bool ansi)
                                   static_cast<double>(svc_cap)
                             : 0.0);
 
+    // Hottest locks: top-3 prism.lock.<site>.wait_ns_total by
+    // wait rate this window. All-zero (or profiler off) prints nothing.
+    {
+        struct Hot { const telemetry::CounterPoint *p; };
+        std::vector<const telemetry::CounterPoint *> hot;
+        for (const auto &c : s.counters) {
+            if (c.delta == 0 || c.name.rfind("prism.lock.", 0) != 0)
+                continue;
+            if (c.name.size() < 14 ||
+                c.name.compare(c.name.size() - 14, 14,
+                               ".wait_ns_total") != 0)
+                continue;
+            hot.push_back(&c);
+        }
+        std::sort(hot.begin(), hot.end(),
+                  [](const auto *a, const auto *b) {
+                      return a->delta > b->delta;
+                  });
+        if (!hot.empty()) {
+            std::printf("locks     ");
+            for (size_t i = 0; i < hot.size() && i < 3; i++) {
+                const std::string site = hot[i]->name.substr(
+                    11, hot[i]->name.size() - 11 - 14);
+                std::printf(" %s %.1fms/s",
+                            site.c_str(),
+                            static_cast<double>(hot[i]->delta) / dt_s /
+                                1e6);
+            }
+            std::printf("   (wait, prism.lock.*)\n\n");
+        }
+    }
+
     if (g_shards > 1) {
         std::printf("%-8s %12s %12s %6s\n", "shard", "ops/s", "keys",
                     "node");
@@ -328,6 +363,12 @@ help()
         "  telemetry off              stop the sampler (series kept)\n"
         "  telemetry dump <file>      export the series JSON "
         "(scripts/telemetry_report.py)\n"
+        "  profile [sec] [file]       sample CPU for sec seconds "
+        "(default 5) and print/export\n"
+        "                             collapsed stacks "
+        "(scripts/flamegraph.py renders them)\n"
+        "  contention                 lock-wait folded stacks "
+        "(prism.lock.* sites)\n"
         "  telemetry status           sampler state + recorded windows\n"
         "  telemetry clear            drop the recorded series\n"
         "  slowops                    show captured slow ops, worst "
@@ -540,6 +581,35 @@ main(int argc, char **argv)
             if (ms == 0)
                 ms = 1000;
             runTop(ms, frames);
+        } else if (cmd == "profile") {
+            double seconds = 5.0;
+            std::string file;
+            in >> seconds >> file;
+            if (seconds <= 0)
+                seconds = 5.0;
+            std::printf("sampling %.1fs at %d Hz...\n", seconds,
+                        prof::Profiler::global().running()
+                            ? prof::Profiler::global().hz()
+                            : 99);
+            std::fflush(stdout);
+            const std::string folded =
+                prof::Profiler::global().profileForWindow(0, seconds);
+            if (!file.empty()) {
+                FILE *f = std::fopen(file.c_str(), "w");
+                if (f == nullptr) {
+                    std::printf("cannot write %s\n", file.c_str());
+                } else {
+                    std::fwrite(folded.data(), 1, folded.size(), f);
+                    std::fclose(f);
+                    std::printf("profile written to %s (render with "
+                                "scripts/flamegraph.py)\n",
+                                file.c_str());
+                }
+            } else {
+                std::fputs(folded.c_str(), stdout);
+            }
+        } else if (cmd == "contention") {
+            std::fputs(prof::renderContentionFolded().c_str(), stdout);
         } else if (cmd == "telemetry") {
             std::string sub;
             in >> sub;

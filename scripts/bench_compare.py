@@ -3,6 +3,8 @@
 
 Usage:
     bench_compare.py BASELINE CURRENT [--warn-only] [--tol METRIC=FRAC]
+    bench_compare.py A_ROWS B_ROWS --ab [--ab-alpha=P]
+                     [--ab-min-effect=FRAC] [--warn-only]
 
 Each file is either an assembled ``BENCH_pr<N>.json`` document (a JSON
 object whose values are arrays of row objects, as written by
@@ -31,12 +33,27 @@ samples, not steady-state results, and are skipped. Other fields that
 are neither identity nor gated metrics (pwb_stalls, bg_tasks,
 gc_passes, slow_ops, ...) are informational and ignored.
 
+Paired A/B mode (``--ab``): instead of comparing one row per config
+against an absolute tolerance, both inputs hold *repeated* runs of the
+same configs (interleaved A/B reps of two binaries, or two row files
+from the same machine and session). Rows are paired by identity key in
+occurrence order, per-pair win/loss is tallied per metric, and an
+exact one-sided binomial sign test asks "is B worse than A more often
+than chance?". The gate fails only when that is statistically
+significant (``--ab-alpha``, default 0.05) AND the median relative
+drop exceeds a practical floor (``--ab-min-effect``, default 0.02).
+This makes the gate robust to machine-to-machine drift: a slow CI
+runner shifts A and B together, so the pairing cancels it, where the
+absolute tolerances of the default mode either mask regressions or
+fire on noise.
+
 Exit status: 0 = no regression (or --warn-only), 1 = at least one
 metric regressed beyond tolerance, 2 = bad invocation or unreadable
 input. Prints a delta table either way.
 """
 
 import json
+import math
 import sys
 
 # metric -> (higher_is_better, default tolerance as a fraction)
@@ -113,6 +130,101 @@ def index_rows(rows):
     return out, skipped
 
 
+def index_rows_multi(rows):
+    """Key rows by identity, keeping every occurrence in file order."""
+    out = {}
+    skipped = 0
+    for row in rows:
+        if "t_s" in row:
+            skipped += 1
+            continue
+        if not any(m in row for m in METRICS):
+            skipped += 1
+            continue
+        out.setdefault(row_key(row), []).append(row)
+    return out, skipped
+
+
+def sign_test_p(worse, better):
+    """One-sided exact binomial P(X >= worse | n, 1/2); ties dropped."""
+    n = worse + better
+    if n == 0:
+        return 1.0
+    return sum(math.comb(n, k) for k in range(worse, n + 1)) / 2.0**n
+
+
+def run_ab(a_rows, b_rows, alpha, min_effect, warn_only):
+    """Paired sign-test gate; returns the process exit code."""
+    a_idx, a_skipped = index_rows_multi(a_rows)
+    b_idx, b_skipped = index_rows_multi(b_rows)
+    common = [k for k in a_idx if k in b_idx]
+    if not common:
+        print("no comparable rows "
+              f"(A: {len(a_idx)} keys, {a_skipped} skipped; "
+              f"B: {len(b_idx)} keys, {b_skipped} skipped)",
+              file=sys.stderr)
+        return 2
+
+    # metric -> list of per-pair relative deltas, signed so that
+    # positive always means "B worse than A".
+    worse_deltas = {m: [] for m in METRICS}
+    pairs_used = 0
+    pairs_dropped = 0
+    for key in common:
+        a_list, b_list = a_idx[key], b_idx[key]
+        n = min(len(a_list), len(b_list))
+        pairs_dropped += (len(a_list) - n) + (len(b_list) - n)
+        for i in range(n):
+            a_row, b_row = a_list[i], b_list[i]
+            used = False
+            for metric, (higher_better, _) in METRICS.items():
+                if metric not in a_row or metric not in b_row:
+                    continue
+                a_v, b_v = float(a_row[metric]), float(b_row[metric])
+                if a_v == 0.0:
+                    continue
+                delta = (b_v - a_v) / a_v
+                worse_deltas[metric].append(
+                    -delta if higher_better else delta)
+                used = True
+            if used:
+                pairs_used += 1
+
+    print(f"{'metric':<8} {'pairs':>5} {'B worse':>8} {'B better':>9} "
+          f"{'median':>8} {'p-value':>8}  status")
+    regressions = 0
+    for metric, deltas in worse_deltas.items():
+        if not deltas:
+            continue
+        worse = sum(1 for d in deltas if d > 0)
+        better = sum(1 for d in deltas if d < 0)
+        p = sign_test_p(worse, better)
+        ordered = sorted(deltas)
+        mid = len(ordered) // 2
+        median = (ordered[mid] if len(ordered) % 2
+                  else (ordered[mid - 1] + ordered[mid]) / 2)
+        # Significantly worse AND by more than the practical floor.
+        if p <= alpha and median > min_effect:
+            status = "REGRESSION"
+            regressions += 1
+        elif (sign_test_p(better, worse) <= alpha
+              and median < -min_effect):
+            status = "improved"
+        else:
+            status = "ok"
+        print(f"{metric:<8} {len(deltas):>5} {worse:>8} {better:>9} "
+              f"{median:>+7.1%} {p:>8.3f}  {status}")
+
+    print(f"\n--ab: {pairs_used} pairs across {len(common)} configs "
+          f"({pairs_dropped} unpaired reps dropped); "
+          f"alpha={alpha} min-effect={min_effect:.0%}; "
+          f"{regressions} regression(s)")
+    if regressions and warn_only:
+        print("--warn-only: not failing the gate")
+        return 0
+    return 1 if regressions else 0
+
+
 def fmt_key(key):
     return " ".join(
         str(v) for f, v in key if f != "figure"
@@ -127,10 +239,29 @@ def main(argv):
         return 2
 
     warn_only = False
+    ab_mode = False
+    ab_alpha = 0.05
+    ab_min_effect = 0.02
     tolerances = {m: tol for m, (_, tol) in METRICS.items()}
     for opt in opts:
         if opt == "--warn-only":
             warn_only = True
+        elif opt == "--ab":
+            ab_mode = True
+        elif opt.startswith("--ab-alpha="):
+            try:
+                ab_alpha = float(opt.split("=", 1)[1])
+            except ValueError:
+                print(f"bad option {opt!r}: use --ab-alpha=FLOAT",
+                      file=sys.stderr)
+                return 2
+        elif opt.startswith("--ab-min-effect="):
+            try:
+                ab_min_effect = float(opt.split("=", 1)[1])
+            except ValueError:
+                print(f"bad option {opt!r}: use --ab-min-effect=FRAC",
+                      file=sys.stderr)
+                return 2
         elif opt.startswith("--tol"):
             try:
                 spec = opt.split("=", 1)[1] if "=" in opt else ""
@@ -155,6 +286,10 @@ def main(argv):
     except (OSError, json.JSONDecodeError) as e:
         print(f"cannot load input: {e}", file=sys.stderr)
         return 2
+
+    if ab_mode:
+        return run_ab(base_rows, cur_rows, ab_alpha, ab_min_effect,
+                      warn_only)
 
     base, base_skipped = index_rows(base_rows)
     cur, cur_skipped = index_rows(cur_rows)

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Render prism collapsed-stack profiles as a flame graph SVG.
+
+Input is the folded format emitted by the prism profiler
+(common/prof.h): one stack per line, frames root-first separated by
+';', a space, and a sample count. Lines starting with '#' are
+comments. The CPU profile prefixes each stack with its Prism layer
+(and span, when one was active): `pwb;span:reclaim_pass;frameA;frameB 12`.
+The lock-contention export uses the same shape with wait-microseconds
+as the count.
+
+Stdlib only — no d3, no browser requirement; the SVG is
+self-contained (hover titles via <title>, no JS).
+
+Usage:
+    flamegraph.py profile.txt [-o out.svg] [--title T] [--width W]
+    flamegraph.py profile.txt --check [--min-symbolized F]
+                  [--require-layer L]... [--require-frame SUBSTR]...
+
+--check validates instead of rendering (CI uses it): exits non-zero
+when the profile has no samples, when fewer than --min-symbolized of
+its frames resolved to names (0x... frames are unsymbolized), when a
+--require-layer never appears as a stack's root, or when no frame
+contains a --require-frame substring.
+"""
+
+import argparse
+import sys
+from html import escape
+
+
+def parse_folded(path):
+    """-> (stacks, comments): [( [frames...], count )], ['# ...']."""
+    stacks, comments = [], []
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                comments.append(line)
+                continue
+            head, sep, count = line.rpartition(" ")
+            if not sep:
+                continue
+            try:
+                n = int(float(count))
+            except ValueError:
+                continue
+            frames = [fr for fr in head.split(";") if fr]
+            if frames and n > 0:
+                stacks.append((frames, n))
+    return stacks, comments
+
+
+class Node:
+    __slots__ = ("name", "value", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+        self.children = {}
+
+    def add(self, frames, count):
+        self.value += count
+        if not frames:
+            return
+        child = self.children.get(frames[0])
+        if child is None:
+            child = self.children[frames[0]] = Node(frames[0])
+        child.add(frames[1:], count)
+
+
+# Warm palette keyed by a stable hash of the frame name, so the same
+# function gets the same colour across profiles (easy diffing by eye).
+def color_for(name):
+    h = 2166136261
+    for ch in name:
+        h = ((h ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    r = 205 + (h & 0x3F) % 50
+    g = 80 + ((h >> 8) & 0xFF) % 100
+    b = ((h >> 16) & 0x3F) % 60
+    return f"rgb({r},{g},{b})"
+
+
+def render_svg(root, title, width):
+    row_h = 16
+    font_px = 11
+
+    def depth(node):
+        return 1 + max((depth(c) for c in node.children.values()),
+                       default=0)
+
+    height = (depth(root) + 2) * row_h + 24
+    total = root.value or 1
+    parts = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" '
+        f'font-size="{font_px}px">'
+    )
+    parts.append(
+        f'<rect width="100%" height="100%" fill="#f8f8f8"/>'
+        f'<text x="{width // 2}" y="15" text-anchor="middle" '
+        f'font-size="13px">{escape(title)}</text>'
+    )
+
+    def emit(node, x, y, w):
+        if w < 0.5:
+            return
+        pct = 100.0 * node.value / total
+        label = node.name if node.name else "all"
+        parts.append(
+            f'<g><title>{escape(label)} — {node.value} samples '
+            f"({pct:.1f}%)</title>"
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" '
+            f'height="{row_h - 1}" fill="{color_for(label)}" '
+            f'rx="1"/>'
+        )
+        # ~0.6 em per glyph; clip the label to its box.
+        max_chars = int(w / (font_px * 0.62))
+        if max_chars >= 3:
+            text = label if len(label) <= max_chars else (
+                label[: max_chars - 1] + "…")
+            parts.append(
+                f'<text x="{x + 2:.2f}" y="{y + row_h - 5}" '
+                f'fill="#111">{escape(text)}</text>'
+            )
+        parts.append("</g>")
+        cx = x
+        for child in sorted(node.children.values(),
+                            key=lambda c: -c.value):
+            cw = w * child.value / node.value if node.value else 0
+            emit(child, cx, y + row_h, cw)
+            cx += cw
+
+    emit(root, 0, 24, width)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def check(stacks, comments, args):
+    errors = []
+    total = sum(n for _, n in stacks)
+    if total == 0:
+        errors.append("profile contains no samples")
+    sym = unsym = 0
+    for frames, n in stacks:
+        for fr in frames:
+            if fr.startswith("0x"):
+                unsym += n
+            else:
+                sym += n
+    frac = sym / (sym + unsym) if (sym + unsym) else 0.0
+    if frac < args.min_symbolized:
+        errors.append(
+            f"symbolized frame fraction {frac:.2f} < "
+            f"{args.min_symbolized:.2f}"
+        )
+    roots = {frames[0] for frames, _ in stacks if frames}
+    for layer in args.require_layer:
+        if layer not in roots:
+            errors.append(
+                f"required layer '{layer}' never roots a stack "
+                f"(roots seen: {sorted(roots)})"
+            )
+    for needle in args.require_frame:
+        if not any(needle in fr for frames, _ in stacks
+                   for fr in frames):
+            errors.append(f"no frame contains '{needle}'")
+    for e in errors:
+        print(f"flamegraph check: FAIL: {e}", file=sys.stderr)
+    if not errors:
+        print(
+            f"flamegraph check: OK — {total} samples, "
+            f"{len(stacks)} stacks, {frac:.0%} symbolized, "
+            f"roots: {sorted(roots)}"
+        )
+    return 1 if errors else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("input", help="collapsed-stack profile file")
+    ap.add_argument("-o", "--output", help="SVG output path "
+                    "(default: <input>.svg)")
+    ap.add_argument("--title", default=None)
+    ap.add_argument("--width", type=int, default=1200)
+    ap.add_argument("--check", action="store_true",
+                    help="validate instead of rendering")
+    ap.add_argument("--min-symbolized", type=float, default=0.0,
+                    help="check: minimum symbolized frame fraction")
+    ap.add_argument("--require-layer", action="append", default=[],
+                    help="check: layer that must root >=1 stack")
+    ap.add_argument("--require-frame", action="append", default=[],
+                    help="check: substring some frame must contain")
+    args = ap.parse_args()
+
+    stacks, comments = parse_folded(args.input)
+
+    if args.check:
+        sys.exit(check(stacks, comments, args))
+
+    if not stacks:
+        print(f"{args.input}: no stacks to render", file=sys.stderr)
+        sys.exit(1)
+
+    root = Node("")
+    for frames, n in stacks:
+        root.add(frames, n)
+
+    title = args.title
+    if title is None:
+        title = comments[0].lstrip("# ") if comments else args.input
+    out = args.output or (args.input + ".svg")
+    svg = render_svg(root, title, args.width)
+    with open(out, "w", encoding="utf-8") as f:
+        f.write(svg)
+    print(f"wrote {out} ({sum(n for _, n in stacks)} samples, "
+          f"{len(stacks)} stacks)")
+
+
+if __name__ == "__main__":
+    main()

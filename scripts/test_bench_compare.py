@@ -136,5 +136,102 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(code, 1)
 
 
+class AbModeTest(unittest.TestCase):
+    """Paired sign-test gate (--ab)."""
+
+    run_compare = BenchCompareTest.run_compare
+
+    def test_sign_test_p_values(self):
+        self.assertAlmostEqual(bench_compare.sign_test_p(0, 0), 1.0)
+        # 10/10 worse: p = 1/1024
+        self.assertAlmostEqual(
+            bench_compare.sign_test_p(10, 0), 1.0 / 1024.0)
+        # 5/10 worse: p > 0.5 (includes the observed count)
+        self.assertGreater(bench_compare.sign_test_p(5, 5), 0.5)
+
+    def test_consistent_large_drop_fails(self):
+        reps_a = [row(kops=100.0 + i) for i in range(10)]
+        reps_b = [row(kops=90.0 + i) for i in range(10)]  # -10% always
+        code, out, _ = self.run_compare(reps_a, reps_b, "--ab")
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_consistent_tiny_drop_passes_effect_floor(self):
+        # Statistically significant (10/10 worse) but below the 2%
+        # practical floor: machine drift, not a regression.
+        reps_a = [row(kops=100.0) for _ in range(10)]
+        reps_b = [row(kops=99.5) for _ in range(10)]
+        code, out, _ = self.run_compare(reps_a, reps_b, "--ab")
+        self.assertEqual(code, 0)
+        self.assertNotIn("REGRESSION", out)
+
+    def test_noisy_even_split_passes(self):
+        # Large but direction-alternating deltas: not significant.
+        reps_a = [row(kops=100.0) for _ in range(10)]
+        reps_b = [row(kops=80.0 if i % 2 else 120.0) for i in range(10)]
+        code, out, _ = self.run_compare(reps_a, reps_b, "--ab")
+        self.assertEqual(code, 0)
+        self.assertNotIn("REGRESSION", out)
+
+    def test_min_effect_override(self):
+        reps_a = [row(kops=100.0) for _ in range(10)]
+        reps_b = [row(kops=99.5) for _ in range(10)]
+        code, out, _ = self.run_compare(
+            reps_a, reps_b, "--ab", "--ab-min-effect=0.001")
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_alpha_override(self):
+        # 4/4 worse has p = 1/16 = 0.0625: fails at alpha 0.1,
+        # passes at the default 0.05.
+        reps_a = [row(kops=100.0) for _ in range(4)]
+        reps_b = [row(kops=90.0) for _ in range(4)]
+        code, _, _ = self.run_compare(reps_a, reps_b, "--ab")
+        self.assertEqual(code, 0)
+        code, _, _ = self.run_compare(
+            reps_a, reps_b, "--ab", "--ab-alpha=0.1")
+        self.assertEqual(code, 1)
+
+    def test_pairs_matched_per_config_not_pooled_across(self):
+        # Two configs whose absolute rates differ 10x; pairing must
+        # stay within each config. A consistent drop in both fails.
+        reps_a = ([row(mix="YCSB-A", kops=100.0)] * 5 +
+                  [row(mix="YCSB-C", kops=1000.0)] * 5)
+        reps_b = ([row(mix="YCSB-A", kops=90.0)] * 5 +
+                  [row(mix="YCSB-C", kops=900.0)] * 5)
+        code, out, _ = self.run_compare(reps_a, reps_b, "--ab")
+        self.assertEqual(code, 1)
+        self.assertIn("10", out)  # all 10 pairs used
+
+    def test_unpaired_reps_dropped(self):
+        reps_a = [row(kops=100.0)] * 6
+        reps_b = [row(kops=100.0)] * 4
+        code, out, _ = self.run_compare(reps_a, reps_b, "--ab")
+        self.assertEqual(code, 0)
+        self.assertIn("2 unpaired", out)
+
+    def test_warn_only_reports_but_passes(self):
+        reps_a = [row(kops=100.0)] * 10
+        reps_b = [row(kops=80.0)] * 10
+        code, out, _ = self.run_compare(
+            reps_a, reps_b, "--ab", "--warn-only")
+        self.assertEqual(code, 0)
+        self.assertIn("REGRESSION", out)
+
+    def test_improvement_is_not_a_regression(self):
+        reps_a = [row(kops=100.0)] * 10
+        reps_b = [row(kops=150.0)] * 10
+        code, out, _ = self.run_compare(reps_a, reps_b, "--ab")
+        self.assertEqual(code, 0)
+        self.assertIn("improved", out)
+
+    def test_no_common_rows_is_an_error(self):
+        code, _, err = self.run_compare(
+            [row(store="Prism", kops=1.0)],
+            [row(store="KVell", kops=1.0)], "--ab")
+        self.assertEqual(code, 2)
+        self.assertIn("no comparable rows", err)
+
+
 if __name__ == "__main__":
     unittest.main()

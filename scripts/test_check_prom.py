@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Unit tests for check_prom.py (stdlib only; run via ctest or
+``python3 scripts/test_check_prom.py``)."""
+
+import io
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_prom  # noqa: E402
+
+GOOD = """\
+# TYPE prism_puts_total counter
+prism_puts_total 12345
+# TYPE prism_pwb_used_bytes gauge
+prism_pwb_used_bytes{pwb="0"} 1048576
+prism_pwb_used_bytes{pwb="1"} 524288
+# TYPE prism_op_latency_ns histogram
+prism_op_latency_ns_bucket{op="put",le="1000"} 10
+prism_op_latency_ns_bucket{op="put",le="10000"} 42
+prism_op_latency_ns_bucket{op="put",le="+Inf"} 50
+prism_op_latency_ns_sum{op="put"} 123456
+prism_op_latency_ns_count{op="put"} 50
+"""
+
+
+class CheckPromTest(unittest.TestCase):
+    def run_check(self, text):
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "metrics.txt")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+            out, err = io.StringIO(), io.StringIO()
+            argv = sys.argv
+            sys.argv = ["check_prom.py", path]
+            try:
+                with redirect_stdout(out), redirect_stderr(err):
+                    code = check_prom.main()
+            finally:
+                sys.argv = argv
+            return code, out.getvalue(), err.getvalue()
+
+    def test_valid_exposition_passes(self):
+        code, out, err = self.run_check(GOOD)
+        self.assertEqual(code, 0, err)
+        self.assertIn("OK", out)
+        self.assertIn("1 histograms", out)
+
+    def test_untyped_sample_fails(self):
+        code, _, err = self.run_check("prism_mystery_total 1\n")
+        self.assertEqual(code, 1)
+        self.assertIn("no TYPE", err)
+
+    def test_counter_without_total_suffix_fails(self):
+        code, _, err = self.run_check(
+            "# TYPE prism_puts counter\nprism_puts 1\n")
+        self.assertEqual(code, 1)
+        self.assertIn("_total", err)
+
+    def test_duplicate_sample_fails(self):
+        code, _, err = self.run_check(
+            "# TYPE x_total counter\nx_total 1\nx_total 2\n")
+        self.assertEqual(code, 1)
+        self.assertIn("duplicate sample", err)
+
+    def test_duplicate_type_fails(self):
+        code, _, err = self.run_check(
+            "# TYPE x_total counter\n# TYPE x_total counter\n"
+            "x_total 1\n")
+        self.assertEqual(code, 1)
+        self.assertIn("duplicate TYPE", err)
+
+    def test_unparseable_sample_fails(self):
+        code, _, err = self.run_check(
+            "# TYPE x_total counter\nx_total one two three four\n")
+        self.assertEqual(code, 1)
+        self.assertIn("unparseable", err)
+
+    def test_bad_value_fails(self):
+        code, _, err = self.run_check(
+            "# TYPE x_total counter\nx_total abc\n")
+        self.assertEqual(code, 1)
+
+    def test_non_cumulative_histogram_fails(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 10\n'
+            'h_bucket{le="2"} 5\n'
+            'h_bucket{le="+Inf"} 10\n'
+            "h_sum 1\n"
+            "h_count 10\n"
+        )
+        code, _, err = self.run_check(bad)
+        self.assertEqual(code, 1)
+        self.assertIn("not cumulative", err)
+
+    def test_histogram_missing_inf_bucket_fails(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 10\n'
+            "h_sum 1\n"
+            "h_count 10\n"
+        )
+        code, _, err = self.run_check(bad)
+        self.assertEqual(code, 1)
+        self.assertIn("+Inf", err)
+
+    def test_histogram_inf_count_mismatch_fails(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 9\n'
+            "h_sum 1\n"
+            "h_count 10\n"
+        )
+        code, _, err = self.run_check(bad)
+        self.assertEqual(code, 1)
+        self.assertIn("!= _count", err)
+
+    def test_histogram_missing_count_fails(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 10\n'
+            "h_sum 1\n"
+        )
+        code, _, err = self.run_check(bad)
+        self.assertEqual(code, 1)
+        self.assertIn("missing _count", err)
+
+    def test_bad_label_syntax_fails(self):
+        code, _, err = self.run_check(
+            "# TYPE g gauge\ng{oops} 1\n")
+        self.assertEqual(code, 1)
+        self.assertIn("bad label syntax", err)
+
+    def test_inf_and_nan_values_parse(self):
+        code, _, err = self.run_check("# TYPE g gauge\ng +Inf\n")
+        self.assertEqual(code, 0, err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/prof.h"
 #include "common/histogram.h"
 #include "common/log.h"
 #include "common/logging.h"
@@ -329,6 +330,30 @@ httpResponse(int status, const char *reason, const char *content_type,
     return out;
 }
 
+/** `key=value` lookup in a raw query string; @p dflt when absent
+ *  or unparsable. Good enough for the two numeric pprof params. */
+double
+queryDouble(const std::string &query, const char *key, double dflt)
+{
+    const std::string needle = std::string(key) + "=";
+    size_t pos = 0;
+    while (pos < query.size()) {
+        size_t end = query.find('&', pos);
+        if (end == std::string::npos)
+            end = query.size();
+        if (query.compare(pos, needle.size(), needle) == 0) {
+            try {
+                return std::stod(query.substr(pos + needle.size(),
+                                              end - pos - needle.size()));
+            } catch (...) {
+                return dflt;
+            }
+        }
+        pos = end + 1;
+    }
+    return dflt;
+}
+
 constexpr char kIndexBody[] =
     "prism ops endpoints:\n"
     "  /metrics    Prometheus text exposition\n"
@@ -336,7 +361,9 @@ constexpr char kIndexBody[] =
     "  /readyz     readiness (200/503)\n"
     "  /slowops    captured slow ops (JSON)\n"
     "  /telemetry  prism.telemetry.v1 series (JSON)\n"
-    "  /trace      Chrome-trace export (JSON)\n";
+    "  /trace      Chrome-trace export (JSON)\n"
+    "  /pprof/profile?seconds=N[&hz=H]  CPU profile, collapsed stacks\n"
+    "  /pprof/contention                lock-wait folded stacks\n";
 
 }  // namespace
 
@@ -357,13 +384,15 @@ struct ObsServer::Impl {
     stats::Counter *errors = nullptr;
     stats::Gauge *port_gauge = nullptr;
 
-    std::string handle(const std::string &target);
+    std::string handle(const std::string &target,
+                       const std::string &query);
     std::string respond(const std::string &head);
     void loop();
 };
 
 std::string
-ObsServer::Impl::handle(const std::string &target)
+ObsServer::Impl::handle(const std::string &target,
+                        const std::string &query)
 {
     if (target == "/" || target.empty())
         return httpResponse(200, "OK", "text/plain; charset=utf-8",
@@ -403,6 +432,18 @@ ObsServer::Impl::handle(const std::string &target)
     if (target == "/trace")
         return httpResponse(200, "OK", "application/json",
                             trace::TraceRegistry::global().exportJson());
+    if (target == "/pprof/profile") {
+        // Blocks this (single) server thread for the window: other
+        // scrapes queue behind it, which is fine for an ops endpoint.
+        const double seconds = queryDouble(query, "seconds", 5.0);
+        const int hz = static_cast<int>(queryDouble(query, "hz", 0));
+        return httpResponse(200, "OK", "text/plain; charset=utf-8",
+                            prof::Profiler::global().profileForWindow(
+                                hz, seconds));
+    }
+    if (target == "/pprof/contention")
+        return httpResponse(200, "OK", "text/plain; charset=utf-8",
+                            prof::renderContentionFolded());
     errors->inc();
     return httpResponse(404, "Not Found", "text/plain; charset=utf-8",
                         "unknown endpoint\n");
@@ -432,10 +473,13 @@ ObsServer::Impl::respond(const std::string &head)
                             "text/plain; charset=utf-8",
                             "GET only\n");
     }
+    std::string query;
     const size_t q = target.find('?');
-    if (q != std::string::npos)
+    if (q != std::string::npos) {
+        query = target.substr(q + 1);
         target.resize(q);
-    return handle(target);
+    }
+    return handle(target, query);
 }
 
 void
@@ -765,8 +809,12 @@ writePostmortem(const std::string &base_dir, const std::string &reason)
     manifest += "fault_schedule: " +
                 (schedule.empty() ? std::string("(none)") : schedule) +
                 "\n";
+    const bool prof_armed = prof::Profiler::global().running();
     manifest += "files: stats.json trace.json slowops.json faults.txt "
-                "log_tail.txt\n";
+                "log_tail.txt";
+    if (prof_armed)
+        manifest += " profile.txt";
+    manifest += "\n";
     writeFile(dir + "/MANIFEST.txt", manifest);
 
     writeFile(dir + "/stats.json",
@@ -774,6 +822,14 @@ writePostmortem(const std::string &base_dir, const std::string &reason)
     writeFile(dir + "/trace.json",
               trace::TraceRegistry::global().exportJson());
     writeFile(dir + "/slowops.json", renderSlowOpsJson());
+
+    // Whatever the sampler has collected up to the crash. Symbolization
+    // allocates, but by this point we are already off the signal-unsafe
+    // deep end (the other dumps allocate too) — a postmortem is
+    // best-effort by design.
+    if (prof_armed)
+        writeFile(dir + "/profile.txt",
+                  prof::Profiler::global().collectFolded());
 
     // faults.txt replays with: PRISM_FAULTS="$(head -1 faults.txt)"
     std::string faults = schedule + "\n";

@@ -59,6 +59,17 @@ class TicketLock {
             cpuRelax();
     }
 
+    /** Take a ticket only when it would be served immediately. */
+    bool
+    try_lock()  // NOLINT: std Lockable spelling
+    {
+        uint32_t serving = serving_.load(std::memory_order_acquire);
+        uint32_t expected = serving;
+        return next_.compare_exchange_strong(
+            expected, serving + 1, std::memory_order_acquire,
+            std::memory_order_relaxed);
+    }
+
     void
     unlock()
     {

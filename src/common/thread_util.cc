@@ -9,6 +9,16 @@
 
 #include "common/logging.h"
 
+// Profiler lifecycle hooks (common/prof.h): registration records the
+// kernel tid + stack bounds the SIGPROF handler needs (and self-arms a
+// timer when sampling is live); exit deletes the thread's timer before
+// the dense id is recycled, so a successor never inherits a timer
+// aimed at a dead tid.
+namespace prism::prof::detail {
+void onThreadRegistered(int tid);
+void onThreadExit(int tid);
+}  // namespace prism::prof::detail
+
 namespace prism {
 
 namespace {
@@ -28,6 +38,7 @@ struct IdHolder {
     ~IdHolder()
     {
         if (id >= 0) {
+            prof::detail::onThreadExit(id);
             std::lock_guard<std::mutex> lock(g_free_ids_mu);
             g_free_ids.push_back(id);
         }
@@ -46,12 +57,14 @@ ThreadId::self()
             if (!g_free_ids.empty()) {
                 tls_thread_id.id = g_free_ids.back();
                 g_free_ids.pop_back();
-                return tls_thread_id.id;
             }
         }
-        tls_thread_id.id =
-            g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
-        PRISM_CHECK(tls_thread_id.id < kMaxThreads);
+        if (tls_thread_id.id < 0) {
+            tls_thread_id.id =
+                g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+            PRISM_CHECK(tls_thread_id.id < kMaxThreads);
+        }
+        prof::detail::onThreadRegistered(tls_thread_id.id);
     }
     return tls_thread_id.id;
 }

@@ -13,6 +13,16 @@ namespace detail {
 
 std::atomic<uint32_t> g_flags{0};
 thread_local uint32_t t_depth = 0;
+thread_local uint32_t t_cur_leaf = 0;
+thread_local uint8_t t_cur_layer =
+    static_cast<uint8_t>(Layer::kOther);
+
+namespace {
+
+/** Layer-tracking request, preserved across recomputeFlags(). */
+std::atomic<bool> g_layer_track{false};
+
+}  // namespace
 
 namespace {
 
@@ -44,6 +54,8 @@ layerBusyCounters()
     return *c;
 }
 
+}  // namespace
+
 Layer
 layerOfId(uint32_t name_id)
 {
@@ -53,7 +65,15 @@ layerOfId(uint32_t name_id)
         g_layer_of[name_id - 1].load(std::memory_order_relaxed));
 }
 
-}  // namespace
+void
+setLayerTracking(bool on)
+{
+    g_layer_track.store(on, std::memory_order_relaxed);
+    if (on)
+        g_flags.fetch_or(kFlagLayerTrack, std::memory_order_relaxed);
+    else
+        g_flags.fetch_and(~kFlagLayerTrack, std::memory_order_relaxed);
+}
 
 void
 accountSpanSelf(uint32_t name_id, uint8_t depth, uint64_t dur_ns)
@@ -246,6 +266,8 @@ TraceRegistry::recomputeFlags()
         f |= detail::kFlagTracing;
     if (slow_threshold_ns_.load(std::memory_order_relaxed) != 0)
         f |= detail::kFlagTracing | detail::kFlagSlowOp;
+    if (detail::g_layer_track.load(std::memory_order_relaxed))
+        f |= detail::kFlagLayerTrack;
     detail::g_flags.store(f, std::memory_order_relaxed);
 }
 

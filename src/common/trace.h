@@ -115,12 +115,15 @@ constexpr size_t kSlotWords = 8;
 
 /**
  * Global enable flags, checked (one relaxed load) by every macro.
- * Bit 0: ring recording on. Bit 1: slow-op capture on.
+ * Bit 0: ring recording on. Bit 1: slow-op capture on. Bit 2: layer
+ * tracking on (spans maintain t_cur_layer/t_cur_leaf without emitting
+ * events — armed by the CPU/lock profilers, prism::prof).
  */
 extern std::atomic<uint32_t> g_flags;
 
 constexpr uint32_t kFlagTracing = 1u;
 constexpr uint32_t kFlagSlowOp = 2u;
+constexpr uint32_t kFlagLayerTrack = 4u;
 
 inline bool tracingEnabled() {
     return (g_flags.load(std::memory_order_relaxed) & kFlagTracing) != 0;
@@ -131,6 +134,26 @@ inline bool anythingEnabled() {
 
 /** Per-thread span nesting depth (no atomicity needed). */
 extern thread_local uint32_t t_depth;
+
+/**
+ * The calling thread's innermost open span (interned name id, 0 =
+ * none) and its layer, maintained by Span/OpScope whenever layer
+ * tracking is armed. Plain TLS words so the SIGPROF sampling handler
+ * (prism::prof) can read them async-signal-safely to key CPU samples
+ * by layer/span.
+ */
+extern thread_local uint32_t t_cur_leaf;
+extern thread_local uint8_t t_cur_layer;
+
+/** Layer of an interned name id (relaxed table lookup). */
+Layer layerOfId(uint32_t name_id);
+
+/**
+ * Arm/disarm layer tracking (kFlagLayerTrack). Independent of
+ * setEnabled(): the profilers key samples by layer without paying for
+ * event recording.
+ */
+void setLayerTracking(bool on);
 
 /**
  * Close-of-span bookkeeping for per-layer CPU attribution: charges
@@ -328,7 +351,19 @@ class Span {
   public:
     explicit Span(uint32_t name_id)
     {
-        if (!detail::tracingEnabled())
+        const uint32_t f =
+            detail::g_flags.load(std::memory_order_relaxed);
+        if (f == 0)
+            return;
+        if ((f & detail::kFlagLayerTrack) != 0) {
+            prev_leaf_ = detail::t_cur_leaf;
+            prev_layer_ = detail::t_cur_layer;
+            detail::t_cur_leaf = name_id;
+            detail::t_cur_layer =
+                static_cast<uint8_t>(detail::layerOfId(name_id));
+            layer_active_ = true;
+        }
+        if ((f & detail::kFlagTracing) == 0)
             return;
         name_id_ = name_id;
         start_ns_ = nowNs();
@@ -341,6 +376,10 @@ class Span {
 
     ~Span()
     {
+        if (layer_active_) {
+            detail::t_cur_leaf = prev_leaf_;
+            detail::t_cur_layer = prev_layer_;
+        }
         if (!active_)
             return;
         detail::t_depth--;
@@ -373,7 +412,10 @@ class Span {
 
   private:
     bool active_ = false;
+    bool layer_active_ = false;
     uint8_t depth_ = 0;
+    uint8_t prev_layer_ = 0;
+    uint32_t prev_leaf_ = 0;
     uint32_t name_id_ = 0;
     uint32_t arg1_name_ = 0;
     uint32_t arg2_name_ = 0;
@@ -392,7 +434,21 @@ class OpScope {
   public:
     explicit OpScope(uint32_t name_id)
     {
-        if (!detail::anythingEnabled())
+        const uint32_t f =
+            detail::g_flags.load(std::memory_order_relaxed);
+        if (f == 0)
+            return;
+        if ((f & detail::kFlagLayerTrack) != 0) {
+            prev_leaf_ = detail::t_cur_leaf;
+            prev_layer_ = detail::t_cur_layer;
+            detail::t_cur_leaf = name_id;
+            detail::t_cur_layer =
+                static_cast<uint8_t>(detail::layerOfId(name_id));
+            layer_active_ = true;
+        }
+        // Ring recording (and thus slow-op capture, which implies it
+        // via recomputeFlags) needs the tracing bit specifically.
+        if ((f & detail::kFlagTracing) == 0)
             return;
         name_id_ = name_id;
         start_ns_ = nowNs();
@@ -406,6 +462,10 @@ class OpScope {
 
     ~OpScope()
     {
+        if (layer_active_) {
+            detail::t_cur_leaf = prev_leaf_;
+            detail::t_cur_layer = prev_layer_;
+        }
         if (!active_)
             return;
         detail::t_depth--;
@@ -434,7 +494,10 @@ class OpScope {
 
   private:
     bool active_ = false;
+    bool layer_active_ = false;
     uint8_t depth_ = 0;
+    uint8_t prev_layer_ = 0;
+    uint32_t prev_leaf_ = 0;
     uint32_t name_id_ = 0;
     uint32_t arg1_name_ = 0;
     uint64_t start_ns_ = 0;

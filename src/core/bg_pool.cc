@@ -38,7 +38,7 @@ BgPool::~BgPool()
 int
 BgPool::allocSource()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::TimedMutex> lock(mu_);
     queues_.emplace_back();
     return static_cast<int>(queues_.size()) - 1;
 }
@@ -46,7 +46,7 @@ BgPool::allocSource()
 int
 BgPool::sources() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<prof::TimedMutex> lock(mu_);
     return static_cast<int>(queues_.size());
 }
 
@@ -87,7 +87,7 @@ void
 BgPool::shutdown()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard<prof::TimedMutex> lock(mu_);
         if (stop_)
             return;
         stop_ = true;
@@ -102,7 +102,7 @@ BgPool::shutdown()
     while (true) {
         Task task;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            std::lock_guard<prof::TimedMutex> lock(mu_);
             if (!anyQueuedLocked())
                 break;
             task = popNextLocked();
@@ -117,7 +117,7 @@ BgPool::submit(int source, std::function<void()> fn)
 {
     Task task{std::move(fn), source, nowNs()};
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard<prof::TimedMutex> lock(mu_);
         if (!threads_.empty() && !stop_) {
             pushLocked(std::move(task));
             cv_.notify_one();
@@ -141,7 +141,7 @@ BgPool::runTask(Task &task, stats::Counter *busy_ns)
     // enqueue stamp rides along so queue_delay_ns reflects total wait.
     if (PRISM_FAULT_POINT("bg.task")) {
         reg_task_faults_->inc();
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard<prof::TimedMutex> lock(mu_);
         if (!threads_.empty() && !stop_) {
             pushLocked(std::move(task));
             cv_.notify_one();
@@ -169,7 +169,7 @@ BgPool::workerLoop(int idx)
     if (numa::nodeCount() > 1)
         numa::pinThreadToNode(idx % numa::nodeCount());
     stats::Counter *busy = reg_worker_busy_ns_[static_cast<size_t>(idx)];
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<prof::TimedMutex> lock(mu_);
     while (true) {
         cv_.wait(lock,
                  [this] { return stop_ || anyQueuedLocked(); });

@@ -47,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/prof.h"
 #include "common/stats.h"
 
 namespace prism::core {
@@ -131,8 +132,9 @@ class BgPool {
     void pushLocked(Task &&task);
     static void helpWith(const std::shared_ptr<PfState> &st);
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
+    mutable prof::TimedMutex mu_{"bg.queue"};
+    // _any: waits on the profiled wrapper, not a raw std::mutex.
+    std::condition_variable_any cv_;
     // One FIFO per source, drained round-robin from rr_cursor_.
     std::vector<std::deque<Task>> queues_;
     size_t rr_cursor_ = 0;

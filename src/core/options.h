@@ -199,6 +199,18 @@ struct PrismOptions {
      *  minute at 100 ms). */
     uint64_t telemetry_windows = 600;
     /**
+     * Sampling CPU profiler rate in Hz (common/prof.h). When > 0 the
+     * store arms the process-wide profiler at open (per-thread
+     * CPU-time timers + SIGPROF backtraces, plus the lock-contention
+     * profiler) and stops it at close if it did the arming. 0 (the
+     * default) defers to $PRISM_PROF_HZ, then stays off — off means
+     * zero timers and one relaxed load per instrumented site. ~99 Hz
+     * is the intended always-on rate (prime, to dodge lockstep with
+     * periodic work); collection is via /pprof/profile on the ops
+     * endpoint, `prism_cli profile`, or a bench's `--profile=<file>`.
+     */
+    int prof_hz = 0;
+    /**
      * HTTP ops endpoint (common/obs_server.h): TCP port for /metrics,
      * /healthz, /readyz, /slowops, /telemetry and /trace on 127.0.0.1.
      * -1 (the default) defers to $PRISM_OBS_PORT, then stays off;

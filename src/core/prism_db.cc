@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/numa.h"
 #include "common/obs_server.h"
+#include "common/prof.h"
 #include "common/trace.h"
 #include "core/chunk_writer.h"
 
@@ -177,6 +178,12 @@ PrismDb::PrismDb(const PrismOptions &opts,
         telemetry_started_ = tel.start(opts_.telemetry_interval_ms);
     }
 
+    // Profiler wiring mirrors telemetry: process-wide, options only
+    // raise its state, and whoever flipped it on stops it at close.
+    // 0 Hz (the default) keeps it entirely off — no timers, no rings.
+    if (const int hz = prof::resolveHz(opts_.prof_hz); hz > 0)
+        owns_prof_ = prof::Profiler::global().start(hz);
+
     // Crash black-box (common/obs_server.h): arm the process-wide
     // handlers when the environment asks for postmortems. Harnesses
     // that want them unconditionally (prism_torture) call
@@ -194,6 +201,7 @@ PrismDb::PrismDb(const PrismOptions &opts,
         obs_->setMetricsPrepare([this] {
             publishOccupancy();
             trace::TraceRegistry::global().publishStats();
+            prof::Profiler::global().publishStats();
         });
         obs_->setHealthProvider([this] { return healthReport(); });
         obs::ObsServer::Options oo;
@@ -226,6 +234,8 @@ PrismDb::~PrismDb()
             tel.stop();
         tel.removeProbe(telemetry_probe_);
     }
+    if (owns_prof_)
+        prof::Profiler::global().stop();
     stop_.store(true, std::memory_order_release);
     reclaim_cv_.notify_all();
     gc_cv_.notify_all();
@@ -1050,7 +1060,7 @@ PrismDb::reclaimPwb(Pwb *pwb, bool force)
     // Blocking, so flushAll reliably makes progress. Passes on distinct
     // PWBs are independent and run concurrently across the pool.
     PRISM_TRACE_SPAN_VAR(pass_span, "pwb.reclaim_pass");
-    std::lock_guard<std::mutex> pass_lock(pwb->passMutex());
+    std::lock_guard<prof::TimedMutex> pass_lock(pwb->passMutex());
 
     // Near-full rings (a stalled put dispatches at ~100% utilization)
     // must reclaim everything they can; under lighter pressure a pass
@@ -1491,7 +1501,7 @@ PrismDb::healthReport() const
         "\"devices\":%zu,\"draining\":%s,\"faults_fired\":%llu,"
         "\"ssd_io_errors\":%llu,\"pwb_write_failures\":%llu,"
         "\"vs_degraded\":%llu,\"bg_task_faults\":%llu,"
-        "\"recovery_ns\":%llu}",
+        "\"recovery_ns\":%llu,\"prof_hz\":%d}",
         r.healthy ? "ok" : "degraded", r.ready ? "true" : "false",
         static_cast<unsigned long long>(b.degraded_devices),
         value_storages_.size(), draining ? "true" : "false",
@@ -1500,7 +1510,9 @@ PrismDb::healthReport() const
         static_cast<unsigned long long>(b.pwb_write_failures),
         static_cast<unsigned long long>(b.vs_degraded),
         static_cast<unsigned long long>(b.bg_task_faults),
-        static_cast<unsigned long long>(recovery_ns_));
+        static_cast<unsigned long long>(recovery_ns_),
+        prof::Profiler::global().running()
+            ? prof::Profiler::global().hz() : 0);
     r.json = buf;
     return r;
 }

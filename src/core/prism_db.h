@@ -513,6 +513,10 @@ class PrismDb {
     int telemetry_probe_ = -1;
     bool telemetry_started_ = false;
 
+    /** Whether this instance armed the (process-wide) CPU/lock profiler
+     *  at open (PrismOptions::prof_hz); the owner stops it at close. */
+    bool owns_prof_ = false;
+
     /** Async ops in flight; the destructor waits it out before teardown
      *  (their completion paths touch the SVC, HSIT and bg pool). */
     std::atomic<uint64_t> async_inflight_{0};

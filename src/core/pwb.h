@@ -22,6 +22,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/prof.h"
 #include "common/stats.h"
 #include "core/addr.h"
 #include "pmem/pmem_allocator.h"
@@ -156,7 +157,7 @@ class Pwb {
      * cursor, ring and deferred head advance — and run concurrently on
      * the bg pool.
      */
-    std::mutex &passMutex() { return pass_mu_; }
+    prof::TimedMutex &passMutex() { return pass_mu_; }
 
     /**
      * Edge-trigger for waking the reclaimer: the first append that sees
@@ -266,7 +267,7 @@ class Pwb {
     /** Logical offset of an appended-but-unpublished record. */
     std::atomic<uint64_t> inflight_{UINT64_MAX};
     /** Volatile per-PWB reclamation state (see passMutex()). */
-    std::mutex pass_mu_;
+    prof::TimedMutex pass_mu_{"pwb.pass"};
     std::atomic<bool> reclaim_scheduled_{false};
     std::atomic<bool> reclaim_hint_{false};
 

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/numa.h"
 #include "common/obs_server.h"
+#include "common/prof.h"
 #include "common/rand.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -113,6 +114,7 @@ ShardRouter::ShardRouter(const PrismOptions &opts,
                 s->publishOccupancy();
             publishShardGauges();
             trace::TraceRegistry::global().publishStats();
+            prof::Profiler::global().publishStats();
         });
         obs_->setHealthProvider([this] { return healthReport(); });
         obs::ObsServer::Options oo;
@@ -172,7 +174,8 @@ ShardRouter::healthReport() const
         "\"degraded_devices\":%llu,\"devices\":%zu,"
         "\"faults_fired\":%llu,\"ssd_io_errors\":%llu,"
         "\"pwb_write_failures\":%llu,\"vs_degraded\":%llu,"
-        "\"bg_task_faults\":%llu,\"recovery_ns\":%llu}",
+        "\"bg_task_faults\":%llu,\"recovery_ns\":%llu,"
+        "\"prof_hz\":%d}",
         r.healthy ? "ok" : "degraded", r.ready ? "true" : "false",
         shards_.size(),
         static_cast<unsigned long long>(b.degraded_devices),
@@ -182,7 +185,9 @@ ShardRouter::healthReport() const
         static_cast<unsigned long long>(b.pwb_write_failures),
         static_cast<unsigned long long>(b.vs_degraded),
         static_cast<unsigned long long>(b.bg_task_faults),
-        static_cast<unsigned long long>(recovery_ns_));
+        static_cast<unsigned long long>(recovery_ns_),
+        prof::Profiler::global().running()
+            ? prof::Profiler::global().hz() : 0);
     r.json = buf;
     return r;
 }
@@ -336,7 +341,11 @@ ShardRouter::multiGet(const std::vector<uint64_t> &keys,
             involved.push_back(i);
 
     std::vector<Status> sts(involved.size());
-    std::mutex out_mu;  // scatter targets are disjoint; mutex for TSan
+    // Scatter targets are disjoint; the mutex exists for TSan. The
+    // site is interned once — the lock itself is function-local.
+    static prof::LockSite *scatter_site =
+        prof::internLockSite("shard.scatter");
+    prof::TimedMutex out_mu{scatter_site};
     pool_->parallelFor(involved.size(), [&](size_t idx) {
         const size_t s = involved[idx];
         reg_shard_ops_[s]->inc();
@@ -344,7 +353,7 @@ ShardRouter::multiGet(const std::vector<uint64_t> &keys,
         sts[idx] = shards_[s]->multiGet(shard_keys[s], &vals);
         if (!sts[idx].isOk())
             return;
-        std::lock_guard<std::mutex> lock(out_mu);
+        std::lock_guard<prof::TimedMutex> lock(out_mu);
         for (size_t k = 0; k < vals.size(); k++)
             (*out)[shard_pos[s][k]] = std::move(vals[k]);
     });

@@ -30,7 +30,7 @@ Svc::Svc(Hsit &hsit, EpochManager &epochs,
 Svc::~Svc()
 {
     {
-        std::lock_guard<std::mutex> lock(ev_mu_);
+        std::lock_guard<prof::TimedMutex> lock(ev_mu_);
         stop_.store(true, std::memory_order_release);
     }
     ev_cv_.notify_all();
@@ -40,7 +40,7 @@ Svc::~Svc()
     // destruction.
     std::deque<Event> batch;
     {
-        std::lock_guard<std::mutex> lock(ev_mu_);
+        std::lock_guard<prof::TimedMutex> lock(ev_mu_);
         events_.swap(batch);
     }
     for (auto &ev : batch)
@@ -105,7 +105,7 @@ Svc::admit(uint64_t hsit_idx, uint64_t key, ValueAddr vs_addr,
     stats_.admissions.fetch_add(1, std::memory_order_relaxed);
     reg_admissions_->inc();
     {
-        std::lock_guard<std::mutex> lock(ev_mu_);
+        std::lock_guard<prof::TimedMutex> lock(ev_mu_);
         events_.push_back({EvType::kAdmit, e, {}});
     }
     ev_cv_.notify_one();
@@ -117,7 +117,7 @@ Svc::admit(uint64_t hsit_idx, uint64_t key, ValueAddr vs_addr,
         e->vs_raw.load(std::memory_order_relaxed)) {
         if (hsit_.svcCas(hsit_idx, e, nullptr)) {
             {
-                std::lock_guard<std::mutex> lock(ev_mu_);
+                std::lock_guard<prof::TimedMutex> lock(ev_mu_);
                 events_.push_back({EvType::kRemove, e, {}});
             }
             ev_cv_.notify_one();
@@ -135,7 +135,7 @@ Svc::invalidate(uint64_t hsit_idx)
         return;
     if (hsit_.svcCas(hsit_idx, e, nullptr)) {
         {
-            std::lock_guard<std::mutex> lock(ev_mu_);
+            std::lock_guard<prof::TimedMutex> lock(ev_mu_);
             events_.push_back({EvType::kRemove, e, {}});
         }
         ev_cv_.notify_one();
@@ -148,7 +148,7 @@ Svc::noteScan(std::vector<uint64_t> hsit_indices)
     if (!enabled_ || !scan_reorg_ || hsit_indices.size() < 2)
         return;
     {
-        std::lock_guard<std::mutex> lock(ev_mu_);
+        std::lock_guard<prof::TimedMutex> lock(ev_mu_);
         events_.push_back({EvType::kScanChain, nullptr,
                            std::move(hsit_indices)});
     }
@@ -178,7 +178,7 @@ Svc::drainForTest()
         const uint64_t gen =
             drained_generation_.load(std::memory_order_acquire);
         {
-            std::lock_guard<std::mutex> lock(ev_mu_);
+            std::lock_guard<prof::TimedMutex> lock(ev_mu_);
             poke_ = true;
         }
         ev_cv_.notify_one();
@@ -239,7 +239,7 @@ Svc::managerLoop()
             // wakeups/s instead of the 20 kHz a fixed poll would burn,
             // which matters when a shard router runs one manager per
             // shard on a small machine.
-            std::unique_lock<std::mutex> lock(ev_mu_);
+            std::unique_lock<prof::TimedMutex> lock(ev_mu_);
             ev_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
                 return stop_.load(std::memory_order_acquire) ||
                        !events_.empty() || poke_;

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/prof.h"
 #include "common/stats.h"
 #include "core/addr.h"
 #include "core/hsit.h"
@@ -188,8 +189,9 @@ class Svc {
 
     std::atomic<uint64_t> used_bytes_{0};
 
-    std::mutex ev_mu_;
-    std::condition_variable ev_cv_;
+    prof::TimedMutex ev_mu_{"svc.events"};
+    // _any: waits on the profiled wrapper, not a raw std::mutex.
+    std::condition_variable_any ev_cv_;
     std::deque<Event> events_;
     bool poke_ = false;  // drainForTest: force an empty round
     std::atomic<uint64_t> drained_generation_{0};

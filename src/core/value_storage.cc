@@ -103,7 +103,7 @@ ValueStorage::freeChunks() const
 int64_t
 ValueStorage::allocChunk()
 {
-    std::lock_guard<TicketLock> lock(free_mu_);
+    std::lock_guard<prof::TimedTicketLock> lock(free_mu_);
     if (free_chunks_.empty())
         return -1;
     const int64_t chunk = free_chunks_.back();
@@ -178,7 +178,7 @@ ValueStorage::freeChunkDeferred(int64_t chunk)
         m.settled.store(false, std::memory_order_relaxed);
         m.state.store(static_cast<uint32_t>(ChunkState::kFree),
                       std::memory_order_release);
-        std::lock_guard<TicketLock> lock(free_mu_);
+        std::lock_guard<prof::TimedTicketLock> lock(free_mu_);
         free_chunks_.push_back(chunk);
     });
 }
@@ -249,7 +249,7 @@ ValueStorage::needsGc() const
     size_t free_count = 0;
     {
         auto *self = const_cast<ValueStorage *>(this);
-        std::lock_guard<TicketLock> lock(self->free_mu_);
+        std::lock_guard<prof::TimedTicketLock> lock(self->free_mu_);
         free_count = free_chunks_.size();
     }
     return static_cast<double>(metas_.size() - free_count) >
@@ -431,7 +431,7 @@ ValueStorage::resetForRecovery()
         for (size_t w = 0; w < words; w++)
             m.bitmap[w].store(0, std::memory_order_relaxed);
     }
-    std::lock_guard<TicketLock> lock(free_mu_);
+    std::lock_guard<prof::TimedTicketLock> lock(free_mu_);
     free_chunks_.clear();
 }
 
@@ -456,7 +456,7 @@ ValueStorage::markLiveAtRecovery(uint64_t dev_offset, uint64_t record_bytes)
 void
 ValueStorage::finalizeRecovery()
 {
-    std::lock_guard<TicketLock> lock(free_mu_);
+    std::lock_guard<prof::TimedTicketLock> lock(free_mu_);
     for (size_t i = metas_.size(); i-- > 0;) {
         if (metas_[i].state.load(std::memory_order_relaxed) ==
             static_cast<uint32_t>(ChunkState::kFree))

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/prof.h"
 #include "common/spinlock.h"
 #include "core/addr.h"
 #include "core/hsit.h"
@@ -188,7 +189,7 @@ class ValueStorage {
     EpochManager &epochs_;
 
     std::vector<ChunkMeta> metas_;
-    TicketLock free_mu_;
+    prof::TimedTicketLock free_mu_{"vs.chunk_alloc"};
     std::vector<int64_t> free_chunks_;
     std::mutex gc_mu_;  ///< serializes GC passes on this Value Storage
 
