@@ -30,6 +30,11 @@
  *
  * --obs-port=N starts the HTTP ops endpoint on the interactive store
  * (0 = ephemeral; see common/obs_server.h); `top` shows its URL.
+ *
+ * --resp-port=N embeds the RESP network front-end (docs/SERVER.md) on
+ * the interactive store (0 = ephemeral), so redis-cli and
+ * bench/prism_loadgen can hit the same store the shell is poking at;
+ * `top` then adds listener and per-tenant rate lines.
  */
 #include <sys/select.h>
 #include <unistd.h>
@@ -42,12 +47,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/obs_server.h"
 #include "common/prof.h"
 #include "common/stats.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/prism_db.h"
+#include "net/resp_server.h"
 #include "sim/device_profile.h"
 #include "ycsb/stores.h"
 #include "ycsb/trace.h"
@@ -193,6 +201,37 @@ renderTopFrame(const telemetry::TelemetrySample &s, bool ansi)
         std::printf("ops: http://127.0.0.1:%d  (/metrics /healthz "
                     "/slowops /telemetry /trace)\n",
                     g_obs_port);
+    // Listener state when a RESP front-end is embedded: the gauge
+    // only exists (is non-zero) while a server is running.
+    if (const int64_t rp = s.gauge("prism.server.port"); rp > 0) {
+        std::printf("resp: 127.0.0.1:%lld  %lld conns  %.0f cmd/s  "
+                    "%.0f throttled/s  inflight %lld\n",
+                    static_cast<long long>(rp),
+                    static_cast<long long>(
+                        s.gauge("prism.server.connections")),
+                    s.counterRate("prism.server.commands"),
+                    s.counterRate("prism.server.throttled"),
+                    static_cast<long long>(
+                        s.gauge("prism.server.inflight")));
+        // Per-tenant op rates, active tenants only.
+        bool any = false;
+        for (const auto &c : s.counters) {
+            if (c.delta == 0 || c.name.rfind("prism.tenant.", 0) != 0)
+                continue;
+            if (c.name.size() < 4 ||
+                c.name.compare(c.name.size() - 4, 4, ".ops") != 0)
+                continue;
+            if (!any)
+                std::printf("tenants:  ");
+            any = true;
+            std::printf(" %s %.0f ops/s",
+                        c.name.substr(13, c.name.size() - 13 - 4)
+                            .c_str(),
+                        static_cast<double>(c.delta) / dt_s);
+        }
+        if (any)
+            std::printf("\n");
+    }
     std::printf("\n");
 
     std::printf("ops/s      put %9.0f   get %9.0f   del %9.0f   "
@@ -385,6 +424,7 @@ int
 main(int argc, char **argv)
 {
     bool dump_stats = false, dump_json = false, prom = false;
+    int resp_port = -1;  // -1 = no RESP listener; 0 = ephemeral
     std::string subcommand;
     core::PrismOptions po;  // shards=0: defer to --shards/$PRISM_SHARDS
     for (int i = 1; i < argc; i++) {
@@ -396,6 +436,8 @@ main(int argc, char **argv)
             po.shards = std::atoi(argv[i] + 9);
         else if (std::strncmp(argv[i], "--obs-port=", 11) == 0)
             po.obs_port = std::atoi(argv[i] + 11);
+        else if (std::strncmp(argv[i], "--resp-port=", 12) == 0)
+            resp_port = std::atoi(argv[i] + 12);
         else if (std::strcmp(argv[i], "--prom") == 0)
             prom = true;
         else if (argv[i][0] != '-' && subcommand.empty())
@@ -449,6 +491,22 @@ main(int argc, char **argv)
     if (g_obs_port > 0)
         std::printf("prism_cli: ops endpoint at http://127.0.0.1:%d\n",
                     g_obs_port);
+
+    // Embed the RESP front-end so network clients share this store.
+    std::unique_ptr<net::RespServer> resp;
+    if (resp_port >= 0) {
+        resp = std::make_unique<net::RespServer>(store);
+        net::RespServer::Options so;
+        so.port = resp_port;
+        std::string err;
+        if (!resp->start(so, &err)) {
+            std::fprintf(stderr, "prism_cli: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("prism_cli: resp listening on 127.0.0.1:%d  "
+                    "(try: redis-cli -p %d)\n",
+                    resp->port(), resp->port());
+    }
 
     std::string line;
     while (true) {
@@ -689,6 +747,8 @@ main(int argc, char **argv)
                         cmd.c_str());
         }
     }
+    if (resp)
+        resp->stop();
     telemetry::Telemetry::global().stop();
     if (dump_stats) {
         const auto snap = stats::StatsRegistry::global().snapshot();

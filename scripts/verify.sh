@@ -27,4 +27,36 @@ grep -q "prism\.pwb\.appends" /tmp/prism_stats_smoke.txt || {
     echo "verify.sh: --stats dump missing registry metrics" >&2
     exit 1
 }
+
+# Optional wire-level smoke (PRISM_VERIFY_SERVER=1): boot prism_server
+# on an ephemeral port, run the raw-socket conformance script, then a
+# short open-loop prism_loadgen burst — the local mirror of CI's
+# `server` job (docs/SERVER.md).
+if [[ "${PRISM_VERIFY_SERVER:-0}" == "1" ]]; then
+    SRV_OUT=$(mktemp) SRV_ERR=$(mktemp)
+    ./build/examples/prism_server --port=0 --obs-port=-1 \
+        > "${SRV_OUT}" 2> "${SRV_ERR}" &
+    SRV_PID=$!
+    trap 'kill "${SRV_PID}" 2>/dev/null || true' EXIT
+    PORT=""
+    for _ in $(seq 1 50); do
+        PORT=$(grep -oam1 'resp listening on 127.0.0.1:[0-9]*' \
+               "${SRV_OUT}" | grep -oE '[0-9]+$' || true)
+        [[ -n "${PORT}" ]] && break
+        sleep 0.2
+    done
+    [[ -n "${PORT}" ]] || {
+        echo "verify.sh: prism_server never announced a port" >&2
+        cat "${SRV_ERR}" >&2
+        exit 1
+    }
+    python3 scripts/resp_conformance.py "${PORT}"
+    ./build/bench/prism_loadgen --port="${PORT}" --load \
+        --records=5000 --conns=2
+    ./build/bench/prism_loadgen --port="${PORT}" --mix=c --rate=2000 \
+        --duration=5 --records=5000 --conns=2
+    kill -TERM "${SRV_PID}"
+    wait "${SRV_PID}"
+    trap - EXIT
+fi
 echo "verify.sh: OK"

@@ -300,6 +300,31 @@ defaultHealthReport()
     return r;
 }
 
+namespace {
+
+std::mutex g_listener_mu;
+std::function<std::string()> g_listener_info;
+
+}  // namespace
+
+void
+setListenerInfo(std::function<std::string()> fn)
+{
+    std::lock_guard<std::mutex> lock(g_listener_mu);
+    g_listener_info = std::move(fn);
+}
+
+std::string
+listenerInfoJson()
+{
+    std::function<std::string()> fn;
+    {
+        std::lock_guard<std::mutex> lock(g_listener_mu);
+        fn = g_listener_info;
+    }
+    return fn ? fn() : std::string();
+}
+
 // ---------------------------------------------------------------------
 // HTTP server
 // ---------------------------------------------------------------------

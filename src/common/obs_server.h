@@ -69,6 +69,20 @@ struct HealthReport {
 HealthReport defaultHealthReport();
 
 /**
+ * Register (or clear, with nullptr) the process-wide listener-info
+ * provider. When a network front-end (net::RespServer) is embedded, it
+ * registers a callback returning a JSON object describing the listener
+ * (port, connections, commands, ...); health reports append it as a
+ * `"listener"` section so /healthz and `prism_cli top` show front-end
+ * state next to store state. The callback is invoked from arbitrary
+ * threads and must be cheap and thread-safe.
+ */
+void setListenerInfo(std::function<std::string()> fn);
+
+/** The registered listener's JSON object, or "" when none. */
+std::string listenerInfoJson();
+
+/**
  * The HTTP ops listener. One background thread multiplexes the listen
  * socket and every client over poll(); requests are GET-only,
  * connection-per-request (Connection: close). Lifecycle is

@@ -189,6 +189,12 @@ ShardRouter::healthReport() const
         prof::Profiler::global().running()
             ? prof::Profiler::global().hz() : 0);
     r.json = buf;
+    // When a network front-end is embedded its listener registers a
+    // JSON provider; splice it in so /healthz shows listener state.
+    if (std::string lj = obs::listenerInfoJson(); !lj.empty()) {
+        r.json.pop_back();
+        r.json += ",\"listener\":" + lj + "}";
+    }
     return r;
 }
 

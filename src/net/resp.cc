@@ -1,0 +1,340 @@
+#include "net/resp.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace prism::net {
+
+namespace {
+
+/**
+ * Strict decimal parse for RESP length/count headers. Rejects empty
+ * strings, signs other than a single leading '-', and overflow; RESP
+ * headers are machine-generated, so anything unusual is an attack or a
+ * desynchronised stream, not a formatting preference.
+ */
+bool
+parseI64(std::string_view s, int64_t *out)
+{
+    if (s.empty() || s.size() > 20)
+        return false;
+    bool neg = false;
+    size_t i = 0;
+    if (s[0] == '-') {
+        neg = true;
+        i = 1;
+        if (s.size() == 1)
+            return false;
+    }
+    uint64_t v = 0;
+    for (; i < s.size(); i++) {
+        if (s[i] < '0' || s[i] > '9')
+            return false;
+        const uint64_t d = static_cast<uint64_t>(s[i] - '0');
+        if (v > (UINT64_MAX - d) / 10)
+            return false;
+        v = v * 10 + d;
+    }
+    if (v > static_cast<uint64_t>(INT64_MAX))
+        return false;
+    *out = neg ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
+    return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// RespParser
+// ---------------------------------------------------------------------
+
+void
+RespParser::feed(std::string_view data)
+{
+    buf_.append(data.data(), data.size());
+}
+
+bool
+RespParser::line(size_t from, std::string_view *out, size_t *end) const
+{
+    const size_t lf = buf_.find("\r\n", from);
+    if (lf == std::string::npos)
+        return false;
+    *out = std::string_view(buf_).substr(from, lf - from);
+    *end = lf + 2;
+    return true;
+}
+
+void
+RespParser::discard(size_t upto)
+{
+    pos_ = upto;
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not grow its buffer without bound.
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+}
+
+ParseResult
+RespParser::fail(std::string msg)
+{
+    poisoned_ = true;
+    error_ = std::move(msg);
+    return ParseResult::kError;
+}
+
+ParseResult
+RespParser::next(std::vector<std::string> *out)
+{
+    if (poisoned_)
+        return ParseResult::kError;
+    out->clear();
+    if (pos_ >= buf_.size()) {
+        discard(pos_);
+        return ParseResult::kNeedMore;
+    }
+    // Oversized-command rejection applies to *incomplete* frames too:
+    // a frame that is already past the limit without terminating can
+    // never become acceptable, and waiting for it to finish is exactly
+    // the memory-exhaustion vector the limit exists to close.
+    const ParseResult r = buf_[pos_] == '*' ? parseArray(out)
+                                            : parseInline(out);
+    if (r == ParseResult::kNeedMore && buffered() > limits_.max_frame_bytes)
+        return fail("ERR command frame exceeds " +
+                    std::to_string(limits_.max_frame_bytes) + " bytes");
+    return r;
+}
+
+ParseResult
+RespParser::parseInline(std::vector<std::string> *out)
+{
+    std::string_view l;
+    size_t end;
+    if (!line(pos_, &l, &end))
+        return ParseResult::kNeedMore;
+    if (l.size() > limits_.max_frame_bytes)
+        return fail("ERR command frame exceeds " +
+                    std::to_string(limits_.max_frame_bytes) + " bytes");
+    // An inline command starting with another RESP type byte means the
+    // peer is speaking a framing we do not serve (e.g. a stray reply).
+    if (!l.empty() && (l[0] == '$' || l[0] == '+' || l[0] == '-' ||
+                       l[0] == ':'))
+        return fail("ERR unexpected RESP type byte '" +
+                    std::string(1, l[0]) + "'");
+    size_t i = 0;
+    while (i < l.size()) {
+        while (i < l.size() && (l[i] == ' ' || l[i] == '\t'))
+            i++;
+        size_t start = i;
+        while (i < l.size() && l[i] != ' ' && l[i] != '\t')
+            i++;
+        if (i > start)
+            out->emplace_back(l.substr(start, i - start));
+        if (out->size() > limits_.max_args)
+            return fail("ERR too many arguments");
+    }
+    discard(end);
+    // Blank line: not a command, try the next frame (real Redis does
+    // the same — it lets netcat users mash Enter harmlessly).
+    if (out->empty())
+        return next(out);
+    return ParseResult::kCommand;
+}
+
+ParseResult
+RespParser::parseArray(std::vector<std::string> *out)
+{
+    size_t cur = pos_;
+    std::string_view l;
+    size_t end;
+    if (!line(cur, &l, &end))
+        return ParseResult::kNeedMore;
+    int64_t nargs;
+    if (!parseI64(l.substr(1), &nargs))
+        return fail("ERR invalid multibulk length");
+    if (nargs < 0)
+        return fail("ERR invalid multibulk length");
+    if (static_cast<size_t>(nargs) > limits_.max_args)
+        return fail("ERR too many arguments (max " +
+                    std::to_string(limits_.max_args) + ")");
+    cur = end;
+    out->reserve(static_cast<size_t>(nargs));
+    for (int64_t i = 0; i < nargs; i++) {
+        if (!line(cur, &l, &end))
+            return ParseResult::kNeedMore;
+        if (l.empty() || l[0] != '$')
+            return fail("ERR expected bulk string ('$'), got '" +
+                        std::string(l.substr(0, 1)) + "'");
+        int64_t blen;
+        if (!parseI64(l.substr(1), &blen) || blen < 0)
+            return fail("ERR invalid bulk length");
+        if (static_cast<size_t>(blen) > limits_.max_bulk_bytes)
+            return fail("ERR bulk argument exceeds " +
+                        std::to_string(limits_.max_bulk_bytes) +
+                        " bytes");
+        cur = end;
+        if (buf_.size() - cur < static_cast<size_t>(blen) + 2)
+            return ParseResult::kNeedMore;
+        if (buf_[cur + blen] != '\r' || buf_[cur + blen + 1] != '\n')
+            return fail("ERR bulk string missing CRLF terminator");
+        out->emplace_back(buf_, cur, static_cast<size_t>(blen));
+        cur += static_cast<size_t>(blen) + 2;
+    }
+    // A zero-argument array (`*0`) frames no command; skip it like a
+    // blank inline line.
+    discard(cur);
+    if (out->empty())
+        return next(out);
+    return ParseResult::kCommand;
+}
+
+// ---------------------------------------------------------------------
+// Encoders
+// ---------------------------------------------------------------------
+
+void
+appendSimple(std::string *out, std::string_view s)
+{
+    out->push_back('+');
+    out->append(s);
+    out->append("\r\n");
+}
+
+void
+appendError(std::string *out, std::string_view msg)
+{
+    out->push_back('-');
+    out->append(msg);
+    out->append("\r\n");
+}
+
+void
+appendInteger(std::string *out, int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ":%" PRId64 "\r\n", v);
+    out->append(buf);
+}
+
+void
+appendBulk(std::string *out, std::string_view s)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "$%zu\r\n", s.size());
+    out->append(buf);
+    out->append(s);
+    out->append("\r\n");
+}
+
+void
+appendNull(std::string *out)
+{
+    out->append("$-1\r\n");
+}
+
+void
+appendArrayHeader(std::string *out, size_t n)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "*%zu\r\n", n);
+    out->append(buf);
+}
+
+void
+encodeCommand(std::string *out, const std::vector<std::string_view> &args)
+{
+    appendArrayHeader(out, args.size());
+    for (const auto &a : args)
+        appendBulk(out, a);
+}
+
+// ---------------------------------------------------------------------
+// Client-side reply parser
+// ---------------------------------------------------------------------
+
+namespace {
+
+size_t
+parseReplyDepth(std::string_view data, RespReply *out, int depth)
+{
+    if (depth > 8)
+        return SIZE_MAX;
+    const size_t lf = data.find("\r\n");
+    if (lf == std::string_view::npos)
+        return data.size() > (1 << 20) ? SIZE_MAX : 0;
+    if (data.empty())
+        return 0;
+    const std::string_view body = data.substr(1, lf - 1);
+    const size_t after = lf + 2;
+    switch (data[0]) {
+      case '+':
+        out->type = RespReply::Type::kSimple;
+        out->str = std::string(body);
+        return after;
+      case '-':
+        out->type = RespReply::Type::kError;
+        out->str = std::string(body);
+        return after;
+      case ':': {
+        out->type = RespReply::Type::kInteger;
+        if (!parseI64(body, &out->integer))
+            return SIZE_MAX;
+        return after;
+      }
+      case '$': {
+        int64_t n;
+        if (!parseI64(body, &n) || n < -1)
+            return SIZE_MAX;
+        if (n == -1) {
+            out->type = RespReply::Type::kNull;
+            return after;
+        }
+        if (data.size() - after < static_cast<size_t>(n) + 2)
+            return 0;
+        if (data[after + n] != '\r' || data[after + n + 1] != '\n')
+            return SIZE_MAX;
+        out->type = RespReply::Type::kBulk;
+        out->str = std::string(data.substr(after,
+                                           static_cast<size_t>(n)));
+        return after + static_cast<size_t>(n) + 2;
+      }
+      case '*': {
+        int64_t n;
+        if (!parseI64(body, &n) || n < -1)
+            return SIZE_MAX;
+        if (n == -1) {
+            out->type = RespReply::Type::kNull;
+            return after;
+        }
+        out->type = RespReply::Type::kArray;
+        out->elements.clear();
+        size_t cur = after;
+        for (int64_t i = 0; i < n; i++) {
+            RespReply child;
+            const size_t used = parseReplyDepth(data.substr(cur),
+                                                &child, depth + 1);
+            if (used == 0 || used == SIZE_MAX)
+                return used;
+            out->elements.push_back(std::move(child));
+            cur += used;
+        }
+        return cur;
+      }
+    }
+    return SIZE_MAX;
+}
+
+}  // namespace
+
+size_t
+parseReply(std::string_view data, RespReply *out)
+{
+    *out = RespReply{};
+    if (data.empty())
+        return 0;
+    return parseReplyDepth(data, out, 0);
+}
+
+}  // namespace prism::net

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * RESP (REdis Serialization Protocol) framing for the Prism network
+ * front-end (docs/SERVER.md).
+ *
+ * Two independent halves:
+ *
+ *  - RespParser: the *server-side* command decoder. Feed it raw socket
+ *    bytes in arbitrary fragments; it yields complete commands (one
+ *    vector of argument strings each) as they become available. It
+ *    accepts the two client framings real Redis clients use — RESP
+ *    arrays of bulk strings (`*2\r\n$3\r\nGET\r\n$2\r\n42\r\n`, what
+ *    redis-cli and every driver send) and inline commands
+ *    (`PING\r\n`, what a human with netcat sends) — and enforces
+ *    frame-size / argument-count / bulk-length limits so one abusive
+ *    connection cannot balloon server memory. Framing errors are
+ *    terminal for the connection: once byte boundaries are lost there
+ *    is no safe way to resynchronise, so the server replies with the
+ *    parse error and closes.
+ *
+ *  - RespReply + parseReply(): the *client-side* reply decoder used by
+ *    prism_loadgen and the tests. Parses one complete reply (simple
+ *    string, error, integer, bulk, nil, or a recursively nested array)
+ *    from a byte buffer and reports how many bytes it consumed.
+ *
+ * Plus the tiny reply encoders both sides share. Everything here is
+ * pure byte-shuffling — no sockets, no store — so the framing layer is
+ * unit-testable byte-at-a-time (tests/resp_parser_test.cc).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prism::net {
+
+/** Outcome of one RespParser::next() call. */
+enum class ParseResult {
+    kCommand,   ///< *out holds one complete command
+    kNeedMore,  ///< buffer holds no complete command yet
+    kError,     ///< protocol violation; see error(), close the conn
+};
+
+/** Limits the parser enforces per command frame. */
+struct RespLimits {
+    /** Total encoded bytes one command may occupy (oversized-command
+     *  rejection; also bounds parser memory per connection). */
+    size_t max_frame_bytes = 1 << 20;
+    /** Maximum arguments per command (`*N`). */
+    size_t max_args = 1024 + 1;
+    /** Maximum bytes in one bulk argument (`$N`). */
+    size_t max_bulk_bytes = 512 * 1024;
+};
+
+/**
+ * Incremental RESP command parser. One instance per connection; not
+ * thread-safe (a connection is owned by one event loop).
+ */
+class RespParser {
+  public:
+    explicit RespParser(RespLimits limits = {}) : limits_(limits) {}
+
+    /** Append raw bytes received from the socket. */
+    void feed(std::string_view data);
+
+    /**
+     * Extract the next complete command into @p out (cleared first).
+     * kCommand may be returned repeatedly for pipelined input; call
+     * until kNeedMore. After kError the parser is poisoned: every later
+     * call returns kError and the connection must be closed.
+     */
+    ParseResult next(std::vector<std::string> *out);
+
+    /** Human-readable protocol violation after kError. */
+    const std::string &error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed (backpressure signal). */
+    size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    ParseResult fail(std::string msg);
+    ParseResult parseInline(std::vector<std::string> *out);
+    ParseResult parseArray(std::vector<std::string> *out);
+    /** Parse a CRLF line starting at @p from; false = incomplete. */
+    bool line(size_t from, std::string_view *out, size_t *end) const;
+    void discard(size_t upto);
+
+    RespLimits limits_;
+    std::string buf_;
+    size_t pos_ = 0;  ///< consumed prefix of buf_
+    std::string error_;
+    bool poisoned_ = false;
+};
+
+/** @name Reply encoders (server side; loadgen encodes commands with
+ *  encodeCommand below). Append to @p out, never reallocate-per-byte. */
+///@{
+void appendSimple(std::string *out, std::string_view s);  ///< +s\r\n
+void appendError(std::string *out, std::string_view msg); ///< -msg\r\n
+void appendInteger(std::string *out, int64_t v);          ///< :v\r\n
+void appendBulk(std::string *out, std::string_view s);    ///< $n\r\ns\r\n
+void appendNull(std::string *out);                        ///< $-1\r\n
+void appendArrayHeader(std::string *out, size_t n);       ///< *n\r\n
+///@}
+
+/** Encode @p args as a RESP array of bulk strings (the client framing). */
+void encodeCommand(std::string *out,
+                   const std::vector<std::string_view> &args);
+
+/** Parsed reply tree (client side). */
+struct RespReply {
+    enum class Type { kSimple, kError, kInteger, kBulk, kNull, kArray };
+    Type type = Type::kNull;
+    std::string str;      ///< simple / error / bulk payload
+    int64_t integer = 0;  ///< kInteger value
+    std::vector<RespReply> elements;  ///< kArray children
+
+    bool isError() const { return type == Type::kError; }
+};
+
+/**
+ * Parse one complete reply from @p data. Returns the number of bytes
+ * consumed, 0 when @p data does not yet hold a complete reply, or
+ * SIZE_MAX on malformed input. Arrays nest (SCAN replies); nesting
+ * depth is capped at 8 — nothing in the served subset goes deeper.
+ */
+size_t parseReply(std::string_view data, RespReply *out);
+
+}  // namespace prism::net

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for the RESP framing layer (src/net/resp.h): incremental
+ * command parsing under arbitrary fragmentation, limit enforcement,
+ * inline commands, encoder round-trips, and the client-side reply
+ * parser prism_loadgen relies on.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rand.h"
+#include "net/resp.h"
+
+namespace prism::net {
+namespace {
+
+using Args = std::vector<std::string>;
+
+/** Feed @p wire whole and expect exactly @p want commands. */
+std::vector<Args>
+parseAll(RespParser &p, std::string_view wire)
+{
+    p.feed(wire);
+    std::vector<Args> out;
+    Args args;
+    while (p.next(&args) == ParseResult::kCommand)
+        out.push_back(args);
+    return out;
+}
+
+TEST(RespParser, ArrayCommand)
+{
+    RespParser p;
+    const auto cmds =
+        parseAll(p, "*3\r\n$3\r\nSET\r\n$2\r\n42\r\n$5\r\nhello\r\n");
+    ASSERT_EQ(cmds.size(), 1u);
+    EXPECT_EQ(cmds[0], (Args{"SET", "42", "hello"}));
+}
+
+TEST(RespParser, InlineCommand)
+{
+    RespParser p;
+    const auto cmds = parseAll(p, "PING\r\nGET   7\r\n");
+    ASSERT_EQ(cmds.size(), 2u);
+    EXPECT_EQ(cmds[0], (Args{"PING"}));
+    EXPECT_EQ(cmds[1], (Args{"GET", "7"}));
+}
+
+TEST(RespParser, BlankLinesAndEmptyArraysAreSkipped)
+{
+    RespParser p;
+    const auto cmds = parseAll(p, "\r\n\r\n*0\r\nPING\r\n");
+    ASSERT_EQ(cmds.size(), 1u);
+    EXPECT_EQ(cmds[0], (Args{"PING"}));
+}
+
+TEST(RespParser, BinarySafeBulkPayload)
+{
+    RespParser p;
+    std::string wire = "*2\r\n$3\r\nGET\r\n$5\r\n";
+    wire += std::string("a\0b\r\n", 5);
+    wire += "\r\n";
+    const auto cmds = parseAll(p, wire);
+    ASSERT_EQ(cmds.size(), 1u);
+    EXPECT_EQ(cmds[0][1], std::string("a\0b\r\n", 5));
+}
+
+/**
+ * The core incremental-parsing property: any fragmentation of a valid
+ * pipelined byte stream yields exactly the same command sequence. This
+ * is the fuzz-ish table — every split point of a multi-command wire
+ * image, plus randomized multi-way splits.
+ */
+TEST(RespParser, EverySplitPointYieldsSameCommands)
+{
+    std::string wire;
+    encodeCommand(&wire, {"SET", "1", "abc"});
+    wire += "PING\r\n";
+    encodeCommand(&wire, {"MGET", "1", "2", "3"});
+    encodeCommand(&wire, {"GET", std::string(64, 'k')});
+
+    RespParser whole;
+    const auto want = parseAll(whole, wire);
+    ASSERT_EQ(want.size(), 4u);
+
+    for (size_t cut = 0; cut <= wire.size(); cut++) {
+        RespParser p;
+        std::vector<Args> got;
+        Args args;
+        p.feed(std::string_view(wire).substr(0, cut));
+        while (p.next(&args) == ParseResult::kCommand)
+            got.push_back(args);
+        p.feed(std::string_view(wire).substr(cut));
+        while (p.next(&args) == ParseResult::kCommand)
+            got.push_back(args);
+        ASSERT_EQ(got, want) << "split at " << cut;
+    }
+}
+
+TEST(RespParser, RandomizedFragmentation)
+{
+    std::string wire;
+    for (int i = 0; i < 50; i++)
+        encodeCommand(&wire,
+                      {"SET", std::to_string(i),
+                       std::string(static_cast<size_t>(i) * 7 % 97,
+                                   'v')});
+    Xorshift rng(42);
+    for (int round = 0; round < 100; round++) {
+        RespParser p;
+        size_t fed = 0, n = 0;
+        Args args;
+        while (fed < wire.size()) {
+            const size_t chunk = 1 + rng.nextUniform(37);
+            const size_t take = std::min(chunk, wire.size() - fed);
+            p.feed(std::string_view(wire).substr(fed, take));
+            fed += take;
+            while (p.next(&args) == ParseResult::kCommand)
+                n++;
+        }
+        ASSERT_EQ(n, 50u) << "round " << round;
+    }
+}
+
+TEST(RespParser, ByteAtATime)
+{
+    const std::string wire =
+        "*3\r\n$3\r\nSET\r\n$1\r\n1\r\n$3\r\nabc\r\n";
+    RespParser p;
+    Args args;
+    for (size_t i = 0; i + 1 < wire.size(); i++) {
+        p.feed(std::string_view(wire).substr(i, 1));
+        ASSERT_EQ(p.next(&args), ParseResult::kNeedMore) << "byte " << i;
+    }
+    p.feed(std::string_view(wire).substr(wire.size() - 1));
+    ASSERT_EQ(p.next(&args), ParseResult::kCommand);
+    EXPECT_EQ(args, (Args{"SET", "1", "abc"}));
+}
+
+TEST(RespParser, OversizedFrameRejectedEvenIncomplete)
+{
+    RespLimits limits;
+    limits.max_frame_bytes = 128;
+    RespParser p(limits);
+    // A bulk header promising a large payload, never delivered: the
+    // parser must fail as soon as the buffered frame passes the limit
+    // instead of waiting for the payload.
+    p.feed("*2\r\n$3\r\nSET\r\n$90000\r\n");
+    p.feed(std::string(200, 'x'));
+    Args args;
+    EXPECT_EQ(p.next(&args), ParseResult::kError);
+    EXPECT_NE(p.error().find("ERR"), std::string::npos);
+}
+
+TEST(RespParser, OversizedBulkRejectedByHeader)
+{
+    RespLimits limits;
+    limits.max_bulk_bytes = 16;
+    RespParser p(limits);
+    p.feed("*2\r\n$3\r\nGET\r\n$17\r\n");
+    Args args;
+    EXPECT_EQ(p.next(&args), ParseResult::kError);
+}
+
+TEST(RespParser, TooManyArgsRejected)
+{
+    RespLimits limits;
+    limits.max_args = 4;
+    RespParser p(limits);
+    p.feed("*5\r\n");
+    Args args;
+    EXPECT_EQ(p.next(&args), ParseResult::kError);
+}
+
+TEST(RespParser, PathologicalHeadersRejected)
+{
+    const char *bad[] = {
+        "*abc\r\n",              // non-numeric count
+        "*-3\r\n",               // negative count
+        "*2\r\n$3\r\nGET\r\n:5\r\n",   // non-bulk element
+        "*1\r\n$-5\r\n",         // negative bulk length
+        "*1\r\n$999999999999999999999\r\n",  // overflow
+        "*1\r\n$3\r\nGETXX",     // missing CRLF after payload
+        "$3\r\n",                // stray reply byte as a command
+    };
+    for (const char *wire : bad) {
+        RespParser p;
+        p.feed(wire);
+        if (std::string_view(wire).find("GETXX") !=
+            std::string_view::npos)
+            p.feed("\r\n more bytes to make the frame complete\r\n");
+        Args args;
+        EXPECT_EQ(p.next(&args), ParseResult::kError) << wire;
+    }
+}
+
+TEST(RespParser, PoisonedParserStaysPoisoned)
+{
+    RespParser p;
+    p.feed("*bad\r\n");
+    Args args;
+    ASSERT_EQ(p.next(&args), ParseResult::kError);
+    p.feed("PING\r\n");
+    EXPECT_EQ(p.next(&args), ParseResult::kError);
+}
+
+TEST(RespParser, LongLivedConnectionCompactsBuffer)
+{
+    RespParser p;
+    Args args;
+    // Enough traffic that an unbounded buffer would hold ~1 MB; the
+    // parser must not retain consumed bytes indefinitely.
+    for (int i = 0; i < 4096; i++) {
+        std::string wire;
+        encodeCommand(&wire, {"SET", std::to_string(i),
+                              std::string(200, 'v')});
+        p.feed(wire);
+        ASSERT_EQ(p.next(&args), ParseResult::kCommand);
+    }
+    EXPECT_EQ(p.buffered(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Reply encoders + client-side reply parser
+// ---------------------------------------------------------------------
+
+TEST(RespReplyParser, Scalars)
+{
+    RespReply r;
+    EXPECT_EQ(parseReply("+OK\r\n", &r), 5u);
+    EXPECT_EQ(r.type, RespReply::Type::kSimple);
+    EXPECT_EQ(r.str, "OK");
+
+    EXPECT_EQ(parseReply("-ERR nope\r\n", &r), 11u);
+    EXPECT_TRUE(r.isError());
+
+    EXPECT_EQ(parseReply(":42\r\n", &r), 5u);
+    EXPECT_EQ(r.integer, 42);
+
+    EXPECT_EQ(parseReply("$5\r\nhello\r\n", &r), 11u);
+    EXPECT_EQ(r.str, "hello");
+
+    EXPECT_EQ(parseReply("$-1\r\n", &r), 5u);
+    EXPECT_EQ(r.type, RespReply::Type::kNull);
+}
+
+TEST(RespReplyParser, NestedArrayAndPartial)
+{
+    // A SCAN-shaped reply: [cursor, [k1, k2]].
+    std::string wire;
+    appendArrayHeader(&wire, 2);
+    appendBulk(&wire, "17");
+    appendArrayHeader(&wire, 2);
+    appendBulk(&wire, "1");
+    appendBulk(&wire, "2");
+
+    RespReply r;
+    // Every strict prefix is incomplete, never malformed.
+    for (size_t i = 0; i < wire.size(); i++)
+        ASSERT_EQ(parseReply(std::string_view(wire).substr(0, i), &r),
+                  0u)
+            << i;
+    ASSERT_EQ(parseReply(wire, &r), wire.size());
+    ASSERT_EQ(r.type, RespReply::Type::kArray);
+    ASSERT_EQ(r.elements.size(), 2u);
+    EXPECT_EQ(r.elements[0].str, "17");
+    ASSERT_EQ(r.elements[1].elements.size(), 2u);
+    EXPECT_EQ(r.elements[1].elements[1].str, "2");
+}
+
+TEST(RespReplyParser, MalformedAndDepthBomb)
+{
+    RespReply r;
+    EXPECT_EQ(parseReply("?what\r\n", &r), SIZE_MAX);
+    EXPECT_EQ(parseReply(":notanum\r\n", &r), SIZE_MAX);
+    // 16 nested single-element arrays exceed the depth cap.
+    std::string bomb;
+    for (int i = 0; i < 16; i++)
+        bomb += "*1\r\n";
+    bomb += ":1\r\n";
+    EXPECT_EQ(parseReply(bomb, &r), SIZE_MAX);
+}
+
+TEST(RespEncode, CommandRoundTrip)
+{
+    std::string wire;
+    encodeCommand(&wire, {"SET", "k", std::string("v\r\n\0", 4)});
+    RespParser p;
+    p.feed(wire);
+    Args args;
+    ASSERT_EQ(p.next(&args), ParseResult::kCommand);
+    EXPECT_EQ(args[2], std::string("v\r\n\0", 4));
+}
+
+}  // namespace
+}  // namespace prism::net
